@@ -1,0 +1,48 @@
+# syncstamp — reproduction of "Timestamping Messages in Synchronous
+# Computations" (Garg & Skawratananond, ICDCS 2002).
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz repro examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz pass over every fuzz target (seeds always run under `make test`).
+fuzz:
+	$(GO) test -fuzz=FuzzReadText -fuzztime=10s ./internal/trace
+	$(GO) test -fuzz=FuzzReadText -fuzztime=10s ./internal/graph
+	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/vector
+	$(GO) test -fuzz=FuzzCompare -fuzztime=10s ./internal/vector
+
+# Regenerate every paper figure/claim table into paperbench_output.txt.
+repro:
+	$(GO) run ./cmd/paperbench | tee paperbench_output.txt
+	@grep -q FAIL paperbench_output.txt && echo "REPRODUCTION DRIFT" && exit 1 || echo "all experiments OK"
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/clientserver
+	$(GO) run ./examples/tree20
+	$(GO) run ./examples/debugger
+	$(GO) run ./examples/figure6
+	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/recovery
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,327 @@
+// Benchmarks regenerating the performance-shaped side of every experiment in
+// DESIGN.md's index: per-message stamping cost and piggyback size for the
+// online algorithm vs the baselines (E13/E8), decomposition cost (E2/E3/E9),
+// offline stamping (E11), precedence tests (E15), the CSP runtime (E14), and
+// the oracles backing E1/E7. Run with:
+//
+//	go test -bench=. -benchmem
+package syncstamp_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"syncstamp/internal/chainclock"
+	"syncstamp/internal/cluster"
+	"syncstamp/internal/core"
+	"syncstamp/internal/csp"
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+	"syncstamp/internal/offline"
+	"syncstamp/internal/order"
+	"syncstamp/internal/trace"
+	"syncstamp/internal/vclock"
+	"syncstamp/internal/vector"
+)
+
+// benchTrace builds a deterministic workload for a topology.
+func benchTrace(g *graph.Graph, msgs int) *trace.Trace {
+	return trace.Generate(g, trace.GenOptions{Messages: msgs}, rand.New(rand.NewSource(1)))
+}
+
+// reportPiggyback attaches the mean piggyback bytes/message metric.
+func reportPiggyback(b *testing.B, stamps []vector.V) {
+	b.Helper()
+	if len(stamps) == 0 {
+		return
+	}
+	total := 0
+	for _, s := range stamps {
+		total += s.EncodedSize()
+	}
+	b.ReportMetric(float64(total)/float64(len(stamps)), "piggyback-B/msg")
+}
+
+// --- E13/E8: per-message stamping cost and size, online vs baselines ---
+
+func benchStampOnline(b *testing.B, g *graph.Graph, dec *decomp.Decomposition) {
+	tr := benchTrace(g, 1000)
+	var stamps []vector.V
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		stamps, err = core.StampTrace(tr, dec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportPiggyback(b, stamps)
+	b.ReportMetric(float64(dec.D()), "components")
+}
+
+func benchStampFM(b *testing.B, g *graph.Graph) {
+	tr := benchTrace(g, 1000)
+	var stamps []vector.V
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stamps = vclock.FM{}.StampTrace(tr)
+	}
+	b.StopTimer()
+	reportPiggyback(b, stamps)
+	b.ReportMetric(float64(g.N()), "components")
+}
+
+func BenchmarkE13OnlineClientServer2x100(b *testing.B) {
+	g := graph.ClientServer(2, 100, false)
+	dec, err := decomp.FromVertexCover(g, []int{0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchStampOnline(b, g, dec)
+}
+
+func BenchmarkE13FMClientServer2x100(b *testing.B) {
+	benchStampFM(b, graph.ClientServer(2, 100, false))
+}
+
+func BenchmarkE13OnlineTree20(b *testing.B) {
+	g := graph.Figure4Tree()
+	benchStampOnline(b, g, decomp.Approximate(g))
+}
+
+func BenchmarkE13FMTree20(b *testing.B) {
+	benchStampFM(b, graph.Figure4Tree())
+}
+
+func BenchmarkE13OnlineComplete32(b *testing.B) {
+	g := graph.Complete(32)
+	benchStampOnline(b, g, decomp.Approximate(g))
+}
+
+func BenchmarkE13FMComplete32(b *testing.B) {
+	benchStampFM(b, graph.Complete(32))
+}
+
+func BenchmarkE13Lamport(b *testing.B) {
+	tr := benchTrace(graph.Complete(32), 1000)
+	var stamps []vector.V
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stamps = vclock.Lamport{}.StampTrace(tr)
+	}
+	b.StopTimer()
+	reportPiggyback(b, stamps)
+}
+
+func BenchmarkE13PlausibleR4(b *testing.B) {
+	tr := benchTrace(graph.Complete(32), 1000)
+	var stamps []vector.V
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stamps = vclock.Plausible{R: 4}.StampTrace(tr)
+	}
+	b.StopTimer()
+	reportPiggyback(b, stamps)
+}
+
+// E13 query-cost side of the direct-dependency tradeoff: constant piggyback
+// but recursive precedence queries.
+func BenchmarkE13DirectDepQuery(b *testing.B) {
+	tr := benchTrace(graph.Complete(16), 500)
+	dd := vclock.NewDirectDep(tr)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y := rng.Intn(dd.NumMessages()), rng.Intn(dd.NumMessages())
+		dd.Precedes(x, y)
+	}
+}
+
+// --- E15: precedence-test cost on the stamp sizes each mechanism needs ---
+
+func benchPrecedence(b *testing.B, d int) {
+	u, v := vector.New(d), vector.New(d)
+	for k := range u {
+		u[k] = k
+		v[k] = k + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vector.Less(u, v)
+	}
+}
+
+func BenchmarkE15PrecedenceD2(b *testing.B)   { benchPrecedence(b, 2) }
+func BenchmarkE15PrecedenceD8(b *testing.B)   { benchPrecedence(b, 8) }
+func BenchmarkE15PrecedenceD102(b *testing.B) { benchPrecedence(b, 102) }
+
+// --- E2/E3/E9: decomposition algorithms ---
+
+func BenchmarkE2Figure7Complete16(b *testing.B) {
+	g := graph.Complete(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decomp.Approximate(g)
+	}
+}
+
+func BenchmarkE3Figure7Tree200(b *testing.B) {
+	g := graph.RandomTree(200, rand.New(rand.NewSource(3)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decomp.Approximate(g)
+	}
+}
+
+func BenchmarkE9ExactSmall(b *testing.B) {
+	g := graph.RandomGnp(8, 0.4, rand.New(rand.NewSource(4)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decomp.Exact(g, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E11: offline algorithm (width + realizer + position vectors) ---
+
+func BenchmarkE11OfflineComplete10x400(b *testing.B) {
+	tr := benchTrace(graph.Complete(10), 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := offline.Stamp(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11OfflineStar10x400(b *testing.B) {
+	tr := benchTrace(graph.Star(10, 0), 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := offline.Stamp(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E1/E7: ground-truth oracle construction ---
+
+func BenchmarkE7MessagePoset1000(b *testing.B) {
+	tr := benchTrace(graph.Complete(12), 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		order.MessagePoset(tr)
+	}
+}
+
+func BenchmarkE12EventOracle(b *testing.B) {
+	tr := trace.Generate(graph.Complete(8),
+		trace.GenOptions{Messages: 300, InternalProb: 0.4}, rand.New(rand.NewSource(5)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		order.NewEventOracle(tr)
+	}
+}
+
+// --- E14: end-to-end CSP runtime throughput ---
+
+func BenchmarkE14CSPRoundTrips(b *testing.B) {
+	g := graph.Path(2)
+	dec := decomp.Approximate(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := csp.Run(dec, []func(p *csp.Process) error{
+			func(p *csp.Process) error {
+				for k := 0; k < 100; k++ {
+					if _, err := p.Send(1, k); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			func(p *csp.Process) error {
+				for k := 0; k < 100; k++ {
+					if _, err := p.Recv(); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}, 30*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100, "msgs/op")
+}
+
+// --- E4: stamping the exact Figure 6 computation ---
+
+func BenchmarkE4Figure6(b *testing.B) {
+	tr := trace.Figure6()
+	dec := decomp.Figure3a()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.StampTrace(tr, dec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E17: related-mechanism stamping costs ---
+
+func BenchmarkE17ChainClocks(b *testing.B) {
+	tr := benchTrace(graph.Complete(10), 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := chainclock.StampTrace(tr)
+		if r.Chains == 0 {
+			b.Fatal("no chains")
+		}
+	}
+}
+
+func BenchmarkE17SKDifferential(b *testing.B) {
+	tr := benchTrace(graph.ClientServer(2, 50, false), 1000)
+	var res *vclock.SKResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = vclock.Simulate(tr)
+	}
+	b.StopTimer()
+	b.ReportMetric(res.MeanEntries(), "entries/msg")
+}
+
+// --- E19: hierarchical cluster stamping ---
+
+func BenchmarkE19ClusterStamp(b *testing.B) {
+	tr := benchTrace(graph.Complete(12), 1000)
+	part, err := cluster.Contiguous(12, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Stamp(tr, part); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E18: dynamic growth cost ---
+
+func BenchmarkE18GrowClient(b *testing.B) {
+	base, err := decomp.FromVertexCover(graph.ClientServer(2, 1, false), []int{0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := base.GrowStarVertex([]int{0, 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

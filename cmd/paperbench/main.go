@@ -1,0 +1,55 @@
+// Command paperbench regenerates the paper's figures and measurable claims
+// as printed tables (see DESIGN.md's per-experiment index and
+// EXPERIMENTS.md for the recorded outputs).
+//
+// Usage:
+//
+//	paperbench            # run everything
+//	paperbench -e E4      # one experiment
+//	paperbench -list      # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"syncstamp/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	id := fs.String("e", "", "experiment id to run (default: all)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+	if *id != "" {
+		e, ok := experiments.ByID(*id)
+		if !ok {
+			fmt.Fprintf(stderr, "paperbench: unknown experiment %q (try -list)\n", *id)
+			return 1
+		}
+		if err := experiments.RunOne(stdout, e); err != nil {
+			fmt.Fprintln(stderr, "paperbench:", err)
+			return 1
+		}
+		return 0
+	}
+	if err := experiments.RunAll(stdout); err != nil {
+		fmt.Fprintln(stderr, "paperbench:", err)
+		return 1
+	}
+	return 0
+}

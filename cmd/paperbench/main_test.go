@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runTool(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runTool(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range []string{"E1", "E16", "D2"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	code, out, errOut := runTool(t, "-e", "E4")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "=== E4:") || !strings.Contains(out, "(1,1,1)") {
+		t.Fatalf("E4 output wrong:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("E4 reported FAIL:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	code, _, errOut := runTool(t, "-e", "E99")
+	if code == 0 || !strings.Contains(errOut, "unknown experiment") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runTool(t, "-zzz"); code == 0 {
+		t.Fatal("bad flag accepted")
+	}
+}

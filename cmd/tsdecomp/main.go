@@ -1,0 +1,150 @@
+// Command tsdecomp computes edge decompositions of communication topologies
+// (Section 3 of the paper) and reports their sizes against the Theorem 5
+// bound.
+//
+// Usage:
+//
+//	tsdecomp -topology complete:8                 # Figure 7 algorithm
+//	tsdecomp -topology figure2b -algo exact       # branch-and-bound optimum
+//	tsdecomp -graph topo.txt -algo staronly       # from a graph file
+//	tsdecomp -topology tree:3x2 -dot out.dot      # Graphviz with group colors
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+	"syncstamp/internal/topospec"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tsdecomp", flag.ContinueOnError)
+	topoSpec := fs.String("topology", "", "topology spec (see tsgen -help-topologies)")
+	graphFile := fs.String("graph", "", "read the topology from a graph text file instead")
+	algo := fs.String("algo", "fig7", "algorithm: fig7 | fig7-first | fig7-multi | staronly | trivial | trivial-stars | cover | best | exact")
+	dotOut := fs.String("dot", "", "also write a Graphviz rendering with group colors")
+	decompOut := fs.String("o", "", "write the decomposition in text format to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	g, err := loadGraph(*topoSpec, *graphFile)
+	if err != nil {
+		fmt.Fprintln(stderr, "tsdecomp:", err)
+		return 1
+	}
+
+	var d *decomp.Decomposition
+	switch *algo {
+	case "fig7":
+		var tr *decomp.Trace
+		d, tr = decomp.ApproximateTraced(g, decomp.ChooseMaxAdjacent)
+		defer func() {
+			fmt.Fprintf(stdout, "figure-7 steps: %v\n", tr.Steps)
+		}()
+	case "fig7-first":
+		d, _ = decomp.ApproximateTraced(g, decomp.ChooseFirst)
+	case "fig7-multi":
+		d = decomp.ApproximateMultiStart(g, 12, rand.New(rand.NewSource(1)))
+	case "staronly":
+		d = decomp.StarOnly(g)
+	case "trivial":
+		d = decomp.TrivialWithTriangle(g)
+	case "trivial-stars":
+		d = decomp.TrivialStars(g)
+	case "cover":
+		cover, err := decomp.MinVertexCover(g, 0)
+		if err != nil {
+			fmt.Fprintln(stderr, "tsdecomp:", err)
+			return 1
+		}
+		d, err = decomp.FromVertexCover(g, cover)
+		if err != nil {
+			fmt.Fprintln(stderr, "tsdecomp:", err)
+			return 1
+		}
+	case "best":
+		d = decomp.Best(g)
+	case "exact":
+		var err error
+		d, err = decomp.Exact(g, 0)
+		if err != nil {
+			fmt.Fprintln(stderr, "tsdecomp:", err)
+			return 1
+		}
+	default:
+		fmt.Fprintf(stderr, "tsdecomp: unknown -algo %q\n", *algo)
+		return 1
+	}
+
+	if err := d.Validate(g); err != nil {
+		fmt.Fprintln(stderr, "tsdecomp: internal error:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "topology: N=%d channels=%d\n", g.N(), g.M())
+	fmt.Fprintf(stdout, "decomposition: d=%d (%d stars, %d triangles)\n", d.D(), d.Stars(), d.Triangles())
+	fmt.Fprintf(stdout, "vs Fidge–Mattern: %d components -> %d components\n", g.N(), d.D())
+	for i, grp := range d.Groups() {
+		fmt.Fprintf(stdout, "  E%d = %s\n", i+1, grp)
+	}
+
+	if *decompOut != "" {
+		if err := writeFile(*decompOut, func(f *os.File) error {
+			return decomp.WriteText(f, d)
+		}); err != nil {
+			fmt.Fprintln(stderr, "tsdecomp:", err)
+			return 1
+		}
+	}
+	if *dotOut != "" {
+		dot := graph.DOT(g, "decomposition", func(e graph.Edge) (int, bool) {
+			return d.GroupOf(e.U, e.V)
+		})
+		if err := os.WriteFile(*dotOut, []byte(dot), 0o644); err != nil {
+			fmt.Fprintln(stderr, "tsdecomp:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func loadGraph(spec, file string) (*graph.Graph, error) {
+	switch {
+	case spec != "" && file != "":
+		return nil, fmt.Errorf("use either -topology or -graph, not both")
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			_ = f.Close() // read-only file
+		}()
+		return graph.ReadText(f)
+	case spec != "":
+		return topospec.Parse(spec)
+	default:
+		return nil, fmt.Errorf("need -topology or -graph")
+	}
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

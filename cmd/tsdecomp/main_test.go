@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runTool(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestFig7OnFigure2b(t *testing.T) {
+	code, out, errOut := runTool(t, "-topology", "figure2b", "-algo", "fig7")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"d=5", "4 stars, 1 triangles", "figure-7 steps"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllAlgos(t *testing.T) {
+	for _, algo := range []string{"fig7", "fig7-first", "fig7-multi", "staronly", "trivial", "trivial-stars", "cover", "best", "exact"} {
+		code, out, errOut := runTool(t, "-topology", "complete:5", "-algo", algo)
+		if code != 0 {
+			t.Fatalf("algo %s: exit %d: %s", algo, code, errOut)
+		}
+		if !strings.Contains(out, "decomposition: d=") {
+			t.Fatalf("algo %s output:\n%s", algo, out)
+		}
+	}
+}
+
+func TestGraphFileAndOutputs(t *testing.T) {
+	dir := t.TempDir()
+	graphFile := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(graphFile, []byte("n 3\ne 0 1\ne 1 2\ne 0 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	decompFile := filepath.Join(dir, "d.txt")
+	dotFile := filepath.Join(dir, "g.dot")
+	code, out, errOut := runTool(t, "-graph", graphFile, "-o", decompFile, "-dot", dotFile)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "d=1") {
+		t.Fatalf("triangle should decompose into one group:\n%s", out)
+	}
+	dec, err := os.ReadFile(decompFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dec), "triangle") {
+		t.Fatalf("decomposition file: %s", dec)
+	}
+	dot, err := os.ReadFile(dotFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dot), "graph") {
+		t.Fatalf("dot file: %s", dot)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	gf := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(gf, []byte("n 2\ne 0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{},                                     // neither -topology nor -graph
+		{"-topology", "star:3", "-graph", gf},  // both
+		{"-topology", "nope:1"},                // bad spec
+		{"-graph", filepath.Join(dir, "none")}, // missing file
+		{"-topology", "star:4", "-algo", "zzz"},
+		{"-topology", "complete:30", "-algo", "exact"}, // over exact limit
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runTool(t, args...); code == 0 {
+			t.Errorf("args %v succeeded, want failure", args)
+		}
+	}
+}

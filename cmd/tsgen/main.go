@@ -1,0 +1,143 @@
+// Command tsgen generates random synchronous computations over a chosen
+// communication topology and writes them in the trace text format consumed
+// by tsstamp.
+//
+// Usage:
+//
+//	tsgen -topology clientserver:2x10 -messages 200 -internal 0.2 -seed 7 -o run.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"syncstamp/internal/topospec"
+	"syncstamp/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tsgen", flag.ContinueOnError)
+	topoSpec := fs.String("topology", "complete:5", "topology spec (see -help-topologies)")
+	workload := fs.String("workload", "", "structured workload instead of random traffic: rpc:SxCxR | ring:NxR | treegs:BxDxR | pipeline:NxI")
+	messages := fs.Int("messages", 100, "number of messages to generate")
+	internal := fs.Float64("internal", 0, "internal-event probability in [0,1)")
+	hotspot := fs.Float64("hotspot", 0, "probability of reusing a participant of the previous message")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	helpTopo := fs.Bool("help-topologies", false, "print the topology spec vocabulary and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *helpTopo {
+		fmt.Fprintln(stdout, topospec.Help)
+		return 0
+	}
+	var tr *trace.Trace
+	if *workload != "" {
+		var err error
+		tr, err = parseWorkload(*workload)
+		if err != nil {
+			fmt.Fprintln(stderr, "tsgen:", err)
+			return 1
+		}
+	} else {
+		topo, err := topospec.Parse(*topoSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "tsgen:", err)
+			return 1
+		}
+		if *messages < 0 || *internal < 0 || *internal >= 1 {
+			fmt.Fprintln(stderr, "tsgen: invalid -messages or -internal")
+			return 1
+		}
+		tr = trace.Generate(topo, trace.GenOptions{
+			Messages:     *messages,
+			InternalProb: *internal,
+			Hotspot:      *hotspot,
+		}, rand.New(rand.NewSource(*seed)))
+	}
+
+	var w io.Writer = stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "tsgen:", err)
+			return 1
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(stderr, "tsgen: close:", err)
+			}
+		}()
+		w = f
+	}
+	if err := trace.WriteText(w, tr); err != nil {
+		fmt.Fprintln(stderr, "tsgen:", err)
+		return 1
+	}
+	return 0
+}
+
+// parseWorkload builds a structured workload from specs like "rpc:2x10x3"
+// (servers x clients x rpcs), "ring:8x5" (processes x rounds), "treegs:2x3x2"
+// (branching x depth x rounds), or "pipeline:4x20" (stages x items).
+func parseWorkload(spec string) (tr *trace.Trace, err error) {
+	// The workload constructors panic on invalid shapes; surface those as
+	// errors for CLI friendliness.
+	defer func() {
+		if r := recover(); r != nil {
+			tr, err = nil, fmt.Errorf("%v", r)
+		}
+	}()
+	name, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("tsgen: workload %q missing parameters", spec)
+	}
+	var dims []int
+	for _, part := range strings.Split(strings.ToLower(rest), "x") {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("tsgen: bad workload parameter %q in %q", part, spec)
+		}
+		dims = append(dims, v)
+	}
+	need := func(n int) error {
+		if len(dims) != n {
+			return fmt.Errorf("tsgen: workload %s needs %d parameters, got %d", name, n, len(dims))
+		}
+		return nil
+	}
+	switch strings.ToLower(name) {
+	case "rpc":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return trace.RPCWorkload(dims[0], dims[1], dims[2]), nil
+	case "ring":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return trace.RingToken(dims[0], dims[1]), nil
+	case "treegs":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return trace.TreeGatherScatter(dims[0], dims[1], dims[2]), nil
+	case "pipeline":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return trace.Pipeline(dims[0], dims[1]), nil
+	default:
+		return nil, fmt.Errorf("tsgen: unknown workload %q", name)
+	}
+}

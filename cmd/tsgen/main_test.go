@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"syncstamp/internal/trace"
+)
+
+func runTool(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestGenerateToStdout(t *testing.T) {
+	code, out, errOut := runTool(t, "-topology", "star:4", "-messages", "10", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	tr, err := trace.ReadText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("output not parseable: %v", err)
+	}
+	if tr.N != 4 || tr.NumMessages() != 10 {
+		t.Fatalf("N=%d msgs=%d", tr.N, tr.NumMessages())
+	}
+}
+
+func TestGenerateToFileDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "a.trace")
+	f2 := filepath.Join(dir, "b.trace")
+	for _, f := range []string{f1, f2} {
+		code, _, errOut := runTool(t, "-topology", "complete:5", "-messages", "20", "-seed", "9", "-o", f)
+		if code != 0 {
+			t.Fatalf("exit %d: %s", code, errOut)
+		}
+	}
+	b1, err := os.ReadFile(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same seed produced different traces")
+	}
+}
+
+func TestHelpTopologies(t *testing.T) {
+	code, out, _ := runTool(t, "-help-topologies")
+	if code != 0 || !strings.Contains(out, "clientserver") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}
+
+func TestInternalEvents(t *testing.T) {
+	code, out, _ := runTool(t, "-topology", "path:3", "-messages", "50", "-internal", "0.4", "-seed", "2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	tr, err := trace.ReadText(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumInternal() == 0 {
+		t.Fatal("expected internal events")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-topology", "bogus:3"},
+		{"-topology", "star:4", "-messages", "-1"},
+		{"-topology", "star:4", "-internal", "1.5"},
+		{"-notaflag"},
+		{"-topology", "star:4", "-o", filepath.Join(t.TempDir(), "no", "such", "dir", "x")},
+	}
+	for _, args := range cases {
+		if code, _, _ := runTool(t, args...); code == 0 {
+			t.Errorf("args %v succeeded, want failure", args)
+		}
+	}
+}
+
+func TestWorkloads(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int
+		msgs int
+	}{
+		{"rpc:2x3x2", 5, 24},
+		{"ring:5x2", 5, 10},
+		{"treegs:2x2x1", 7, 12},
+		{"pipeline:4x3", 4, 9},
+	}
+	for _, tc := range cases {
+		code, out, errOut := runTool(t, "-workload", tc.spec)
+		if code != 0 {
+			t.Fatalf("%s: exit %d: %s", tc.spec, code, errOut)
+		}
+		tr, err := trace.ReadText(strings.NewReader(out))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		if tr.N != tc.n || tr.NumMessages() != tc.msgs {
+			t.Fatalf("%s: N=%d msgs=%d, want N=%d msgs=%d", tc.spec, tr.N, tr.NumMessages(), tc.n, tc.msgs)
+		}
+	}
+}
+
+func TestWorkloadErrors(t *testing.T) {
+	for _, spec := range []string{"rpc", "rpc:2x3", "rpc:axb xc", "ring:2x1", "pipeline:1x1", "zzz:1x2", "rpc:0x1x1"} {
+		if code, _, _ := runTool(t, "-workload", spec); code == 0 {
+			t.Errorf("workload %q succeeded, want failure", spec)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleTrace = "n 4\nm 0 1\nm 2 3\nm 1 2\nm 2 3\nm 3 0\nm 0 1\n"
+
+func runTool(t *testing.T, stdin io.Reader, args ...string) (int, string, string) {
+	t.Helper()
+	if stdin == nil {
+		stdin = strings.NewReader("")
+	}
+	var out, errOut bytes.Buffer
+	code := run(args, stdin, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestOnlineFromStdinVerify(t *testing.T) {
+	code, out, errOut := runTool(t, strings.NewReader(sampleTrace), "-mode", "online", "-verify")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"mode=online", "m1", "VERIFY: stamps consistent"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllModesVerify(t *testing.T) {
+	for _, mode := range []string{"online", "offline", "fm", "lamport", "plausible"} {
+		code, out, errOut := runTool(t, strings.NewReader(sampleTrace), "-mode", mode, "-verify")
+		if code != 0 {
+			t.Fatalf("mode %s: exit %d: %s\n%s", mode, code, errOut, out)
+		}
+		if !strings.Contains(out, "VERIFY: stamps consistent") {
+			t.Fatalf("mode %s did not verify:\n%s", mode, out)
+		}
+	}
+}
+
+func TestDiagramAndMatrix(t *testing.T) {
+	code, out, _ := runTool(t, strings.NewReader(sampleTrace), "-diagram", "-matrix")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "P1") || !strings.Contains(out, "m1  ") {
+		t.Fatalf("diagram/matrix missing:\n%s", out)
+	}
+}
+
+func TestTraceFileAndDecompFile(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "t.trace")
+	if err := os.WriteFile(traceFile, []byte("n 3\nm 0 1\nm 1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	decompFile := filepath.Join(dir, "d.txt")
+	// Star at process 1 covers both channels.
+	if err := os.WriteFile(decompFile, []byte("n 3\nstar 1 0 1 1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runTool(t, nil, "-trace", traceFile, "-decomp", decompFile, "-verify")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "d=1") {
+		t.Fatalf("expected d=1 from the provided decomposition:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	badDecomp := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(badDecomp, []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	okTrace := filepath.Join(dir, "ok.trace")
+	if err := os.WriteFile(okTrace, []byte(sampleTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		stdin string
+		args  []string
+	}{
+		{"not a trace", nil},
+		{sampleTrace, []string{"-mode", "zzz"}},
+		{"", []string{"-trace", filepath.Join(dir, "missing")}},
+		{"", []string{"-trace", okTrace, "-decomp", badDecomp}},
+		{sampleTrace, []string{"-badflag"}},
+		// Decomposition that does not cover the trace's channels.
+		{"n 3\nm 0 2\n", []string{"-decomp", mkDecomp(t, dir)}},
+	}
+	for _, tc := range cases {
+		if code, _, _ := runTool(t, strings.NewReader(tc.stdin), tc.args...); code == 0 {
+			t.Errorf("args %v succeeded, want failure", tc.args)
+		}
+	}
+}
+
+func mkDecomp(t *testing.T, dir string) string {
+	t.Helper()
+	p := filepath.Join(dir, "partial.txt")
+	if err := os.WriteFile(p, []byte("n 3\nstar 0 0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, errOut := runTool(t, strings.NewReader(sampleTrace), "-json")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var parsed []struct {
+		Index int   `json:"index"`
+		From  int   `json:"from"`
+		To    int   `json:"to"`
+		Stamp []int `json:"stamp"`
+	}
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, out)
+	}
+	if len(parsed) != 6 {
+		t.Fatalf("parsed %d messages, want 6", len(parsed))
+	}
+	if parsed[0].From != 0 || parsed[0].To != 1 || len(parsed[0].Stamp) == 0 {
+		t.Fatalf("first message: %+v", parsed[0])
+	}
+	if !strings.Contains(errOut, "mode=online") {
+		t.Fatalf("mode header should move to stderr in JSON mode: %q", errOut)
+	}
+}

@@ -1,0 +1,103 @@
+// Client-server: the paper's Section 3.3 motivating scenario. With a
+// constant number of servers and any number of clients interacting through
+// synchronous RPC, the online algorithm needs only #servers vector
+// components per message — Fidge–Mattern needs one per process.
+//
+//	go run ./examples/clientserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"syncstamp"
+)
+
+const (
+	servers = 2
+	clients = 12
+	rpcs    = 3 // synchronous RPCs per client per server
+)
+
+func main() {
+	topo := syncstamp.ClientServer(servers, clients)
+	// One star rooted at each server (Theorem 5's construction).
+	dec, err := syncstamp.DecomposeServers(topo, []int{0, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := servers + clients
+	fmt.Printf("%d servers, %d clients: vector size d = %d; Fidge–Mattern would use %d\n",
+		servers, clients, dec.D(), n)
+
+	programs := make([]func(*syncstamp.Process) error, n)
+	for s := 0; s < servers; s++ {
+		programs[s] = func(p *syncstamp.Process) error {
+			// Each client issues rpcs requests to each server.
+			for i := 0; i < clients*rpcs; i++ {
+				req, err := p.Recv()
+				if err != nil {
+					return err
+				}
+				if _, err := p.Send(req.From, fmt.Sprintf("done:%v", req.Payload)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	for c := 0; c < clients; c++ {
+		client := servers + c
+		programs[client] = func(p *syncstamp.Process) error {
+			for r := 0; r < rpcs; r++ {
+				for s := 0; s < servers; s++ {
+					if _, err := p.Send(s, fmt.Sprintf("job-%d-%d", p.ID(), r)); err != nil {
+						return err
+					}
+					if _, err := p.RecvFrom(s); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+	}
+
+	res, err := syncstamp.Run(dec, programs, 30*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	total := res.Trace.NumMessages()
+	fmt.Printf("ran %d synchronous messages; every timestamp has %d components\n", total, dec.D())
+
+	// Show that the tiny vectors still answer order queries exactly.
+	p := syncstamp.MessageOrder(res.Trace)
+	agree := 0
+	for i := 0; i < total; i++ {
+		for j := 0; j < total; j++ {
+			if i == j {
+				continue
+			}
+			if syncstamp.Precedes(res.Stamps[i], res.Stamps[j]) == p.Less(i, j) {
+				agree++
+			}
+		}
+	}
+	fmt.Printf("order agreement with ground truth: %d/%d ordered pairs\n", agree, total*(total-1))
+
+	conc := syncstamp.ConcurrentMessages(res.Stamps)
+	fmt.Printf("concurrent message pairs detected: %d\n", len(conc))
+
+	// Overhead comparison: bytes piggybacked per message.
+	online, fm := 0, 0
+	fmStamps := syncstamp.StampFM(res.Trace)
+	for i := range res.Stamps {
+		online += res.Stamps[i].EncodedSize()
+		fm += fmStamps[i].EncodedSize()
+	}
+	fmt.Printf("piggyback bytes/message: edge-decomp %.1f vs Fidge–Mattern %.1f\n",
+		float64(online)/float64(total), float64(fm)/float64(total))
+	fmt.Println("add more clients and d stays at", dec.D(), "— that is the paper's point.")
+}

@@ -1,0 +1,88 @@
+// Recovery: the optimistic-recovery application of the paper's introduction
+// (Strom–Yemini, Damani–Garg). A process crashes and rolls back to its last
+// checkpoint; every message that causally depends on its lost state is an
+// orphan and must be undone too. The timestamps identify the orphan set
+// without any extra bookkeeping, and the survivors always form a consistent
+// (causally closed) prefix that can be replayed.
+//
+//	go run ./examples/recovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"syncstamp"
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/monitor"
+	"syncstamp/internal/order"
+	"syncstamp/internal/trace"
+)
+
+func main() {
+	// A 2-server, 4-client system; clients work through both servers.
+	const servers, clients = 2, 4
+	topo := syncstamp.ClientServer(servers, clients)
+	dec, err := decomp.FromVertexCover(topo, []int{0, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := trace.RPCWorkload(servers, clients, 2)
+	stamps, err := syncstamp.StampTrace(tr, dec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system: %d processes, %d messages, %d-component stamps\n",
+		topo.N(), len(stamps), dec.D())
+
+	// Client P4 (process 3) crashes having checkpointed before its second
+	// round: all its round-2 messages are lost.
+	const crashed = 3
+	var lost []syncstamp.Vector
+	var lostIdx []int
+	msgs := tr.Messages()
+	seen := 0
+	for i, m := range msgs {
+		if m.From == crashed || m.To == crashed {
+			seen++
+			if seen > 2*servers { // first round survives the checkpoint
+				lost = append(lost, stamps[i])
+				lostIdx = append(lostIdx, i)
+			}
+		}
+	}
+	fmt.Printf("\nP%d rolls back past %d of its messages: ", crashed+1, len(lostIdx))
+	for _, i := range lostIdx {
+		fmt.Printf("m%d ", i+1)
+	}
+	fmt.Println()
+
+	orphans := monitor.Orphans(stamps, lost)
+	fmt.Printf("orphan set (must also roll back): %d messages:", len(orphans))
+	for _, o := range orphans {
+		fmt.Printf(" m%d", o+1)
+	}
+	fmt.Println()
+
+	// The survivors are causally closed: no surviving message depends on an
+	// orphan — so the system can resume from exactly this set.
+	orphaned := make(map[int]bool, len(orphans))
+	for _, o := range orphans {
+		orphaned[o] = true
+	}
+	p := order.MessagePoset(tr)
+	for i := range stamps {
+		if orphaned[i] {
+			continue
+		}
+		for _, o := range orphans {
+			if p.Less(o, i) {
+				log.Fatalf("survivor m%d depends on orphan m%d — recovery inconsistent", i+1, o+1)
+			}
+		}
+	}
+	fmt.Printf("\nsurvivors: %d messages, causally closed — safe recovery line found\n",
+		len(stamps)-len(orphans))
+	fmt.Println("(every dependency of a survivor survived; the orphan test is just a")
+	fmt.Printf(" %d-component vector comparison per message)\n", dec.D())
+}

@@ -1,0 +1,3 @@
+module syncstamp
+
+go 1.22

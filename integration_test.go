@@ -1,0 +1,137 @@
+package syncstamp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"syncstamp/internal/chainclock"
+	"syncstamp/internal/cluster"
+	"syncstamp/internal/core"
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+	"syncstamp/internal/offline"
+	"syncstamp/internal/order"
+	"syncstamp/internal/trace"
+	"syncstamp/internal/vclock"
+	"syncstamp/internal/vector"
+)
+
+// mechanism is anything that produces message stamps claiming to
+// characterize ↦ exactly (the order-preserving-only baselines are checked
+// separately with a weaker contract).
+type mechanism struct {
+	name  string
+	exact bool
+	stamp func(tr *trace.Trace, topo *graph.Graph) ([]vector.V, error)
+}
+
+func allMechanisms() []mechanism {
+	return []mechanism{
+		{"online/fig7", true, func(tr *trace.Trace, topo *graph.Graph) ([]vector.V, error) {
+			return core.StampTrace(tr, decomp.Approximate(topo))
+		}},
+		{"online/best", true, func(tr *trace.Trace, topo *graph.Graph) ([]vector.V, error) {
+			return core.StampTrace(tr, decomp.Best(topo))
+		}},
+		{"online/trivial-stars", true, func(tr *trace.Trace, topo *graph.Graph) ([]vector.V, error) {
+			return core.StampTrace(tr, decomp.TrivialStars(topo))
+		}},
+		{"offline", true, func(tr *trace.Trace, _ *graph.Graph) ([]vector.V, error) {
+			res, err := offline.Stamp(tr)
+			if err != nil {
+				return nil, err
+			}
+			return res.Stamps, nil
+		}},
+		{"fidge-mattern", true, func(tr *trace.Trace, _ *graph.Graph) ([]vector.V, error) {
+			return vclock.FM{}.StampTrace(tr), nil
+		}},
+		{"singhal-kshemkalyani", true, func(tr *trace.Trace, _ *graph.Graph) ([]vector.V, error) {
+			return vclock.SK{}.StampTrace(tr), nil
+		}},
+		{"chain-clocks", true, func(tr *trace.Trace, _ *graph.Graph) ([]vector.V, error) {
+			return chainclock.StampTrace(tr).Stamps, nil
+		}},
+		{"lamport", false, func(tr *trace.Trace, _ *graph.Graph) ([]vector.V, error) {
+			return vclock.Lamport{}.StampTrace(tr), nil
+		}},
+		{"plausible-R3", false, func(tr *trace.Trace, _ *graph.Graph) ([]vector.V, error) {
+			return vclock.Plausible{R: 3}.StampTrace(tr), nil
+		}},
+	}
+}
+
+type workloadCase struct {
+	name string
+	topo *graph.Graph
+	tr   *trace.Trace
+}
+
+func allWorkloads() []workloadCase {
+	return []workloadCase{
+		{"rpc 2x4x3", graph.ClientServer(2, 4, false), trace.RPCWorkload(2, 4, 3)},
+		{"ring 6x3", graph.Cycle(6), trace.RingToken(6, 3)},
+		{"tree gather-scatter", graph.BalancedTree(2, 2), trace.TreeGatherScatter(2, 2, 2)},
+		{"pipeline 4x5", graph.Path(4), trace.Pipeline(4, 5)},
+		{"figure1", trace.Figure1().Topology(), trace.Figure1()},
+		{"figure6", graph.Complete(5), trace.Figure6()},
+	}
+}
+
+// TestIntegrationMatrix cross-checks every mechanism against the oracle on
+// every structured workload: exact mechanisms must match ↦ on all pairs,
+// order-preserving ones must never miss a true order.
+func TestIntegrationMatrix(t *testing.T) {
+	for _, wl := range allWorkloads() {
+		p := order.MessagePoset(wl.tr)
+		for _, m := range allMechanisms() {
+			t.Run(fmt.Sprintf("%s/%s", wl.name, m.name), func(t *testing.T) {
+				stamps, err := m.stamp(wl.tr, wl.topo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(stamps) != wl.tr.NumMessages() {
+					t.Fatalf("stamped %d of %d messages", len(stamps), wl.tr.NumMessages())
+				}
+				for i := range stamps {
+					for j := range stamps {
+						if i == j {
+							continue
+						}
+						got := vector.Less(stamps[i], stamps[j])
+						want := p.Less(i, j)
+						if m.exact && got != want {
+							t.Fatalf("pair (%d,%d): got %v want %v (%v vs %v)",
+								i, j, got, want, stamps[i], stamps[j])
+						}
+						if !m.exact && want && !got {
+							t.Fatalf("pair (%d,%d): true order missed", i, j)
+						}
+					}
+				}
+			})
+		}
+		// The cluster scheme has its own query API.
+		t.Run(fmt.Sprintf("%s/cluster", wl.name), func(t *testing.T) {
+			part, err := cluster.Contiguous(wl.tr.N, (wl.tr.N+1)/2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := cluster.Stamp(wl.tr, part)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < p.N(); i++ {
+				for j := 0; j < p.N(); j++ {
+					if i == j {
+						continue
+					}
+					got, _ := res.Precedes(i, j)
+					if got != p.Less(i, j) {
+						t.Fatalf("pair (%d,%d): cluster scheme wrong", i, j)
+					}
+				}
+			}
+		})
+	}
+}

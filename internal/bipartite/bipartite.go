@@ -1,0 +1,181 @@
+// Package bipartite implements maximum bipartite matching (Hopcroft–Karp)
+// and minimum vertex cover via König's theorem. It is the combinatorial
+// substrate behind two parts of the paper:
+//
+//   - Dilworth's theorem (Section 4): the width of the message poset and a
+//     minimum chain partition are computed by matching in the split graph of
+//     the order relation, giving the offline algorithm its ⌊N/2⌋-size bound.
+//   - Vertex covers (Section 3.3, Theorem 5): star-only edge decompositions
+//     correspond exactly to vertex covers of the communication topology.
+package bipartite
+
+import (
+	"fmt"
+	"math"
+)
+
+// Graph is a bipartite graph with nLeft left vertices and nRight right
+// vertices; adjacency is stored left-to-right. Construct with New.
+type Graph struct {
+	nLeft, nRight int
+	adj           [][]int
+}
+
+// New returns an empty bipartite graph with the given side sizes.
+func New(nLeft, nRight int) *Graph {
+	if nLeft < 0 || nRight < 0 {
+		panic(fmt.Sprintf("bipartite: negative side size (%d,%d)", nLeft, nRight))
+	}
+	return &Graph{
+		nLeft:  nLeft,
+		nRight: nRight,
+		adj:    make([][]int, nLeft),
+	}
+}
+
+// NLeft returns the number of left vertices.
+func (g *Graph) NLeft() int { return g.nLeft }
+
+// NRight returns the number of right vertices.
+func (g *Graph) NRight() int { return g.nRight }
+
+// AddEdge inserts an edge from left vertex l to right vertex r.
+// Duplicate edges are permitted and harmless.
+func (g *Graph) AddEdge(l, r int) {
+	if l < 0 || l >= g.nLeft {
+		panic(fmt.Sprintf("bipartite: left vertex %d out of range [0,%d)", l, g.nLeft))
+	}
+	if r < 0 || r >= g.nRight {
+		panic(fmt.Sprintf("bipartite: right vertex %d out of range [0,%d)", r, g.nRight))
+	}
+	g.adj[l] = append(g.adj[l], r)
+}
+
+// Matching is the result of a maximum-matching computation.
+// MatchL[l] is the right vertex matched to left vertex l, or -1.
+// MatchR[r] is the left vertex matched to right vertex r, or -1.
+type Matching struct {
+	MatchL []int
+	MatchR []int
+	Size   int
+}
+
+const inf = math.MaxInt32
+
+// MaxMatching computes a maximum matching with the Hopcroft–Karp algorithm
+// in O(E sqrt(V)).
+func (g *Graph) MaxMatching() *Matching {
+	matchL := make([]int, g.nLeft)
+	matchR := make([]int, g.nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, g.nLeft)
+	queue := make([]int, 0, g.nLeft)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for l := 0; l < g.nLeft; l++ {
+			if matchL[l] == -1 {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			l := queue[qi]
+			for _, r := range g.adj[l] {
+				nl := matchR[r]
+				if nl == -1 {
+					found = true
+				} else if dist[nl] == inf {
+					dist[nl] = dist[l] + 1
+					queue = append(queue, nl)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(l int) bool
+	dfs = func(l int) bool {
+		for _, r := range g.adj[l] {
+			nl := matchR[r]
+			if nl == -1 || (dist[nl] == dist[l]+1 && dfs(nl)) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = inf
+		return false
+	}
+
+	size := 0
+	for bfs() {
+		for l := 0; l < g.nLeft; l++ {
+			if matchL[l] == -1 && dfs(l) {
+				size++
+			}
+		}
+	}
+	return &Matching{MatchL: matchL, MatchR: matchR, Size: size}
+}
+
+// Cover is a vertex cover of a bipartite graph, split by side.
+type Cover struct {
+	Left  []int
+	Right []int
+}
+
+// Size returns the total number of cover vertices.
+func (c *Cover) Size() int { return len(c.Left) + len(c.Right) }
+
+// MinVertexCover computes a minimum vertex cover from a maximum matching via
+// König's theorem: |cover| = |matching|. The complementary independent set
+// is a maximum independent set; for split graphs of posets it corresponds to
+// a maximum antichain (used by internal/poset).
+func (g *Graph) MinVertexCover() (*Cover, *Matching) {
+	m := g.MaxMatching()
+	// König: start from unmatched left vertices, alternate unmatched/matched
+	// edges; cover = (left not visited) ∪ (right visited).
+	visitedL := make([]bool, g.nLeft)
+	visitedR := make([]bool, g.nRight)
+	queue := make([]int, 0, g.nLeft)
+	for l := 0; l < g.nLeft; l++ {
+		if m.MatchL[l] == -1 {
+			visitedL[l] = true
+			queue = append(queue, l)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		l := queue[qi]
+		for _, r := range g.adj[l] {
+			if visitedR[r] {
+				continue
+			}
+			visitedR[r] = true
+			if nl := m.MatchR[r]; nl != -1 && !visitedL[nl] {
+				visitedL[nl] = true
+				queue = append(queue, nl)
+			}
+		}
+	}
+	cover := &Cover{}
+	for l := 0; l < g.nLeft; l++ {
+		if !visitedL[l] {
+			cover.Left = append(cover.Left, l)
+		}
+	}
+	for r := 0; r < g.nRight; r++ {
+		if visitedR[r] {
+			cover.Right = append(cover.Right, r)
+		}
+	}
+	return cover, m
+}

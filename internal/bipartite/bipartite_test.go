@@ -1,0 +1,240 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(3, 3)
+	m := g.MaxMatching()
+	if m.Size != 0 {
+		t.Fatalf("empty graph matching size = %d, want 0", m.Size)
+	}
+	cover, _ := g.MinVertexCover()
+	if cover.Size() != 0 {
+		t.Fatalf("empty graph cover size = %d, want 0", cover.Size())
+	}
+}
+
+func TestPerfectMatching(t *testing.T) {
+	g := New(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	m := g.MaxMatching()
+	if m.Size != 3 {
+		t.Fatalf("K3,3 matching size = %d, want 3", m.Size)
+	}
+	validateMatching(t, g, m)
+}
+
+func TestSingleEdge(t *testing.T) {
+	g := New(1, 1)
+	g.AddEdge(0, 0)
+	m := g.MaxMatching()
+	if m.Size != 1 || m.MatchL[0] != 0 || m.MatchR[0] != 0 {
+		t.Fatalf("matching = %+v", m)
+	}
+}
+
+func TestAugmentingPathNeeded(t *testing.T) {
+	// L0-R0, L1-{R0,R1}: greedy can match L0-R0 and then L1 must augment.
+	g := New(2, 2)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 1)
+	m := g.MaxMatching()
+	if m.Size != 2 {
+		t.Fatalf("matching size = %d, want 2", m.Size)
+	}
+	validateMatching(t, g, m)
+}
+
+func TestStarGraph(t *testing.T) {
+	// One left vertex adjacent to many right vertices: matching is 1.
+	g := New(1, 5)
+	for r := 0; r < 5; r++ {
+		g.AddEdge(0, r)
+	}
+	if m := g.MaxMatching(); m.Size != 1 {
+		t.Fatalf("star matching size = %d, want 1", m.Size)
+	}
+	// Many left adjacent to one right: still 1.
+	g2 := New(5, 1)
+	for l := 0; l < 5; l++ {
+		g2.AddEdge(l, 0)
+	}
+	if m := g2.MaxMatching(); m.Size != 1 {
+		t.Fatalf("reverse star matching size = %d, want 1", m.Size)
+	}
+}
+
+func TestDuplicateEdges(t *testing.T) {
+	g := New(2, 2)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	m := g.MaxMatching()
+	if m.Size != 2 {
+		t.Fatalf("matching size = %d, want 2", m.Size)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	g := New(2, 2)
+	for _, fn := range []func(){
+		func() { g.AddEdge(-1, 0) },
+		func() { g.AddEdge(0, 2) },
+		func() { New(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestKonigCoverValid(t *testing.T) {
+	g := New(4, 4)
+	edges := [][2]int{{0, 0}, {0, 1}, {1, 1}, {2, 1}, {2, 2}, {3, 3}}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	cover, m := g.MinVertexCover()
+	if cover.Size() != m.Size {
+		t.Fatalf("König violated: cover=%d matching=%d", cover.Size(), m.Size)
+	}
+	assertCovers(t, edges, cover)
+}
+
+func validateMatching(t *testing.T, g *Graph, m *Matching) {
+	t.Helper()
+	seenR := map[int]bool{}
+	count := 0
+	for l, r := range m.MatchL {
+		if r == -1 {
+			continue
+		}
+		count++
+		if seenR[r] {
+			t.Fatalf("right vertex %d matched twice", r)
+		}
+		seenR[r] = true
+		if m.MatchR[r] != l {
+			t.Fatalf("inconsistent matching: MatchL[%d]=%d but MatchR[%d]=%d", l, r, r, m.MatchR[r])
+		}
+	}
+	if count != m.Size {
+		t.Fatalf("Size=%d but %d left vertices are matched", m.Size, count)
+	}
+}
+
+func assertCovers(t *testing.T, edges [][2]int, cover *Cover) {
+	t.Helper()
+	inL := map[int]bool{}
+	inR := map[int]bool{}
+	for _, l := range cover.Left {
+		inL[l] = true
+	}
+	for _, r := range cover.Right {
+		inR[r] = true
+	}
+	for _, e := range edges {
+		if !inL[e[0]] && !inR[e[1]] {
+			t.Fatalf("edge %v not covered by %+v", e, cover)
+		}
+	}
+}
+
+// bruteMaxMatching computes maximum matching by exhaustive search
+// (for small graphs only).
+func bruteMaxMatching(nLeft int, adj [][]int) int {
+	usedR := map[int]bool{}
+	var rec func(l int) int
+	rec = func(l int) int {
+		if l == nLeft {
+			return 0
+		}
+		best := rec(l + 1) // leave l unmatched
+		for _, r := range adj[l] {
+			if !usedR[r] {
+				usedR[r] = true
+				if v := 1 + rec(l+1); v > best {
+					best = v
+				}
+				delete(usedR, r)
+			}
+		}
+		return best
+	}
+	return rec(0)
+}
+
+// Property: Hopcroft–Karp size equals brute-force optimum, matching is valid,
+// and the König cover is a valid cover of size equal to the matching.
+func TestQuickMatchingOptimalAndCoverValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := 1+rng.Intn(7), 1+rng.Intn(7)
+		g := New(nl, nr)
+		var edges [][2]int
+		for l := 0; l < nl; l++ {
+			for r := 0; r < nr; r++ {
+				if rng.Float64() < 0.4 {
+					g.AddEdge(l, r)
+					edges = append(edges, [2]int{l, r})
+				}
+			}
+		}
+		m := g.MaxMatching()
+		if m.Size != bruteMaxMatching(nl, g.adj) {
+			return false
+		}
+		cover, m2 := g.MinVertexCover()
+		if cover.Size() != m2.Size {
+			return false
+		}
+		inL := map[int]bool{}
+		inR := map[int]bool{}
+		for _, l := range cover.Left {
+			inL[l] = true
+		}
+		for _, r := range cover.Right {
+			inR[r] = true
+		}
+		for _, e := range edges {
+			if !inL[e[0]] && !inR[e[1]] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMaxMatching(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := New(200, 200)
+	for l := 0; l < 200; l++ {
+		for r := 0; r < 200; r++ {
+			if rng.Float64() < 0.05 {
+				g.AddEdge(l, r)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MaxMatching()
+	}
+}

@@ -1,0 +1,276 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len() = %d, want 130", s.Len())
+	}
+	if s.Any() {
+		t.Fatal("new set should be empty")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count() = %d, want 0", s.Count())
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddHasRemove(t *testing.T) {
+	s := New(200)
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, i := range idx {
+		s.Add(i)
+	}
+	for _, i := range idx {
+		if !s.Has(i) {
+			t.Errorf("Has(%d) = false after Add", i)
+		}
+	}
+	if s.Count() != len(idx) {
+		t.Fatalf("Count() = %d, want %d", s.Count(), len(idx))
+	}
+	for _, i := range idx {
+		s.Remove(i)
+		if s.Has(i) {
+			t.Errorf("Has(%d) = true after Remove", i)
+		}
+	}
+	if s.Any() {
+		t.Fatal("set should be empty after removals")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%d) did not panic", i)
+				}
+			}()
+			s.Add(i)
+		}()
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Or with mismatched capacity did not panic")
+		}
+	}()
+	a.Or(b)
+}
+
+func TestSetOps(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	for i := 0; i < 100; i += 2 {
+		a.Add(i)
+	}
+	for i := 0; i < 100; i += 3 {
+		b.Add(i)
+	}
+
+	union := a.Clone()
+	union.Or(b)
+	inter := a.Clone()
+	inter.And(b)
+	diff := a.Clone()
+	diff.AndNot(b)
+
+	for i := 0; i < 100; i++ {
+		inA, inB := i%2 == 0, i%3 == 0
+		if union.Has(i) != (inA || inB) {
+			t.Errorf("union.Has(%d) = %v", i, union.Has(i))
+		}
+		if inter.Has(i) != (inA && inB) {
+			t.Errorf("inter.Has(%d) = %v", i, inter.Has(i))
+		}
+		if diff.Has(i) != (inA && !inB) {
+			t.Errorf("diff.Has(%d) = %v", i, diff.Has(i))
+		}
+	}
+	if !a.Intersects(b) {
+		t.Fatal("a and b share bit 0, Intersects = false")
+	}
+	if !inter.IsSubset(a) || !inter.IsSubset(b) {
+		t.Fatal("intersection must be a subset of both operands")
+	}
+}
+
+func TestIntersectsDisjoint(t *testing.T) {
+	a, b := New(128), New(128)
+	a.Add(1)
+	b.Add(2)
+	if a.Intersects(b) {
+		t.Fatal("disjoint sets reported as intersecting")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(70), New(70)
+	a.Add(69)
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+	b.Add(69)
+	if !a.Equal(b) {
+		t.Fatal("equal sets reported unequal")
+	}
+	if a.Equal(New(71)) {
+		t.Fatal("sets of different capacity reported equal")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(64)
+	a.Add(5)
+	c := a.Clone()
+	c.Add(6)
+	if a.Has(6) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !c.Has(5) {
+		t.Fatal("clone lost original bit")
+	}
+}
+
+func TestForEachOrderAndEarlyStop(t *testing.T) {
+	s := New(300)
+	want := []int{3, 64, 65, 190, 299}
+	for _, i := range want {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d bits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order got %v, want %v", got, want)
+		}
+	}
+
+	var visited int
+	s.ForEach(func(int) bool {
+		visited++
+		return visited < 2
+	})
+	if visited != 2 {
+		t.Fatalf("early stop visited %d, want 2", visited)
+	}
+}
+
+func TestSliceAndString(t *testing.T) {
+	s := New(10)
+	s.Add(1)
+	s.Add(4)
+	s.Add(7)
+	got := s.Slice()
+	want := []int{1, 4, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice() = %v, want %v", got, want)
+		}
+	}
+	if s.String() != "{1, 4, 7}" {
+		t.Fatalf("String() = %q", s.String())
+	}
+	if New(5).String() != "{}" {
+		t.Fatalf("empty String() = %q", New(5).String())
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := New(128)
+	for i := 0; i < 128; i++ {
+		s.Add(i)
+	}
+	s.Clear()
+	if s.Any() || s.Count() != 0 {
+		t.Fatal("Clear left bits behind")
+	}
+}
+
+// Property: for random membership vectors, Count equals the number of Has
+// hits and Slice round-trips through Add.
+func TestQuickCountMatchesMembership(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := New(n)
+		member := make(map[int]bool)
+		for k := 0; k < n; k++ {
+			if rng.Intn(2) == 0 {
+				i := rng.Intn(n)
+				s.Add(i)
+				member[i] = true
+			}
+		}
+		if s.Count() != len(member) {
+			return false
+		}
+		for _, i := range s.Slice() {
+			if !member[i] {
+				return false
+			}
+		}
+		rebuilt := New(n)
+		for _, i := range s.Slice() {
+			rebuilt.Add(i)
+		}
+		return rebuilt.Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan-ish identity — (a ∪ b) \ b ⊆ a and a \ b disjoint from b.
+func TestQuickSetAlgebra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 150
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Add(i)
+			}
+		}
+		u := a.Clone()
+		u.Or(b)
+		u.AndNot(b)
+		if !u.IsSubset(a) {
+			return false
+		}
+		d := a.Clone()
+		d.AndNot(b)
+		return !d.Intersects(b) || !d.Any()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

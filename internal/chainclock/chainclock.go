@@ -1,0 +1,140 @@
+// Package chainclock implements a centralized, online chain-partition
+// timestamping scheme for message posets — the family of "dimension-bounded"
+// mechanisms the paper contrasts itself with in Section 6 (Ward's framework
+// algorithm and the Ward–Taylor hierarchical clocks). Messages are assigned,
+// in arrival order, to chains of the poset (M, ↦); the timestamp of a
+// message is the vector whose c-th component counts the elements of chain c
+// below-or-equal to it. Such vectors characterize ↦ exactly:
+//
+//	m1 ↦ m2 ⟺ v(m1) < v(m2)
+//
+// because component chain(m1) compares m1's position against how much of
+// that chain m2 dominates.
+//
+// The contrasts the paper draws hold structurally here:
+//
+//   - the scheme is centralized: it needs the arrival order and the chain
+//     table, where the paper's online algorithm is fully distributed;
+//   - the number of chains (the final vector size) depends on the
+//     computation and the arrival order, not just the topology, and can
+//     exceed the poset width (first-fit online chain partitioning is not
+//     optimal); stamps issued before a chain existed are implicitly padded
+//     with zeros, so early stamps are "short" until finalized.
+//
+// Experiment E17 compares the resulting sizes against the online
+// algorithm's d and the offline width.
+package chainclock
+
+import (
+	"fmt"
+
+	"syncstamp/internal/trace"
+	"syncstamp/internal/vector"
+)
+
+// Result is the outcome of chain-clock stamping.
+type Result struct {
+	// Chains is the number of chains used — the final vector size.
+	Chains int
+	// Stamps are the message timestamps, padded to Chains components.
+	Stamps []vector.V
+	// ChainOf maps each message to its chain.
+	ChainOf []int
+}
+
+// StampTrace assigns chain-clock timestamps to every message of tr.
+// Messages are processed in trace order (a linear extension of ↦), each
+// appended to an existing chain whose whole content it dominates —
+// preferring a predecessor's chain, then first fit — or to a fresh chain.
+func StampTrace(tr *trace.Trace) *Result {
+	res := &Result{}
+	last := make([]int, tr.N) // last message per process, -1 if none
+	for i := range last {
+		last[i] = -1
+	}
+	var chainLen []int // current length of each chain
+
+	idx := 0
+	for _, op := range tr.Ops {
+		if op.Kind != trace.OpMessage {
+			continue
+		}
+		// v = componentwise max over predecessors' stamps (padded).
+		v := vector.New(len(chainLen))
+		var preds []int
+		for _, proc := range []int{op.From, op.To} {
+			if p := last[proc]; p != -1 {
+				preds = append(preds, p)
+				pv := res.Stamps[p]
+				for k := range pv {
+					if pv[k] > v[k] {
+						v[k] = pv[k]
+					}
+				}
+			}
+		}
+		// A chain c can host the new message iff the message dominates all
+		// of c: v[c] == len(c). Prefer a predecessor's chain.
+		chain := -1
+		for _, p := range preds {
+			c := res.ChainOf[p]
+			if v[c] == chainLen[c] {
+				chain = c
+				break
+			}
+		}
+		if chain == -1 {
+			for c := range chainLen {
+				if v[c] == chainLen[c] {
+					chain = c
+					break
+				}
+			}
+		}
+		if chain == -1 {
+			chain = len(chainLen)
+			chainLen = append(chainLen, 0)
+			v = append(v, 0)
+		}
+		chainLen[chain]++
+		v[chain] = chainLen[chain]
+
+		res.Stamps = append(res.Stamps, v)
+		res.ChainOf = append(res.ChainOf, chain)
+		last[op.From] = idx
+		last[op.To] = idx
+		idx++
+	}
+	res.Chains = len(chainLen)
+	// Pad early stamps: components for chains created later are zero
+	// (everything in those chains arrived later in a linear extension, so
+	// none of it is below an earlier message).
+	for i, s := range res.Stamps {
+		if len(s) < res.Chains {
+			padded := vector.New(res.Chains)
+			copy(padded, s)
+			res.Stamps[i] = padded
+		}
+	}
+	return res
+}
+
+// Precedes reports m1 ↦ m2 from two (finalized) chain-clock stamps.
+func Precedes(v1, v2 vector.V) bool { return vector.Less(v1, v2) }
+
+// Verify checks internal consistency: every stamp has Chains components and
+// each message's own-chain component equals its position in the chain.
+func (r *Result) Verify() error {
+	pos := make([]int, r.Chains)
+	for i, s := range r.Stamps {
+		if len(s) != r.Chains {
+			return fmt.Errorf("chainclock: stamp %d has %d components, want %d", i, len(s), r.Chains)
+		}
+		c := r.ChainOf[i]
+		pos[c]++
+		if s[c] != pos[c] {
+			return fmt.Errorf("chainclock: stamp %d own-chain component %d != position %d", i, s[c], pos[c])
+		}
+	}
+	return nil
+}

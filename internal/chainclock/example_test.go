@@ -1,0 +1,29 @@
+package chainclock_test
+
+import (
+	"fmt"
+
+	"syncstamp/internal/chainclock"
+	"syncstamp/internal/trace"
+)
+
+// Chain clocks on two interleaved but independent conversations: two
+// chains, and the stamps characterize ↦ exactly.
+func ExampleStampTrace() {
+	tr := &trace.Trace{N: 4}
+	tr.MustAppend(trace.Message(0, 1)) // conversation A
+	tr.MustAppend(trace.Message(2, 3)) // conversation B
+	tr.MustAppend(trace.Message(1, 0)) // A again
+	tr.MustAppend(trace.Message(3, 2)) // B again
+	r := chainclock.StampTrace(tr)
+	fmt.Println("chains:", r.Chains)
+	fmt.Println("m1:", r.Stamps[0], "m2:", r.Stamps[1])
+	fmt.Println("m1 ↦ m3:", chainclock.Precedes(r.Stamps[0], r.Stamps[2]))
+	fmt.Println("m1 ‖ m2:", !chainclock.Precedes(r.Stamps[0], r.Stamps[1]) &&
+		!chainclock.Precedes(r.Stamps[1], r.Stamps[0]))
+	// Output:
+	// chains: 2
+	// m1: (1,0) m2: (0,1)
+	// m1 ↦ m3: true
+	// m1 ‖ m2: true
+}

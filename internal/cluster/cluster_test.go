@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"syncstamp/internal/graph"
+	"syncstamp/internal/order"
+	"syncstamp/internal/trace"
+)
+
+func TestNewPartitionValidation(t *testing.T) {
+	if _, err := NewPartition([]int{0, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPartition(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPartition([]int{0, -1}); err == nil {
+		t.Fatal("negative cluster accepted")
+	}
+	if _, err := NewPartition([]int{0, 2}); err == nil {
+		t.Fatal("non-contiguous cluster ids accepted")
+	}
+}
+
+func TestContiguous(t *testing.T) {
+	part, err := Contiguous(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.Members) != 3 {
+		t.Fatalf("clusters = %d, want 3", len(part.Members))
+	}
+	if part.ClusterOf[6] != 2 || part.ClusterOf[2] != 0 {
+		t.Fatalf("ClusterOf = %v", part.ClusterOf)
+	}
+	if _, err := Contiguous(5, 0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+}
+
+func TestPureIntraClusterTraffic(t *testing.T) {
+	// Two clusters of 3; all traffic stays inside clusters: everything is
+	// pure and compact stamps have 3 components.
+	part, err := Contiguous(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &trace.Trace{N: 6}
+	for k := 0; k < 10; k++ {
+		tr.MustAppend(trace.Message(0, 1))
+		tr.MustAppend(trace.Message(1, 2))
+		tr.MustAppend(trace.Message(3, 4))
+		tr.MustAppend(trace.Message(4, 5))
+	}
+	res, err := Stamp(tr, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PureFraction() != 1 {
+		t.Fatalf("pure fraction = %v, want 1", res.PureFraction())
+	}
+	for m, c := range res.Compact {
+		if c == nil || len(c) != 3 {
+			t.Fatalf("message %d compact stamp = %v", m, c)
+		}
+	}
+	// Cross-cluster pure pairs are concurrent at zero comparison cost.
+	ok, cost := res.Precedes(0, 2) // (0,1)-cluster0 vs (3,4)-cluster1
+	if ok || cost != 0 {
+		t.Fatalf("cross-cluster pure pair: ok=%v cost=%d", ok, cost)
+	}
+}
+
+func TestImpurityPropagates(t *testing.T) {
+	part, err := Contiguous(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &trace.Trace{N: 4}
+	tr.MustAppend(trace.Message(0, 1)) // pure in cluster 0
+	tr.MustAppend(trace.Message(1, 2)) // crosses clusters: impure
+	tr.MustAppend(trace.Message(0, 1)) // P1's history is now tainted: impure
+	tr.MustAppend(trace.Message(2, 3)) // P2 tainted too: impure
+	res, err := Stamp(tr, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pure != 1 {
+		t.Fatalf("pure = %d, want 1", res.Pure)
+	}
+	if res.Compact[2] != nil || res.Compact[3] != nil {
+		t.Fatal("tainted messages must not get compact stamps")
+	}
+}
+
+func TestStampPartitionMismatch(t *testing.T) {
+	part, err := Contiguous(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stamp(&trace.Trace{N: 5}, part); err == nil {
+		t.Fatal("partition size mismatch accepted")
+	}
+}
+
+func TestPrecedesPanicsOutOfRange(t *testing.T) {
+	part, _ := Contiguous(2, 2)
+	res, err := Stamp(&trace.Trace{N: 2}, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Precedes did not panic")
+		}
+	}()
+	res.Precedes(0, 1)
+}
+
+// Property: cluster-scheme Precedes equals the oracle on arbitrary traffic
+// and partitions.
+func TestQuickPrecedesMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := graph.RandomConnected(n, 0.5, rng)
+		tr := trace.Generate(g, trace.GenOptions{Messages: 1 + rng.Intn(40), Hotspot: rng.Float64()}, rng)
+		size := 1 + rng.Intn(n)
+		part, err := Contiguous(n, size)
+		if err != nil {
+			return false
+		}
+		res, err := Stamp(tr, part)
+		if err != nil {
+			return false
+		}
+		p := order.MessagePoset(tr)
+		for i := 0; i < p.N(); i++ {
+			for j := 0; j < p.N(); j++ {
+				if i == j {
+					continue
+				}
+				got, _ := res.Precedes(i, j)
+				if got != p.Less(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: piggyback bytes never exceed FM's and pure fraction is within
+// [0, 1].
+func TestQuickPiggybackBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := graph.RandomConnected(n, 0.5, rng)
+		tr := trace.Generate(g, trace.GenOptions{Messages: 1 + rng.Intn(30)}, rng)
+		part, err := Contiguous(n, 1+rng.Intn(n))
+		if err != nil {
+			return false
+		}
+		res, err := Stamp(tr, part)
+		if err != nil {
+			return false
+		}
+		fmBytes := 0.0
+		for _, s := range res.Full {
+			fmBytes += float64(s.EncodedSize())
+		}
+		fmBytes /= float64(len(res.Full))
+		pf := res.PureFraction()
+		return res.MeanPiggybackBytes() <= fmBytes+1e-9 && pf >= 0 && pf <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyComputation(t *testing.T) {
+	part, _ := Contiguous(3, 2)
+	res, err := Stamp(&trace.Trace{N: 3}, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanPiggybackBytes() != 0 || res.PureFraction() != 0 {
+		t.Fatal("empty computation metrics should be zero")
+	}
+}

@@ -1,0 +1,37 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"syncstamp/internal/cluster"
+	"syncstamp/internal/trace"
+)
+
+// Two 2-process clusters with purely local traffic: every message keeps a
+// 2-component cluster stamp, and cross-cluster pure pairs are concurrent at
+// zero comparison cost.
+func ExampleStamp() {
+	part, err := cluster.Contiguous(4, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	tr := &trace.Trace{N: 4}
+	tr.MustAppend(trace.Message(0, 1)) // cluster 0
+	tr.MustAppend(trace.Message(2, 3)) // cluster 1
+	tr.MustAppend(trace.Message(0, 1)) // cluster 0 again
+	res, err := cluster.Stamp(tr, part)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("pure: %d/%d\n", res.Pure, len(res.Full))
+	ordered, cost := res.Precedes(0, 2)
+	fmt.Println("m1 ↦ m3:", ordered, "compared", cost, "components")
+	ordered, cost = res.Precedes(0, 1)
+	fmt.Println("m1 ↦ m2:", ordered, "compared", cost, "components")
+	// Output:
+	// pure: 3/3
+	// m1 ↦ m3: true compared 2 components
+	// m1 ↦ m2: false compared 0 components
+}

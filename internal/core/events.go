@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/trace"
+	"syncstamp/internal/vector"
+)
+
+// EventStamp is the Section 5 timestamp of an internal event e: the triple
+// (prev(e), succ(e), c(e)).
+//
+//   - Prev is the timestamp of the message immediately prior to e on its
+//     process; a zero vector if there is none.
+//   - Succ is the timestamp of the message immediately after e; nil encodes
+//     the all-∞ vector of the paper (no later message).
+//   - C is the per-interval counter: reset at each external event,
+//     incremented per internal event, disambiguating multiple internal
+//     events between the same two messages.
+//
+// Proc and Op tie the stamp back to its event; Proc also scopes the counter
+// comparison (see HappenedBefore).
+type EventStamp struct {
+	Proc int
+	// Op is the index of the event's operation in the source trace.
+	Op   int
+	Prev vector.V
+	Succ vector.V
+	C    int
+}
+
+// succLeqPrev reports succ(e) ≤ prev(f) under the ∞ convention: an ∞ Succ
+// is never ≤ anything, and a zero Prev only dominates a zero Succ (which
+// cannot occur for real message stamps).
+func succLeqPrev(e, f EventStamp) bool {
+	if e.Succ == nil {
+		return false
+	}
+	return vector.Leq(e.Succ, f.Prev)
+}
+
+// sameInterval reports that e and f lie between the same two external
+// events: equal Prev and equal Succ (including both-∞).
+func sameInterval(e, f EventStamp) bool {
+	if (e.Succ == nil) != (f.Succ == nil) {
+		return false
+	}
+	if !vector.Eq(e.Prev, f.Prev) {
+		return false
+	}
+	return e.Succ == nil || vector.Eq(e.Succ, f.Succ)
+}
+
+// HappenedBefore reports e → f (Lamport's happened-before, Theorem 9).
+// For events on different processes this is succ(e) ≤ prev(f); for events
+// on the same process the counter breaks ties within one interval. The
+// counter is deliberately not consulted across processes: two internal
+// events on different processes between the same two synchronizations are
+// concurrent regardless of their counters.
+func (e EventStamp) HappenedBefore(f EventStamp) bool {
+	if e.Proc == f.Proc {
+		if sameInterval(e, f) {
+			return e.C < f.C
+		}
+		return succLeqPrev(e, f)
+	}
+	return succLeqPrev(e, f)
+}
+
+// ConcurrentWith reports that neither e → f nor f → e.
+func (e EventStamp) ConcurrentWith(f EventStamp) bool {
+	return !e.HappenedBefore(f) && !f.HappenedBefore(e)
+}
+
+// String renders the stamp as "(prev=(1,0), succ=(2,0), c=1)@P3"; an ∞
+// Succ prints as "inf".
+func (e EventStamp) String() string {
+	succ := "inf"
+	if e.Succ != nil {
+		succ = e.Succ.String()
+	}
+	return fmt.Sprintf("(prev=%s, succ=%s, c=%d)@P%d", e.Prev, succ, e.C, e.Proc)
+}
+
+// StampedTrace holds the result of stamping a full computation: message
+// timestamps (Figure 5) and internal-event stamps (Section 5).
+type StampedTrace struct {
+	// Messages holds the timestamp of each message, by message index.
+	Messages []vector.V
+	// Internal holds one stamp per internal op, in trace order.
+	Internal []EventStamp
+	// D is the vector size used.
+	D int
+}
+
+// StampAll runs the online algorithm over tr and assigns both message and
+// internal-event timestamps. Internal-event stamps become available only
+// once the following message is known (as the paper notes, an internal
+// event is timestamped after the process knows the timestamp of the message
+// after it); this offline-completion pass fills the Succ of trailing events
+// with ∞.
+func StampAll(tr *trace.Trace, dec *decomp.Decomposition) (*StampedTrace, error) {
+	if tr.N != dec.N() {
+		return nil, fmt.Errorf("core: trace has %d processes, decomposition %d", tr.N, dec.N())
+	}
+	s := NewStamper(dec)
+	st := &StampedTrace{D: dec.D()}
+
+	prev := make([]vector.V, tr.N) // last message stamp per process; nil = none
+	counter := make([]int, tr.N)
+	// pending[p] indexes into st.Internal of events awaiting their Succ.
+	pending := make([][]int, tr.N)
+
+	zero := vector.New(dec.D())
+	for i, op := range tr.Ops {
+		switch op.Kind {
+		case trace.OpInternal:
+			p := op.Proc
+			pv := zero
+			if prev[p] != nil {
+				pv = prev[p]
+			}
+			st.Internal = append(st.Internal, EventStamp{
+				Proc: p,
+				Op:   i,
+				Prev: pv.Clone(),
+				C:    counter[p],
+			})
+			pending[p] = append(pending[p], len(st.Internal)-1)
+			counter[p]++
+		case trace.OpMessage:
+			v, err := s.StampMessage(op.From, op.To)
+			if err != nil {
+				return nil, fmt.Errorf("core: op %d: %w", i, err)
+			}
+			st.Messages = append(st.Messages, v)
+			for _, p := range []int{op.From, op.To} {
+				for _, k := range pending[p] {
+					st.Internal[k].Succ = v.Clone()
+				}
+				pending[p] = pending[p][:0]
+				prev[p] = v
+				counter[p] = 0
+			}
+		default:
+			return nil, fmt.Errorf("core: op %d: invalid kind %d", i, int(op.Kind))
+		}
+	}
+	// Events with no later message keep Succ == nil (the ∞ vector).
+	return st, nil
+}

@@ -1,0 +1,219 @@
+package csp
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+	"syncstamp/internal/order"
+	"syncstamp/internal/vector"
+)
+
+// clientServerDec builds the one-star-per-server decomposition.
+func clientServerDec(t *testing.T, servers, clients int) *decomp.Decomposition {
+	t.Helper()
+	cover := make([]int, servers)
+	for s := range cover {
+		cover[s] = s
+	}
+	d, err := decomp.FromVertexCover(graph.ClientServer(servers, clients, false), cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestJoinLive grows a running client-server system: the server blocks for
+// messages from a client that does not exist yet at Start time.
+func TestJoinLive(t *testing.T) {
+	dec := clientServerDec(t, 2, 1)
+	sys := NewSystemCap(dec, 8)
+
+	const joiners = 3
+	server0 := func(p *Process) error {
+		// 1 initial client + 3 joiners, one message each.
+		for i := 0; i < 1+joiners; i++ {
+			if _, err := p.Recv(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	server1 := func(p *Process) error {
+		for i := 0; i < 1+joiners; i++ {
+			if _, err := p.Recv(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	client := func(p *Process) error {
+		if _, err := p.Send(0, fmt.Sprintf("hello-from-%d", p.ID())); err != nil {
+			return err
+		}
+		_, err := p.Send(1, fmt.Sprintf("hello-from-%d", p.ID()))
+		return err
+	}
+	if err := sys.Start([]func(*Process) error{server0, server1, client}); err != nil {
+		t.Fatal(err)
+	}
+	cur := dec
+	for j := 0; j < joiners; j++ {
+		grown, _, err := cur.GrowStarVertex([]int{0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := sys.Join(grown, client)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != 3+j {
+			t.Fatalf("joiner id = %d, want %d", id, 3+j)
+		}
+		cur = grown
+	}
+	res, err := sys.Wait(20 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * (1 + joiners)
+	if res.Trace.NumMessages() != want {
+		t.Fatalf("messages = %d, want %d", res.Trace.NumMessages(), want)
+	}
+	if res.Trace.N != 3+joiners {
+		t.Fatalf("trace N = %d, want %d", res.Trace.N, 3+joiners)
+	}
+	// d stays 2 across all joins and Theorem 4 holds on everything.
+	p := order.MessagePoset(res.Trace)
+	for i := range res.Stamps {
+		if len(res.Stamps[i]) != 2 {
+			t.Fatalf("stamp %d has %d components, want 2", i, len(res.Stamps[i]))
+		}
+		for j := range res.Stamps {
+			if i != j && vector.Less(res.Stamps[i], res.Stamps[j]) != p.Less(i, j) {
+				t.Fatalf("Theorem 4 violated across joins at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	dec := clientServerDec(t, 1, 1)
+	sys := NewSystemCap(dec, 3)
+	noop := func(p *Process) error { return nil }
+
+	grown, _, err := dec.GrowStarVertex([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Join before Start.
+	if _, err := sys.Join(grown, noop); err == nil {
+		t.Fatal("Join before Start accepted")
+	}
+	// Start with a server that waits for the joiner.
+	if err := sys.Start([]func(*Process) error{
+		func(p *Process) error {
+			_, err := p.RecvFrom(2)
+			return err
+		},
+		nil,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Nil program.
+	if _, err := sys.Join(grown, nil); err == nil {
+		t.Fatal("nil program accepted")
+	}
+	// Growth by more than one process.
+	grown2, _, err := grown.GrowStarVertex([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Join(grown2, noop); err == nil {
+		t.Fatal("growth by two accepted")
+	}
+	// Valid join unblocks the server.
+	if _, err := sys.Join(grown, func(p *Process) error {
+		_, err := p.Send(0, "late")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Wait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Join after drain.
+	if _, err := sys.Join(grown2, noop); err == nil {
+		t.Fatal("Join after drain accepted")
+	}
+}
+
+func TestJoinCapacityExhausted(t *testing.T) {
+	dec := clientServerDec(t, 1, 1)
+	sys := NewSystemCap(dec, 2) // no room to grow
+	if err := sys.Start([]func(*Process) error{
+		func(p *Process) error {
+			_, err := p.Recv()
+			return err
+		},
+		func(p *Process) error {
+			_, err := p.Send(0, "x")
+			return err
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	grown, _, err := dec.GrowStarVertex([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Join(grown, func(p *Process) error { return nil }); err == nil {
+		t.Fatal("capacity overflow accepted")
+	}
+	if _, err := sys.Wait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	dec := clientServerDec(t, 1, 1)
+	sys := NewSystem(dec)
+	if err := sys.Start(make([]func(*Process) error, 5)); err == nil {
+		t.Fatal("wrong program count accepted")
+	}
+	if err := sys.Start(make([]func(*Process) error, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(make([]func(*Process) error, 2)); err == nil {
+		t.Fatal("double Start accepted")
+	}
+	// All-nil programs drain immediately.
+	if _, err := sys.Wait(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebaseErrorPathPreserved(t *testing.T) {
+	// A genuinely uncovered channel (not a growth artifact) still errors.
+	dec := decomp.Approximate(graph.Path(3)) // (0,1), (1,2); no (0,2)
+	_, err := Run(dec, []func(*Process) error{
+		func(p *Process) error {
+			_, err := p.Send(2, nil)
+			return err
+		},
+		nil,
+		func(p *Process) error {
+			_, err := p.Recv()
+			return err
+		},
+	}, 5*time.Second)
+	if err == nil {
+		t.Fatal("uncovered channel accepted")
+	}
+	if errors.Is(err, ErrStopped) {
+		t.Fatalf("root cause lost: %v", err)
+	}
+}

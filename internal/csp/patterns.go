@@ -1,0 +1,67 @@
+package csp
+
+import (
+	"fmt"
+	"sort"
+
+	"syncstamp/internal/vector"
+)
+
+// Broadcast sends payload synchronously to each peer in increasing id
+// order, returning the timestamp of the last delivery. With rendezvous
+// semantics this is a sequential fan-out: every receiver must Recv (or
+// RecvFrom) once.
+func (p *Process) Broadcast(peers []int, payload any) (vector.V, error) {
+	ordered := append([]int(nil), peers...)
+	sort.Ints(ordered)
+	var last vector.V
+	for _, q := range ordered {
+		v, err := p.Send(q, payload)
+		if err != nil {
+			return nil, fmt.Errorf("csp: broadcast to %d: %w", q, err)
+		}
+		last = v
+	}
+	return last, nil
+}
+
+// Gather receives one message from each listed peer (in the given order,
+// using RecvFrom so unrelated senders cannot steal the slots) and returns
+// the payloads indexed like peers.
+func (p *Process) Gather(peers []int) ([]any, error) {
+	out := make([]any, len(peers))
+	for i, q := range peers {
+		msg, err := p.RecvFrom(q)
+		if err != nil {
+			return nil, fmt.Errorf("csp: gather from %d: %w", q, err)
+		}
+		out[i] = msg.Payload
+	}
+	return out, nil
+}
+
+// BarrierLeader synchronizes the leader with every listed peer: it gathers
+// one arrival from each, then broadcasts a release. After the release, every
+// participant's next event happens after every participant's pre-barrier
+// events — a full synchronization point whose timestamps prove it.
+func (p *Process) BarrierLeader(peers []int) error {
+	if _, err := p.Gather(peers); err != nil {
+		return err
+	}
+	if _, err := p.Broadcast(peers, "barrier-release"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// BarrierFollower is the counterpart of BarrierLeader: announce arrival,
+// then block for the release.
+func (p *Process) BarrierFollower(leader int) error {
+	if _, err := p.Send(leader, "barrier-arrive"); err != nil {
+		return err
+	}
+	if _, err := p.RecvFrom(leader); err != nil {
+		return err
+	}
+	return nil
+}

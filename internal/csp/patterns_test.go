@@ -1,0 +1,179 @@
+package csp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+	"syncstamp/internal/order"
+	"syncstamp/internal/vector"
+)
+
+func TestBroadcastGather(t *testing.T) {
+	const n = 5
+	dec := decomp.Best(graph.Star(n, 0))
+	programs := make([]func(*Process) error, n)
+	programs[0] = func(p *Process) error {
+		peers := []int{1, 2, 3, 4}
+		if _, err := p.Broadcast(peers, "hello"); err != nil {
+			return err
+		}
+		replies, err := p.Gather(peers)
+		if err != nil {
+			return err
+		}
+		for i, r := range replies {
+			if r != fmt.Sprintf("ack-%d", peers[i]) {
+				return fmt.Errorf("reply %d = %v", i, r)
+			}
+		}
+		return nil
+	}
+	for q := 1; q < n; q++ {
+		programs[q] = func(p *Process) error {
+			msg, err := p.RecvFrom(0)
+			if err != nil {
+				return err
+			}
+			if msg.Payload != "hello" {
+				return fmt.Errorf("got %v", msg.Payload)
+			}
+			_, err = p.Send(0, fmt.Sprintf("ack-%d", p.ID()))
+			return err
+		}
+	}
+	res, err := Run(dec, programs, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.NumMessages() != 8 {
+		t.Fatalf("messages = %d, want 8", res.Trace.NumMessages())
+	}
+}
+
+func TestBroadcastErrorPropagates(t *testing.T) {
+	dec := decomp.Best(graph.Path(2))
+	_, err := Run(dec, []func(*Process) error{
+		func(p *Process) error {
+			_, err := p.Broadcast([]int{1, 9}, "x") // 9 out of range
+			if err == nil {
+				return fmt.Errorf("broadcast to invalid peer succeeded")
+			}
+			return nil
+		},
+		func(p *Process) error {
+			_, err := p.Recv()
+			return err
+		},
+	}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	// Followers record an event before and after the barrier; every
+	// pre-barrier event must happen before every post-barrier event.
+	const n = 4
+	dec := decomp.Best(graph.Star(n, 0))
+	programs := make([]func(*Process) error, n)
+	programs[0] = func(p *Process) error {
+		p.Internal("pre-0")
+		if err := p.BarrierLeader([]int{1, 2, 3}); err != nil {
+			return err
+		}
+		p.Internal("post-0")
+		return nil
+	}
+	for q := 1; q < n; q++ {
+		programs[q] = func(p *Process) error {
+			p.Internal(fmt.Sprintf("pre-%d", p.ID()))
+			if err := p.BarrierFollower(0); err != nil {
+				return err
+			}
+			p.Internal(fmt.Sprintf("post-%d", p.ID()))
+			return nil
+		}
+	}
+	res, err := Run(dec, programs, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := order.NewEventOracle(res.Trace)
+	// Map internal events back to oracle ids via op index.
+	evByOp := map[int]int{}
+	for k := 0; k < oracle.NumEvents(); k++ {
+		if e := oracle.Event(k); e.Internal {
+			evByOp[e.Op] = k
+		}
+	}
+	var pre, post []int
+	for _, ev := range res.Internal {
+		id, ok := evByOp[ev.Stamp.Op]
+		if !ok {
+			t.Fatalf("internal event at op %d not found in oracle", ev.Stamp.Op)
+		}
+		switch note := ev.Note.(string); note[:3] {
+		case "pre":
+			pre = append(pre, id)
+		default:
+			post = append(post, id)
+		}
+	}
+	if len(pre) != n || len(post) != n {
+		t.Fatalf("pre=%d post=%d, want %d each", len(pre), len(post), n)
+	}
+	for _, a := range pre {
+		for _, b := range post {
+			if !oracle.HappenedBefore(a, b) {
+				t.Fatalf("pre event %d does not precede post event %d", a, b)
+			}
+		}
+	}
+	// And the stamps prove it without the oracle.
+	for _, ev := range res.Internal {
+		for _, ev2 := range res.Internal {
+			n1 := ev.Note.(string)
+			n2 := ev2.Note.(string)
+			if n1[:3] == "pre" && n2[:3] == "pos" {
+				if !ev.Stamp.HappenedBefore(ev2.Stamp) {
+					t.Fatalf("stamp of %s does not precede %s", n1, n2)
+				}
+			}
+		}
+	}
+}
+
+func TestGatherStampsOrdered(t *testing.T) {
+	// Gather's deliveries at the leader are totally ordered (same process).
+	const n = 4
+	dec := decomp.Best(graph.Star(n, 0))
+	var stamps []vector.V
+	programs := make([]func(*Process) error, n)
+	programs[0] = func(p *Process) error {
+		for _, q := range []int{3, 1, 2} { // arbitrary order
+			msg, err := p.RecvFrom(q)
+			if err != nil {
+				return err
+			}
+			stamps = append(stamps, msg.Stamp)
+		}
+		return nil
+	}
+	for q := 1; q < n; q++ {
+		programs[q] = func(p *Process) error {
+			_, err := p.Send(0, nil)
+			return err
+		}
+	}
+	if _, err := Run(dec, programs, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(stamps); i++ {
+		if !vector.Less(stamps[i-1], stamps[i]) {
+			t.Fatalf("gather deliveries not ordered: %v then %v", stamps[i-1], stamps[i])
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package decomp
+
+import (
+	"fmt"
+	"sort"
+
+	"syncstamp/internal/graph"
+)
+
+// Exact computes a minimum edge decomposition α(G) by branch and bound.
+// It is exponential and guarded by maxEdges (pass 0 for the default of 40
+// edges); it exists to measure the Figure 7 algorithm's approximation ratio
+// (experiment E9), not for production use.
+//
+// The search uses the observation that some minimum decomposition consists
+// of "shapes" — star roots and full triangles — such that every edge is
+// incident to a chosen root or belongs to a chosen triangle: given such a
+// cover of size d, assigning every edge to one covering shape yields a valid
+// decomposition of at most d groups (a nonempty subset of a star is a star;
+// a subset of a triangle's edges is a triangle or a star). Conversely every
+// decomposition induces such a cover of equal size, so the minimum cover
+// size equals α(G).
+func Exact(g *graph.Graph, maxEdges int) (*Decomposition, error) {
+	if maxEdges <= 0 {
+		maxEdges = 40
+	}
+	if g.M() > maxEdges {
+		return nil, fmt.Errorf("decomp: graph with %d edges exceeds exact limit %d", g.M(), maxEdges)
+	}
+	if g.M() == 0 {
+		return MustNew(g.N(), nil), nil
+	}
+
+	edges := g.Edges()
+	edgeIdx := make(map[graph.Edge]int, len(edges))
+	for i, e := range edges {
+		edgeIdx[e] = i
+	}
+	triangles := g.Triangles()
+
+	// shape is a candidate group: a star root or a triangle, with the
+	// bitmask (as []uint64 words) of edges it can absorb.
+	type shape struct {
+		isTriangle bool
+		root       int
+		tri        [3]int
+		mask       []uint64
+	}
+	words := (len(edges) + 63) / 64
+	newMask := func() []uint64 { return make([]uint64, words) }
+	setBit := func(m []uint64, i int) { m[i/64] |= 1 << uint(i%64) }
+
+	var shapes []shape
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) == 0 {
+			continue
+		}
+		m := newMask()
+		for _, u := range g.Neighbors(v) {
+			setBit(m, edgeIdx[graph.NewEdge(v, u)])
+		}
+		shapes = append(shapes, shape{root: v, mask: m})
+	}
+	for _, t := range triangles {
+		m := newMask()
+		setBit(m, edgeIdx[graph.NewEdge(t[0], t[1])])
+		setBit(m, edgeIdx[graph.NewEdge(t[0], t[2])])
+		setBit(m, edgeIdx[graph.NewEdge(t[1], t[2])])
+		shapes = append(shapes, shape{isTriangle: true, tri: t, mask: m})
+	}
+
+	// shapesForEdge[i] lists the shapes that can absorb edge i.
+	shapesForEdge := make([][]int, len(edges))
+	for si, s := range shapes {
+		for i := range edges {
+			if s.mask[i/64]&(1<<uint(i%64)) != 0 {
+				shapesForEdge[i] = append(shapesForEdge[i], si)
+			}
+		}
+	}
+
+	full := newMask()
+	for i := range edges {
+		setBit(full, i)
+	}
+	allCovered := func(cov []uint64) bool {
+		for w := range cov {
+			if cov[w] != full[w] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Lower bound: a greedy matching of uncovered edges; any shape absorbs
+	// at most one edge of a matching (stars share the root vertex, triangle
+	// edges pairwise intersect), so #shapes needed ≥ matching size.
+	lowerBound := func(cov []uint64) int {
+		used := make([]bool, g.N())
+		lb := 0
+		for i, e := range edges {
+			if cov[i/64]&(1<<uint(i%64)) != 0 {
+				continue
+			}
+			if used[e.U] || used[e.V] {
+				continue
+			}
+			used[e.U] = true
+			used[e.V] = true
+			lb++
+		}
+		return lb
+	}
+
+	// Start from the best polynomial answer as the incumbent.
+	incumbent := Best(g)
+	bestCount := incumbent.D()
+	var bestPick []int
+
+	var cur []int
+	var dfs func(cov []uint64)
+	dfs = func(cov []uint64) {
+		if allCovered(cov) {
+			if len(cur) < bestCount {
+				bestCount = len(cur)
+				bestPick = append([]int(nil), cur...)
+			}
+			return
+		}
+		if len(cur)+lowerBound(cov) >= bestCount {
+			return
+		}
+		// Branch on the first uncovered edge.
+		first := -1
+		for i := range edges {
+			if cov[i/64]&(1<<uint(i%64)) == 0 {
+				first = i
+				break
+			}
+		}
+		for _, si := range shapesForEdge[first] {
+			next := make([]uint64, words)
+			copy(next, cov)
+			for w := range next {
+				next[w] |= shapes[si].mask[w]
+			}
+			cur = append(cur, si)
+			dfs(next)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	dfs(newMask())
+
+	if bestPick == nil {
+		// The polynomial incumbent was already optimal.
+		return incumbent, nil
+	}
+
+	// Convert the chosen shapes into a partition: each edge goes to the
+	// first chosen shape that can absorb it.
+	assigned := make([][]graph.Edge, len(bestPick))
+	for i, e := range edges {
+		for k, si := range bestPick {
+			if shapes[si].mask[i/64]&(1<<uint(i%64)) != 0 {
+				assigned[k] = append(assigned[k], e)
+				break
+			}
+		}
+	}
+	var groups []Group
+	for k, si := range bestPick {
+		if len(assigned[k]) == 0 {
+			continue
+		}
+		s := shapes[si]
+		if s.isTriangle && len(assigned[k]) == 3 {
+			groups = append(groups, triangleGroup(s.tri[0], s.tri[1], s.tri[2]))
+			continue
+		}
+		if s.isTriangle {
+			// A strict subset of a triangle's edges is a star; root it at a
+			// shared vertex.
+			root := sharedVertex(assigned[k])
+			groups = append(groups, starGroup(root, assigned[k]))
+			continue
+		}
+		groups = append(groups, starGroup(s.root, assigned[k]))
+	}
+	return New(g.N(), groups)
+}
+
+// sharedVertex returns a vertex incident to every edge in edges (edges must
+// permit one, e.g. a subset of a triangle's edge set).
+func sharedVertex(edges []graph.Edge) int {
+	if len(edges) == 1 {
+		return edges[0].U
+	}
+	counts := map[int]int{}
+	for _, e := range edges {
+		counts[e.U]++
+		counts[e.V]++
+	}
+	var verts []int
+	for v, c := range counts {
+		if c == len(edges) {
+			verts = append(verts, v)
+		}
+	}
+	if len(verts) == 0 {
+		panic(fmt.Sprintf("decomp: edges %v share no vertex", edges))
+	}
+	sort.Ints(verts)
+	return verts[0]
+}
+
+// Alpha returns α(G), the size of a minimum edge decomposition, for small
+// graphs (see Exact for limits).
+func Alpha(g *graph.Graph, maxEdges int) (int, error) {
+	d, err := Exact(g, maxEdges)
+	if err != nil {
+		return 0, err
+	}
+	return d.D(), nil
+}

@@ -1,0 +1,112 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"syncstamp/internal/graph"
+)
+
+// bruteMinPartition finds the minimum star/triangle edge partition by
+// exhaustive enumeration of set partitions (restricted-growth strings) —
+// an oracle fully independent of Exact's shape-cover branch and bound.
+// Only feasible for a handful of edges.
+func bruteMinPartition(t *testing.T, g *graph.Graph) int {
+	t.Helper()
+	edges := g.Edges()
+	m := len(edges)
+	if m == 0 {
+		return 0
+	}
+	if m > 8 {
+		t.Fatalf("bruteMinPartition limited to 8 edges, got %d", m)
+	}
+	assign := make([]int, m)
+	best := m + 1
+	var rec func(i, maxUsed int)
+	validPart := func(members []graph.Edge) bool {
+		sub := g.Subgraph(members)
+		if _, ok := sub.IsStar(); ok {
+			return true
+		}
+		_, ok := sub.IsTriangle()
+		return ok
+	}
+	rec = func(i, maxUsed int) {
+		if maxUsed+1 >= best {
+			return // cannot beat the incumbent
+		}
+		if i == m {
+			parts := make([][]graph.Edge, maxUsed+1)
+			for k, a := range assign {
+				parts[a] = append(parts[a], edges[k])
+			}
+			for _, p := range parts {
+				if !validPart(p) {
+					return
+				}
+			}
+			if maxUsed+1 < best {
+				best = maxUsed + 1
+			}
+			return
+		}
+		for a := 0; a <= maxUsed+1; a++ {
+			assign[i] = a
+			next := maxUsed
+			if a > maxUsed {
+				next = a
+			}
+			rec(i+1, next)
+		}
+	}
+	rec(0, -1)
+	return best
+}
+
+// TestExactMatchesPartitionEnumeration cross-checks the branch-and-bound
+// optimum against full partition enumeration on small graphs.
+func TestExactMatchesPartitionEnumeration(t *testing.T) {
+	fixed := []*graph.Graph{
+		graph.Triangle(),
+		graph.Path(5),
+		graph.Star(6, 0),
+		graph.Cycle(4),
+		graph.Cycle(5),
+		graph.Complete(4),
+		graph.DisjointTriangles(2),
+	}
+	for _, g := range fixed {
+		if g.M() > 8 {
+			continue
+		}
+		want := bruteMinPartition(t, g)
+		d, err := Exact(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.D() != want {
+			t.Fatalf("graph %v: Exact %d != enumeration %d", g, d.D(), want)
+		}
+	}
+	rng := rand.New(rand.NewSource(44))
+	checked := 0
+	for i := 0; i < 200 && checked < 25; i++ {
+		g := graph.RandomGnp(6, 0.35, rng)
+		if g.M() == 0 || g.M() > 8 {
+			continue
+		}
+		checked++
+		want := bruteMinPartition(t, g)
+		d, err := Exact(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.D() != want {
+			t.Fatalf("graph %v: Exact %d != enumeration %d", g, d.D(), want)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d random graphs checked", checked)
+	}
+}

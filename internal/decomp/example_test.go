@@ -1,0 +1,46 @@
+package decomp_test
+
+import (
+	"fmt"
+
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+)
+
+// The Figure 7 algorithm on the fully-connected 5-process system finds the
+// Figure 3(a) decomposition: two stars and one triangle.
+func ExampleApproximate() {
+	d := decomp.Approximate(graph.Complete(5))
+	fmt.Println("groups:", d.D())
+	fmt.Println("stars:", d.Stars(), "triangles:", d.Triangles())
+	// Output:
+	// groups: 3
+	// stars: 2 triangles: 1
+}
+
+// A client-server topology decomposes into one star per server (Theorem 5's
+// vertex-cover construction), so timestamps need one integer per server.
+func ExampleFromVertexCover() {
+	g := graph.ClientServer(3, 50, false)
+	d, err := decomp.FromVertexCover(g, []int{0, 1, 2})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("N=%d channels=%d d=%d\n", g.N(), g.M(), d.D())
+	// Output:
+	// N=53 channels=150 d=3
+}
+
+// GroupOf answers "which vector component tracks this channel" — the e(m)
+// lookup of the online algorithm.
+func ExampleDecomposition_GroupOf() {
+	d := decomp.Figure3a() // E1, E2 stars + E3 triangle on K5
+	g, ok := d.GroupOf(1, 2)
+	fmt.Println("channel P2-P3 in group:", g+1, ok)
+	g, ok = d.GroupOf(3, 4)
+	fmt.Println("channel P4-P5 in group:", g+1, ok)
+	// Output:
+	// channel P2-P3 in group: 2 true
+	// channel P4-P5 in group: 3 true
+}

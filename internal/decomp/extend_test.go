@@ -1,0 +1,126 @@
+package decomp
+
+import (
+	"testing"
+
+	"syncstamp/internal/graph"
+)
+
+func clientServerDecomp(t *testing.T, servers, clients int) *Decomposition {
+	t.Helper()
+	g := graph.ClientServer(servers, clients, false)
+	cover := make([]int, servers)
+	for s := range cover {
+		cover[s] = s
+	}
+	d, err := FromVertexCover(g, cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGrowStarVertexKeepsD(t *testing.T) {
+	d := clientServerDecomp(t, 2, 3)
+	if d.D() != 2 {
+		t.Fatalf("d = %d", d.D())
+	}
+	grown, v, err := d.GrowStarVertex([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 {
+		t.Fatalf("new vertex = %d, want 5", v)
+	}
+	if grown.D() != 2 || grown.N() != 6 {
+		t.Fatalf("grown d=%d n=%d", grown.D(), grown.N())
+	}
+	for _, root := range []int{0, 1} {
+		gi, ok := grown.GroupOf(root, v)
+		if !ok {
+			t.Fatalf("new channel (%d,%d) uncovered", root, v)
+		}
+		if grown.Groups()[gi].Root != root {
+			t.Fatalf("channel (%d,%d) in group rooted at %d", root, v, grown.Groups()[gi].Root)
+		}
+	}
+	// Original decomposition untouched.
+	if d.N() != 5 || d.D() != 2 {
+		t.Fatal("GrowStarVertex mutated the receiver")
+	}
+	if _, ok := d.GroupOf(0, 5); ok {
+		t.Fatal("receiver gained the new edge")
+	}
+}
+
+func TestGrowStarVertexRepeated(t *testing.T) {
+	d := clientServerDecomp(t, 3, 1)
+	for k := 0; k < 10; k++ {
+		var err error
+		d, _, err = d.GrowStarVertex([]int{0, 1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.D() != 3 || d.N() != 14 {
+		t.Fatalf("after 10 joins: d=%d n=%d", d.D(), d.N())
+	}
+	g := graph.ClientServer(3, 11, false)
+	if err := d.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowStarVertexNoSuchRoot(t *testing.T) {
+	d := clientServerDecomp(t, 2, 2)
+	if _, _, err := d.GrowStarVertex([]int{3}); err == nil {
+		t.Fatal("grew onto a non-root")
+	}
+}
+
+func TestExtendErrors(t *testing.T) {
+	d := clientServerDecomp(t, 2, 2)
+	tri := MustNew(3, []Group{triangleGroup(0, 1, 2)})
+	cases := []struct {
+		name   string
+		d      *Decomposition
+		n      int
+		assign map[graph.Edge]int
+	}{
+		{"shrink", d, 2, nil},
+		{"edge out of range", d, 5, map[graph.Edge]int{graph.NewEdge(0, 9): 0}},
+		{"bad group index", d, 5, map[graph.Edge]int{graph.NewEdge(0, 4): 7}},
+		{"edge misses root", d, 5, map[graph.Edge]int{graph.NewEdge(2, 4): 0}},
+		{"triangle cannot grow", tri, 4, map[graph.Edge]int{graph.NewEdge(0, 3): 0}},
+		{"duplicate edge", d, 4, map[graph.Edge]int{graph.NewEdge(0, 2): 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.d.Extend(tc.n, tc.assign); err == nil {
+				t.Fatal("Extend accepted invalid growth")
+			}
+		})
+	}
+}
+
+func TestExtendSameSizeAddsChannel(t *testing.T) {
+	// Growing without adding a vertex: a new channel between an existing
+	// client and a server joins the server's star.
+	g := graph.New(4)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	d, err := FromVertexCover(g, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := d.Extend(4, map[graph.Edge]int{graph.NewEdge(0, 3): 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.D() != 2 {
+		t.Fatalf("d = %d", grown.D())
+	}
+	if _, ok := grown.GroupOf(0, 3); !ok {
+		t.Fatal("new channel uncovered")
+	}
+}

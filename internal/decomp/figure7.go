@@ -1,0 +1,202 @@
+package decomp
+
+import (
+	"fmt"
+
+	"syncstamp/internal/graph"
+)
+
+// StepKind identifies which step of the Figure 7 algorithm produced a group;
+// exposed so experiments (E5) can check the paper's narrated step sequence.
+type StepKind int
+
+// The three steps of the Figure 7 algorithm.
+const (
+	StepPendant  StepKind = iota + 1 // first step: degree-1 vertex
+	StepTriangle                     // second step: isolated triangle
+	StepSplit                        // third step: double star at a busy edge
+)
+
+// String names the step as in the paper ("step1".."step3").
+func (s StepKind) String() string {
+	switch s {
+	case StepPendant:
+		return "step1"
+	case StepTriangle:
+		return "step2"
+	case StepSplit:
+		return "step3"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(s))
+	}
+}
+
+// Trace records the provenance of each output group for one run of the
+// Figure 7 algorithm: Steps[i] is the step that produced Groups()[i].
+type Trace struct {
+	Steps []StepKind
+}
+
+// EdgeChoice selects the step-3 edge. The paper picks an edge with the
+// largest number of adjacent edges but notes (after Theorem 6) that
+// correctness and the ratio bound are independent of the choice; the two
+// strategies below are the D2 ablation of DESIGN.md.
+type EdgeChoice int
+
+// Step-3 edge-selection strategies.
+const (
+	// ChooseMaxAdjacent picks the edge with the largest number of adjacent
+	// edges, as in line (12) of Figure 7. Ties break lexicographically.
+	ChooseMaxAdjacent EdgeChoice = iota + 1
+	// ChooseFirst picks the lexicographically first remaining edge.
+	ChooseFirst
+)
+
+// Approximate runs the Figure 7 approximation algorithm with the paper's
+// max-adjacent step-3 choice. The result is an edge decomposition of size at
+// most twice the optimum (Theorem 6) and exactly the optimum when g is
+// acyclic (Theorem 7).
+func Approximate(g *graph.Graph) *Decomposition {
+	d, _ := ApproximateTraced(g, ChooseMaxAdjacent)
+	return d
+}
+
+// ApproximateTraced is Approximate with a configurable step-3 strategy and a
+// per-group step trace.
+func ApproximateTraced(g *graph.Graph, choice EdgeChoice) (*Decomposition, *Trace) {
+	f := g.Clone() // F := E, consumed as groups are output
+	var groups []Group
+	tr := &Trace{}
+
+	outputStar := func(root int, exclude graph.Edge, hasExclude bool, step StepKind) {
+		var edges []graph.Edge
+		for _, u := range f.Neighbors(root) {
+			e := graph.NewEdge(root, u)
+			if hasExclude && e == exclude {
+				continue
+			}
+			edges = append(edges, e)
+		}
+		if len(edges) == 0 {
+			return
+		}
+		groups = append(groups, starGroup(root, edges))
+		tr.Steps = append(tr.Steps, step)
+		for _, e := range edges {
+			f.RemoveEdge(e.U, e.V)
+		}
+	}
+
+	for f.M() > 0 {
+		// First step: while some vertex x has degree 1, output the star at
+		// its unique neighbor y (with all of y's incident edges).
+		for {
+			x := -1
+			for v := 0; v < f.N(); v++ {
+				if f.Degree(v) == 1 {
+					x = v
+					break
+				}
+			}
+			if x == -1 {
+				break
+			}
+			y := f.Neighbors(x)[0]
+			outputStar(y, graph.Edge{}, false, StepPendant)
+		}
+
+		// Second step: while some triangle (x, y, z) has degree(x) =
+		// degree(y) = 2 (their only edges are the triangle's), output it.
+		for {
+			found := false
+			for _, t := range f.Triangles() {
+				deg2 := 0
+				for _, v := range t {
+					if f.Degree(v) == 2 {
+						deg2++
+					}
+				}
+				if deg2 >= 2 {
+					groups = append(groups, triangleGroup(t[0], t[1], t[2]))
+					tr.Steps = append(tr.Steps, StepTriangle)
+					f.RemoveEdge(t[0], t[1])
+					f.RemoveEdge(t[0], t[2])
+					f.RemoveEdge(t[1], t[2])
+					found = true
+					break
+				}
+			}
+			if !found {
+				break
+			}
+		}
+
+		if f.M() == 0 {
+			break
+		}
+
+		// Third step: choose an edge (x, y) (strategy per choice), output a
+		// star rooted at y with all its incident edges, then a star rooted
+		// at x with its remaining incident edges.
+		pick := chooseEdge(f, choice)
+		x, y := pick.U, pick.V
+		outputStar(y, graph.Edge{}, false, StepSplit)
+		outputStar(x, pick, true, StepSplit)
+	}
+	return MustNew(g.N(), groups), tr
+}
+
+// chooseEdge implements line (12) of Figure 7 for the given strategy.
+// f must have at least one edge.
+func chooseEdge(f *graph.Graph, choice EdgeChoice) graph.Edge {
+	edges := f.Edges()
+	if choice == ChooseFirst {
+		return edges[0]
+	}
+	best := edges[0]
+	bestAdj := -1
+	for _, e := range edges {
+		// Edges adjacent to e: all other edges sharing an endpoint.
+		adj := f.Degree(e.U) + f.Degree(e.V) - 2
+		if adj > bestAdj {
+			bestAdj = adj
+			best = e
+		}
+	}
+	return best
+}
+
+// StarOnly returns the star-only decomposition built from the greedy
+// (maximal-matching) vertex cover: d ≤ 2β(G) groups with no triangles.
+// This is the D1 ablation baseline: triangles disabled entirely.
+func StarOnly(g *graph.Graph) *Decomposition {
+	d, err := FromVertexCover(g, GreedyVertexCover(g))
+	if err != nil {
+		// GreedyVertexCover always returns a valid cover of g.
+		panic(fmt.Sprintf("decomp: greedy cover rejected: %v", err))
+	}
+	return d
+}
+
+// Best returns the smallest decomposition among the polynomial strategies
+// implemented here: Figure 7 (both step-3 choices), the star decomposition
+// from the greedy vertex cover, and the trivial decompositions. Ties prefer
+// the Figure 7 result.
+func Best(g *graph.Graph) *Decomposition {
+	if g.M() == 0 {
+		return MustNew(g.N(), nil)
+	}
+	fig7, _ := ApproximateTraced(g, ChooseMaxAdjacent)
+	candidates := []*Decomposition{fig7}
+	if alt, _ := ApproximateTraced(g, ChooseFirst); alt.D() < fig7.D() {
+		candidates = append(candidates, alt)
+	}
+	candidates = append(candidates, StarOnly(g), TrivialWithTriangle(g), TrivialStars(g))
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if c.D() < best.D() {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,300 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"syncstamp/internal/graph"
+)
+
+func TestApproximateValidOnFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"empty", graph.New(4)},
+		{"single edge", graph.Path(2)},
+		{"triangle", graph.Triangle()},
+		{"star9", graph.Star(9, 0)},
+		{"path7", graph.Path(7)},
+		{"cycle6", graph.Cycle(6)},
+		{"K5", graph.Complete(5)},
+		{"K7", graph.Complete(7)},
+		{"grid 3x3", graph.Grid(3, 3)},
+		{"hypercube3", graph.Hypercube(3)},
+		{"clientserver", graph.ClientServer(3, 8, true)},
+		{"tree", graph.BalancedTree(3, 3)},
+		{"figure4", graph.Figure4Tree()},
+		{"figure2b", graph.Figure2b()},
+		{"disjoint triangles", graph.DisjointTriangles(4)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, choice := range []EdgeChoice{ChooseMaxAdjacent, ChooseFirst} {
+				d, tr := ApproximateTraced(tc.g, choice)
+				if err := d.Validate(tc.g); err != nil {
+					t.Fatalf("choice %v: %v", choice, err)
+				}
+				if len(tr.Steps) != d.D() {
+					t.Fatalf("trace has %d steps for %d groups", len(tr.Steps), d.D())
+				}
+			}
+		})
+	}
+}
+
+func TestApproximateStarAndTriangleTopologies(t *testing.T) {
+	// Lemma 1 topologies need exactly one group.
+	if d := Approximate(graph.Star(10, 4)); d.D() != 1 {
+		t.Fatalf("star decomposition size = %d, want 1", d.D())
+	}
+	d := Approximate(graph.Triangle())
+	if d.D() != 1 {
+		t.Fatalf("triangle decomposition size = %d, want 1", d.D())
+	}
+	if d.Triangles() != 1 {
+		t.Fatal("triangle topology should decompose into one triangle group")
+	}
+}
+
+func TestApproximateK5MatchesFigure3a(t *testing.T) {
+	// The Figure 7 algorithm on K5: step 3 removes two stars, leaving a
+	// triangle for step 2 — total 3 groups as in Figure 3(a).
+	d := Approximate(graph.Complete(5))
+	if d.D() != 3 {
+		t.Fatalf("K5 size = %d, want 3", d.D())
+	}
+	if d.Stars() != 2 || d.Triangles() != 1 {
+		t.Fatalf("K5 decomposition = %v, want 2 stars + 1 triangle", d)
+	}
+}
+
+func TestApproximateFigure4TreeThreeStars(t *testing.T) {
+	g := graph.Figure4Tree()
+	d := Approximate(g)
+	if err := d.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if d.D() != 3 {
+		t.Fatalf("Figure 4 tree size = %d, want 3", d.D())
+	}
+	if d.Triangles() != 0 {
+		t.Fatal("tree decomposition cannot contain triangles")
+	}
+}
+
+func TestApproximateOptimalOnTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 30; i++ {
+		g := graph.RandomTree(2+rng.Intn(12), rng)
+		approx := Approximate(g)
+		exact, err := Exact(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if approx.D() != exact.D() {
+			t.Fatalf("tree %v: approx %d != optimal %d", g, approx.D(), exact.D())
+		}
+	}
+}
+
+func TestApproximateRatioBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 25; i++ {
+		g := graph.RandomGnp(4+rng.Intn(6), 0.5, rng)
+		if g.M() == 0 {
+			continue
+		}
+		approx := Approximate(g)
+		exact, err := Exact(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if approx.D() > 2*exact.D() {
+			t.Fatalf("graph %v: approx %d > 2x optimal %d", g, approx.D(), exact.D())
+		}
+		if exact.D() > approx.D() {
+			t.Fatalf("graph %v: exact %d worse than approx %d", g, exact.D(), approx.D())
+		}
+	}
+}
+
+func TestStepTraceOnPendantGraph(t *testing.T) {
+	// A path 0-1-2: degree-1 vertex 0 exists, so step 1 fires first and the
+	// single output star covers everything.
+	d, tr := ApproximateTraced(graph.Path(3), ChooseMaxAdjacent)
+	if d.D() != 1 || tr.Steps[0] != StepPendant {
+		t.Fatalf("path3: d=%d steps=%v", d.D(), tr.Steps)
+	}
+	// Disjoint triangles have no degree-1 vertices; step 2 fires.
+	d, tr = ApproximateTraced(graph.DisjointTriangles(2), ChooseMaxAdjacent)
+	if d.D() != 2 {
+		t.Fatalf("2 triangles: d=%d", d.D())
+	}
+	for _, s := range tr.Steps {
+		if s != StepTriangle {
+			t.Fatalf("steps = %v, want all step2", tr.Steps)
+		}
+	}
+	// Cycle C6 has no pendant vertex and no triangle; step 3 fires first.
+	_, tr = ApproximateTraced(graph.Cycle(6), ChooseMaxAdjacent)
+	if tr.Steps[0] != StepSplit {
+		t.Fatalf("C6 first step = %v, want step3", tr.Steps[0])
+	}
+}
+
+func TestStarOnlyNoTriangles(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 20; i++ {
+		g := graph.RandomGnp(3+rng.Intn(10), 0.5, rng)
+		d := StarOnly(g)
+		if err := d.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		if d.Triangles() != 0 {
+			t.Fatal("StarOnly produced a triangle group")
+		}
+	}
+}
+
+func TestBestNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 20; i++ {
+		g := graph.RandomGnp(3+rng.Intn(10), 0.5, rng)
+		best := Best(g)
+		if err := best.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		fig7 := Approximate(g)
+		if best.D() > fig7.D() {
+			t.Fatalf("Best %d worse than Figure 7 %d", best.D(), fig7.D())
+		}
+	}
+	if Best(graph.New(5)).D() != 0 {
+		t.Fatal("Best of empty graph should be empty")
+	}
+}
+
+func TestBetaAtMostTwiceAlpha(t *testing.T) {
+	// β(G) ≤ 2α(G); tight for disjoint triangles (Section 3.3, E16).
+	g := graph.DisjointTriangles(3)
+	alpha, err := Alpha(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := MinVertexCover(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha != 3 || len(beta) != 6 {
+		t.Fatalf("alpha=%d beta=%d, want 3 and 6", alpha, len(beta))
+	}
+}
+
+func TestExactSmallKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"empty", graph.New(3), 0},
+		{"edge", graph.Path(2), 1},
+		{"triangle", graph.Triangle(), 1},
+		{"star", graph.Star(8, 0), 1},
+		{"K4", graph.Complete(4), 2},
+		{"K5", graph.Complete(5), 3},
+		{"path5", graph.Path(5), 2},
+		{"cycle4", graph.Cycle(4), 2},
+		{"cycle6", graph.Cycle(6), 3},
+		{"figure4tree", graph.Figure4Tree(), 3},
+		{"two disjoint edges", func() *graph.Graph {
+			g := graph.New(4)
+			g.AddEdge(0, 1)
+			g.AddEdge(2, 3)
+			return g
+		}(), 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := Exact(tc.g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Validate(tc.g); err != nil {
+				t.Fatal(err)
+			}
+			if d.D() != tc.want {
+				t.Fatalf("α = %d, want %d (%v)", d.D(), tc.want, d)
+			}
+		})
+	}
+}
+
+func TestExactLimit(t *testing.T) {
+	if _, err := Exact(graph.Complete(12), 10); err == nil {
+		t.Fatal("Exact accepted a graph above the edge limit")
+	}
+}
+
+// Property: the Figure 7 algorithm always yields a valid decomposition, with
+// both step-3 strategies, on arbitrary random graphs.
+func TestQuickApproximateValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomGnp(1+rng.Intn(14), rng.Float64(), rng)
+		for _, choice := range []EdgeChoice{ChooseMaxAdjacent, ChooseFirst} {
+			d, _ := ApproximateTraced(g, choice)
+			if d.Validate(g) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every edge of the input is assigned to exactly one group and
+// GroupOf agrees with the group listing.
+func TestQuickGroupOfConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomGnp(2+rng.Intn(10), 0.6, rng)
+		d := Approximate(g)
+		for gi, grp := range d.Groups() {
+			for _, e := range grp.Edges {
+				got, ok := d.GroupOf(e.U, e.V)
+				if !ok || got != gi {
+					return false
+				}
+			}
+		}
+		count := 0
+		for _, grp := range d.Groups() {
+			count += len(grp.Edges)
+		}
+		return count == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkApproximateK20(b *testing.B) {
+	g := graph.Complete(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Approximate(g)
+	}
+}
+
+func BenchmarkApproximateTree1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RandomTree(1000, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Approximate(g)
+	}
+}

@@ -1,0 +1,22 @@
+package decomp
+
+import "syncstamp/internal/graph"
+
+// Figure3a returns the Figure 3(a) decomposition of the fully-connected
+// 5-process system: two stars and one triangle. E1 is the star at P1
+// (vertex 0), E2 the star at P2 (vertex 1), E3 the triangle (P3, P4, P5) =
+// vertices (2, 3, 4). This is the decomposition the Figure 6 worked example
+// runs under.
+func Figure3a() *Decomposition {
+	return MustNew(5, []Group{
+		starGroup(0, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4}}),
+		starGroup(1, []graph.Edge{{U: 1, V: 2}, {U: 1, V: 3}, {U: 1, V: 4}}),
+		triangleGroup(2, 3, 4),
+	})
+}
+
+// Figure3b returns the Figure 3(b) decomposition of the fully-connected
+// 5-process system: four stars (the trivial star decomposition).
+func Figure3b() *Decomposition {
+	return TrivialStars(graph.Complete(5))
+}

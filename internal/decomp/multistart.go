@@ -1,0 +1,57 @@
+package decomp
+
+import (
+	"math/rand"
+
+	"syncstamp/internal/graph"
+)
+
+// ApproximateMultiStart runs the Figure 7 algorithm restarts times under
+// random vertex relabelings and returns the smallest decomposition found
+// (mapped back to the original labels). The paper proves the ratio bound
+// independent of the algorithm's tie-breaking choices; different vertex
+// orders explore different tie-breaks, so multi-start can only improve on a
+// single run — the D3 ablation quantifies by how much. With restarts ≤ 1
+// this is exactly Approximate.
+func ApproximateMultiStart(g *graph.Graph, restarts int, rng *rand.Rand) *Decomposition {
+	best := Approximate(g)
+	if restarts <= 1 || g.M() == 0 {
+		return best
+	}
+	n := g.N()
+	perm := make([]int, n)
+	inv := make([]int, n)
+	for r := 1; r < restarts; r++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(n, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		for i, p := range perm {
+			inv[p] = i
+		}
+		relabeled := graph.New(n)
+		for _, e := range g.Edges() {
+			relabeled.AddEdge(perm[e.U], perm[e.V])
+		}
+		cand := Approximate(relabeled)
+		if cand.D() >= best.D() {
+			continue
+		}
+		// Map the winning decomposition back to the original labels.
+		groups := make([]Group, 0, cand.D())
+		for _, grp := range cand.Groups() {
+			edges := make([]graph.Edge, len(grp.Edges))
+			for i, e := range grp.Edges {
+				edges[i] = graph.NewEdge(inv[e.U], inv[e.V])
+			}
+			switch grp.Kind {
+			case KindStar:
+				groups = append(groups, starGroup(inv[grp.Root], edges))
+			case KindTriangle:
+				groups = append(groups, triangleGroup(inv[grp.Tri[0]], inv[grp.Tri[1]], inv[grp.Tri[2]]))
+			}
+		}
+		best = MustNew(n, groups)
+	}
+	return best
+}

@@ -1,0 +1,81 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"syncstamp/internal/graph"
+)
+
+func TestMultiStartNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 25; i++ {
+		g := graph.RandomGnp(4+rng.Intn(9), 0.4, rng)
+		single := Approximate(g)
+		multi := ApproximateMultiStart(g, 8, rng)
+		if err := multi.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		if multi.D() > single.D() {
+			t.Fatalf("multi-start %d worse than single run %d", multi.D(), single.D())
+		}
+	}
+}
+
+func TestMultiStartDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Complete(5)
+	if d := ApproximateMultiStart(g, 0, rng); d.D() != Approximate(g).D() {
+		t.Fatal("restarts<=1 must equal Approximate")
+	}
+	empty := graph.New(4)
+	if d := ApproximateMultiStart(empty, 5, rng); d.D() != 0 {
+		t.Fatal("empty graph must yield empty decomposition")
+	}
+}
+
+// Property: multi-start results remain valid decompositions respecting the
+// ratio bound against the exact optimum.
+func TestQuickMultiStartValidAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomGnp(4+rng.Intn(6), 0.5, rng)
+		if g.M() == 0 {
+			return true
+		}
+		multi := ApproximateMultiStart(g, 6, rng)
+		if multi.Validate(g) != nil {
+			return false
+		}
+		exact, err := Exact(g, 0)
+		if err != nil {
+			return false
+		}
+		return multi.D() >= exact.D() && multi.D() <= 2*exact.D()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiStartCanImprove(t *testing.T) {
+	// Find at least one graph where multi-start beats the single run —
+	// documenting that tie-breaking matters in practice.
+	rng := rand.New(rand.NewSource(8))
+	improved := false
+	for i := 0; i < 200 && !improved; i++ {
+		g := graph.RandomGnp(8+rng.Intn(5), 0.35, rng)
+		if g.M() == 0 {
+			continue
+		}
+		single := Approximate(g)
+		multi := ApproximateMultiStart(g, 12, rng)
+		if multi.D() < single.D() {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Skip("no improving instance found in this sample")
+	}
+}

@@ -1,0 +1,68 @@
+package decomp
+
+import (
+	"syncstamp/internal/graph"
+)
+
+// TrivialStars returns the decomposition that roots one star at every vertex
+// i, containing the edges (i, j) with j > i. For the complete graph K_N this
+// is the N−1 star decomposition of Figure 3(b); for sparser graphs empty
+// stars are dropped, so the size is the number of vertices that are the
+// lower endpoint of some edge (at most N−1).
+func TrivialStars(g *graph.Graph) *Decomposition {
+	var groups []Group
+	for v := 0; v < g.N(); v++ {
+		var edges []graph.Edge
+		for _, u := range g.Neighbors(v) {
+			if u > v {
+				edges = append(edges, graph.NewEdge(v, u))
+			}
+		}
+		if len(edges) > 0 {
+			groups = append(groups, starGroup(v, edges))
+		}
+	}
+	return MustNew(g.N(), groups)
+}
+
+// TrivialWithTriangle returns the N−3 stars + 1 triangle decomposition of
+// Figure 3(a) when the last three vertices induce a triangle: stars rooted
+// at vertices 0..N−4 take all their edges to higher-numbered vertices, and
+// the triangle on {N−3, N−2, N−1} takes the rest. When the final three
+// vertices do not induce a triangle the leftover edges become stars, so the
+// result is never larger than TrivialStars.
+func TrivialWithTriangle(g *graph.Graph) *Decomposition {
+	n := g.N()
+	if n < 3 {
+		return TrivialStars(g)
+	}
+	var groups []Group
+	for v := 0; v < n-3; v++ {
+		var edges []graph.Edge
+		for _, u := range g.Neighbors(v) {
+			if u > v {
+				edges = append(edges, graph.NewEdge(v, u))
+			}
+		}
+		if len(edges) > 0 {
+			groups = append(groups, starGroup(v, edges))
+		}
+	}
+	x, y, z := n-3, n-2, n-1
+	if g.HasEdge(x, y) && g.HasEdge(x, z) && g.HasEdge(y, z) {
+		groups = append(groups, triangleGroup(x, y, z))
+	} else {
+		for _, v := range []int{x, y} {
+			var edges []graph.Edge
+			for _, u := range g.Neighbors(v) {
+				if u > v {
+					edges = append(edges, graph.NewEdge(v, u))
+				}
+			}
+			if len(edges) > 0 {
+				groups = append(groups, starGroup(v, edges))
+			}
+		}
+	}
+	return MustNew(n, groups)
+}

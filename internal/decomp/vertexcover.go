@@ -1,0 +1,138 @@
+package decomp
+
+import (
+	"fmt"
+	"sort"
+
+	"syncstamp/internal/graph"
+)
+
+// FromVertexCover builds a star-only decomposition from a vertex cover of g
+// (proof of Theorem 5): each edge is assigned to one of its endpoints in
+// the cover (the smaller-indexed one when both are covered), and each cover
+// vertex with assigned edges becomes a star root. The result has at most
+// len(cover) groups. It returns an error if cover is not a vertex cover.
+func FromVertexCover(g *graph.Graph, cover []int) (*Decomposition, error) {
+	inCover := make([]bool, g.N())
+	for _, v := range cover {
+		if v < 0 || v >= g.N() {
+			return nil, fmt.Errorf("decomp: cover vertex %d out of range [0,%d)", v, g.N())
+		}
+		inCover[v] = true
+	}
+	assigned := make(map[int][]graph.Edge)
+	for _, e := range g.Edges() {
+		switch {
+		case inCover[e.U]:
+			assigned[e.U] = append(assigned[e.U], e)
+		case inCover[e.V]:
+			assigned[e.V] = append(assigned[e.V], e)
+		default:
+			return nil, fmt.Errorf("decomp: edge %v not covered", e)
+		}
+	}
+	roots := make([]int, 0, len(assigned))
+	for r := range assigned {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	groups := make([]Group, 0, len(roots))
+	for _, r := range roots {
+		groups = append(groups, starGroup(r, assigned[r]))
+	}
+	return New(g.N(), groups)
+}
+
+// GreedyVertexCover returns a vertex cover of size at most 2β(G), computed
+// from a maximal matching: both endpoints of each matched edge enter the
+// cover. The result is sorted.
+func GreedyVertexCover(g *graph.Graph) []int {
+	covered := make([]bool, g.N())
+	var cover []int
+	for _, e := range g.Edges() {
+		if covered[e.U] || covered[e.V] {
+			continue
+		}
+		covered[e.U] = true
+		covered[e.V] = true
+		cover = append(cover, e.U, e.V)
+	}
+	sort.Ints(cover)
+	return cover
+}
+
+// MinVertexCover returns an optimal vertex cover β(G) by branch and bound.
+// It is exponential in the worst case and intended for the modest graph
+// sizes of the experiments; maxN guards against misuse (pass 0 for the
+// default of 64 vertices).
+func MinVertexCover(g *graph.Graph, maxN int) ([]int, error) {
+	if maxN <= 0 {
+		maxN = 64
+	}
+	if g.N() > maxN {
+		return nil, fmt.Errorf("decomp: graph with %d vertices exceeds exact cover limit %d", g.N(), maxN)
+	}
+	work := g.Clone()
+	best := GreedyVertexCover(g)
+	var cur []int
+
+	var solve func()
+	solve = func() {
+		if len(cur) >= len(best) {
+			return
+		}
+		// Find any remaining edge; if none, record the solution.
+		edges := work.Edges()
+		if len(edges) == 0 {
+			best = append([]int(nil), cur...)
+			return
+		}
+		// Pick the edge whose endpoints have maximum combined degree to
+		// shrink the search tree.
+		pick := edges[0]
+		bestDeg := -1
+		for _, e := range edges {
+			if d := work.Degree(e.U) + work.Degree(e.V); d > bestDeg {
+				bestDeg = d
+				pick = e
+			}
+		}
+		for _, v := range []int{pick.U, pick.V} {
+			removed := make([]graph.Edge, 0, work.Degree(v))
+			for _, u := range work.Neighbors(v) {
+				removed = append(removed, graph.NewEdge(v, u))
+			}
+			for _, e := range removed {
+				work.RemoveEdge(e.U, e.V)
+			}
+			cur = append(cur, v)
+			solve()
+			cur = cur[:len(cur)-1]
+			for _, e := range removed {
+				work.AddEdge(e.U, e.V)
+			}
+		}
+	}
+	solve()
+	sort.Ints(best)
+	return best, nil
+}
+
+// CoverBound returns min(β(G), N−2), the vector-clock size bound of
+// Theorem 5, using the exact minimum vertex cover (so it is limited to
+// small graphs; see MinVertexCover).
+func CoverBound(g *graph.Graph) (int, error) {
+	cover, err := MinVertexCover(g, 0)
+	if err != nil {
+		return 0, err
+	}
+	beta := len(cover)
+	bound := g.N() - 2
+	if bound < 0 {
+		bound = 0
+	}
+	if beta < bound || g.N() < 3 {
+		bound = beta
+	}
+	return bound, nil
+}

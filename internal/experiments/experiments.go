@@ -1,0 +1,105 @@
+// Package experiments regenerates every figure and measurable claim of the
+// paper as printed tables. Each experiment has an id (E1..E16 map to paper
+// artifacts, D1/D2 to the design ablations of DESIGN.md); the paperbench
+// command runs them and EXPERIMENTS.md records their output next to what the
+// paper states.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Experiment is one reproducible experiment.
+type Experiment struct {
+	// ID is the experiment identifier, e.g. "E4".
+	ID string
+	// Title summarizes the paper artifact being reproduced.
+	Title string
+	// Run prints the experiment's table to w. It returns an error only on
+	// harness failures; reproduction mismatches are printed as FAIL rows.
+	Run func(w io.Writer) error
+}
+
+// All returns every experiment in run order: E1–E17 map to paper
+// artifacts, D1/D2 to the design ablations of DESIGN.md.
+func All() []Experiment {
+	exps := []Experiment{
+		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(),
+		e9(), e10(), e11(), e12(), e13(), e14(), e15(), e16(), e17(), e18(), e19(),
+		d1(), d2(), d3(),
+	}
+	return exps
+}
+
+// ByID returns the experiment with the given id (case-sensitive).
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists all experiment ids in run order.
+func IDs() []string {
+	exps := All()
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// RunAll runs every experiment in order, separated by headers.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		if err := RunOne(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunOne prints one experiment with its header.
+func RunOne(w io.Writer, e Experiment) error {
+	if _, err := fmt.Fprintf(w, "=== %s: %s ===\n", e.ID, e.Title); err != nil {
+		return err
+	}
+	if err := e.Run(w); err != nil {
+		return fmt.Errorf("experiment %s: %w", e.ID, err)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// table is a small helper around tabwriter for aligned experiment output.
+type table struct {
+	tw *tabwriter.Writer
+}
+
+func newTable(w io.Writer) *table {
+	return &table{tw: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)}
+}
+
+func (t *table) row(cells ...any) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.tw, "\t")
+		}
+		fmt.Fprint(t.tw, c)
+	}
+	fmt.Fprintln(t.tw)
+}
+
+func (t *table) flush() error { return t.tw.Flush() }
+
+// check renders a claim/measured pair as an OK/FAIL row.
+func checkMark(ok bool) string {
+	if ok {
+		return "OK"
+	}
+	return "FAIL"
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{
+		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
+		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19",
+		"D1", "D2", "D3",
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids[%d] = %s, want %s", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, ok := ByID("E4")
+	if !ok || e.ID != "E4" {
+		t.Fatal("ByID(E4) failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID(E99) should fail")
+	}
+}
+
+// TestAllExperimentsPass runs every experiment and asserts no FAIL row is
+// printed — this is the full reproduction check in one test.
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var b strings.Builder
+			if err := e.Run(&b); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := b.String()
+			if strings.Contains(out, "FAIL") {
+				t.Fatalf("%s reported FAIL rows:\n%s", e.ID, out)
+			}
+			if len(strings.TrimSpace(out)) == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestRunOneAndRunAllHeaders(t *testing.T) {
+	e, _ := ByID("E1")
+	var b strings.Builder
+	if err := RunOne(&b, e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "=== E1:") {
+		t.Fatalf("missing header:\n%s", b.String())
+	}
+}

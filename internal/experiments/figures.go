@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"syncstamp/internal/core"
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+	"syncstamp/internal/order"
+	"syncstamp/internal/trace"
+	"syncstamp/internal/vector"
+	"syncstamp/internal/vis"
+)
+
+// e1 reproduces Figure 1: the 4-process example computation and every order
+// relation the paper states about it.
+func e1() Experiment {
+	return Experiment{
+		ID:    "E1",
+		Title: "Figure 1 — order relations in the 4-process example",
+		Run: func(w io.Writer) error {
+			tr := trace.Figure1()
+			fmt.Fprint(w, vis.Render(tr, vis.Options{}))
+			p := order.MessagePoset(tr)
+			t := newTable(w)
+			t.row("claim", "paper", "measured", "")
+			claims := []struct {
+				name  string
+				paper string
+				got   bool
+			}{
+				{"m1 ‖ m2", "concurrent", p.Concurrent(0, 1)},
+				{"m1 ▷ m3", "direct", order.Directly(tr, 0, 2)},
+				{"m2 ↦ m6", "precedes", p.Less(1, 5)},
+				{"m3 ↦ m5", "precedes", p.Less(2, 4)},
+				{"chain m1→m5 size 4", "m1 ▷ m3 ▷ m4 ▷ m5",
+					order.Directly(tr, 0, 2) && order.Directly(tr, 2, 3) && order.Directly(tr, 3, 4)},
+			}
+			for _, c := range claims {
+				t.row(c.name, c.paper, c.got, checkMark(c.got))
+			}
+			return t.flush()
+		},
+	}
+}
+
+// e2 reproduces Figure 3: the two decompositions of K5 and the Figure 7
+// algorithm's result.
+func e2() Experiment {
+	return Experiment{
+		ID:    "E2",
+		Title: "Figure 3 — edge decompositions of the fully-connected 5-process system",
+		Run: func(w io.Writer) error {
+			g := graph.Complete(5)
+			a := decomp.Figure3a()
+			b := decomp.Figure3b()
+			fig7 := decomp.Approximate(g)
+			t := newTable(w)
+			t.row("decomposition", "size", "stars", "triangles", "paper", "")
+			t.row("Figure 3(a): 2 stars + 1 triangle", a.D(), a.Stars(), a.Triangles(), 3, checkMark(a.D() == 3 && a.Validate(g) == nil))
+			t.row("Figure 3(b): 4 stars", b.D(), b.Stars(), b.Triangles(), 4, checkMark(b.D() == 4 && b.Validate(g) == nil))
+			t.row("Figure 7 algorithm", fig7.D(), fig7.Stars(), fig7.Triangles(), 3, checkMark(fig7.D() == 3))
+			if err := t.flush(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "figure-7 output: %s\n", fig7)
+			return nil
+		},
+	}
+}
+
+// e3 reproduces Figure 4: the 20-process tree decomposed into 3 stars.
+func e3() Experiment {
+	return Experiment{
+		ID:    "E3",
+		Title: "Figure 4 — tree-based system with 20 processes, 3 edge groups",
+		Run: func(w io.Writer) error {
+			g := graph.Figure4Tree()
+			fig7 := decomp.Approximate(g)
+			exact, err := decomp.Exact(g, 0)
+			if err != nil {
+				return err
+			}
+			t := newTable(w)
+			t.row("quantity", "paper", "measured", "")
+			t.row("processes", 20, g.N(), checkMark(g.N() == 20))
+			t.row("edge groups (Figure 7)", 3, fig7.D(), checkMark(fig7.D() == 3))
+			t.row("optimal edge groups", 3, exact.D(), checkMark(exact.D() == 3))
+			t.row("all groups are stars", "yes", fig7.Triangles() == 0, checkMark(fig7.Triangles() == 0))
+			t.row("FM vector size", 20, 20, "OK")
+			if err := t.flush(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "decomposition: %s\n", fig7)
+			return nil
+		},
+	}
+}
+
+// e4 reproduces Figure 6: the worked 5-process execution and its exact
+// timestamps under the Figure 3(a) decomposition.
+func e4() Experiment {
+	return Experiment{
+		ID:    "E4",
+		Title: "Figure 6 — sample execution with exact timestamps",
+		Run: func(w io.Writer) error {
+			tr := trace.Figure6()
+			dec := decomp.Figure3a()
+			stamps, err := core.StampTrace(tr, dec)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, vis.Render(tr, vis.Options{}))
+			want := []vector.V{
+				{1, 0, 0}, {0, 0, 1}, {1, 1, 1}, {2, 0, 1}, {1, 1, 2}, {1, 2, 2},
+			}
+			t := newTable(w)
+			t.row("message", "channel", "group", "expected", "measured", "")
+			msgs := tr.Messages()
+			for i, m := range msgs {
+				gi, _ := dec.GroupOf(m.From, m.To)
+				ok := vector.Eq(stamps[i], want[i])
+				t.row(fmt.Sprintf("m%d", i+1),
+					fmt.Sprintf("P%d->P%d", m.From+1, m.To+1),
+					fmt.Sprintf("E%d", gi+1), want[i], stamps[i], checkMark(ok))
+			}
+			if err := t.flush(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "paper narrates m3 = (1,1,1): measured %s\n", stamps[2])
+			return nil
+		},
+	}
+}
+
+// e5 reproduces Figure 8: the Figure 7 algorithm's step sequence on the
+// Figure 2(b) topology and the optimal decomposition size.
+func e5() Experiment {
+	return Experiment{
+		ID:    "E5",
+		Title: "Figures 2(b)+8 — algorithm walk-through on the 11-process topology",
+		Run: func(w io.Writer) error {
+			g := graph.Figure2b()
+			d, tr := decomp.ApproximateTraced(g, decomp.ChooseMaxAdjacent)
+			exact, err := decomp.Exact(g, 0)
+			if err != nil {
+				return err
+			}
+			names := "abcdefghijk"
+			fmt.Fprintf(w, "topology: %d processes (a..k), %d channels\n", g.N(), g.M())
+			t := newTable(w)
+			t.row("output", "step", "group")
+			for i, grp := range d.Groups() {
+				t.row(fmt.Sprintf("#%d", i+1), tr.Steps[i].String(), renderGroup(grp, names))
+			}
+			if err := t.flush(); err != nil {
+				return err
+			}
+			wantSteps := []decomp.StepKind{
+				decomp.StepPendant, decomp.StepTriangle,
+				decomp.StepSplit, decomp.StepSplit, decomp.StepPendant,
+			}
+			stepsOK := len(tr.Steps) == len(wantSteps)
+			if stepsOK {
+				for i := range wantSteps {
+					stepsOK = stepsOK && tr.Steps[i] == wantSteps[i]
+				}
+			}
+			// The final group must contain the edge (j, k) per the text.
+			lastHasJK := false
+			for _, e := range d.Groups()[d.D()-1].Edges {
+				if e == graph.NewEdge(9, 10) {
+					lastHasJK = true
+				}
+			}
+			t2 := newTable(w)
+			t2.row("claim", "paper", "measured", "")
+			t2.row("step sequence", "1,2,3,3,then loop to 1", fmt.Sprint(tr.Steps), checkMark(stepsOK))
+			t2.row("loop-back outputs edge (j,k)", "yes", lastHasJK, checkMark(lastHasJK))
+			t2.row("algorithm size", 5, d.D(), checkMark(d.D() == 5))
+			t2.row("optimal size (Figure 8(f))", "5 = 4 stars + 1 triangle",
+				fmt.Sprintf("%d = %d stars + %d triangle", exact.D(), exact.Stars(), exact.Triangles()),
+				checkMark(exact.D() == 5 && exact.Stars() == 4 && exact.Triangles() == 1))
+			return t2.flush()
+		},
+	}
+}
+
+// renderGroup pretty-prints a group with letter vertex names.
+func renderGroup(g decomp.Group, names string) string {
+	nameOf := func(v int) byte { return names[v] }
+	s := ""
+	switch g.Kind {
+	case decomp.KindStar:
+		s = fmt.Sprintf("star at %c:", nameOf(g.Root))
+	case decomp.KindTriangle:
+		s = fmt.Sprintf("triangle (%c,%c,%c):", nameOf(g.Tri[0]), nameOf(g.Tri[1]), nameOf(g.Tri[2]))
+	}
+	for _, e := range g.Edges {
+		s += fmt.Sprintf(" (%c,%c)", nameOf(e.U), nameOf(e.V))
+	}
+	return s
+}

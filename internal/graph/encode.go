@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText serializes g in a simple line-oriented format:
+//
+//	n <vertices>
+//	e <u> <v>
+//
+// Lines beginning with '#' are comments. Edges appear in sorted order so the
+// encoding is deterministic.
+func WriteText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "e %d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the format produced by WriteText.
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	var g *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "n":
+			if g != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate n line", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want \"n <count>\"", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", line, fields[1])
+			}
+			g = New(n)
+		case "e":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before n line", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: want \"e <u> <v>\"", line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, text)
+			}
+			if u == v {
+				return nil, fmt.Errorf("graph: line %d: self-loop on %d", line, u)
+			}
+			if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+				return nil, fmt.Errorf("graph: line %d: edge (%d,%d) out of range", line, u, v)
+			}
+			g.AddEdge(u, v)
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: missing n line")
+	}
+	return g, nil
+}
+
+// DOT renders g in Graphviz format, optionally coloring edges by group.
+// groupOf may be nil; when provided it maps an edge to a group index used to
+// pick one of a fixed palette of colors (as in the paper's decomposition
+// figures).
+func DOT(g *Graph, name string, groupOf func(Edge) (int, bool)) string {
+	palette := []string{
+		"black", "red", "blue", "forestgreen", "orange",
+		"purple", "brown", "deeppink", "cadetblue", "gold",
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s {\n", dotID(name))
+	verts := make([]int, g.N())
+	for i := range verts {
+		verts[i] = i
+	}
+	sort.Ints(verts)
+	for _, v := range verts {
+		fmt.Fprintf(&b, "  %d;\n", v)
+	}
+	for _, e := range g.Edges() {
+		attr := ""
+		if groupOf != nil {
+			if gi, ok := groupOf(e); ok {
+				color := palette[gi%len(palette)]
+				attr = fmt.Sprintf(" [color=%s, label=\"E%d\"]", color, gi+1)
+			}
+		}
+		fmt.Fprintf(&b, "  %d -- %d%s;\n", e.U, e.V, attr)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func dotID(s string) string {
+	if s == "" {
+		return "G"
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

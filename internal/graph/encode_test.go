@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 25; i++ {
+		g := RandomGnp(1+rng.Intn(15), rng.Float64(), rng)
+		var b strings.Builder
+		if err := WriteText(&b, g); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		got, err := ReadText(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("ReadText: %v", err)
+		}
+		if got.N() != g.N() || got.M() != g.M() {
+			t.Fatalf("round trip n=%d m=%d, want n=%d m=%d", got.N(), got.M(), g.N(), g.M())
+		}
+		for _, e := range g.Edges() {
+			if !got.HasEdge(e.U, e.V) {
+				t.Fatalf("round trip lost edge %v", e)
+			}
+		}
+	}
+}
+
+func TestReadTextCommentsAndBlanks(t *testing.T) {
+	in := "# topology\n\nn 3\n# an edge\ne 0 1\n\ne 1 2\n"
+	g, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("got n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"missing n", "e 0 1\n"},
+		{"no content", "# nothing\n"},
+		{"duplicate n", "n 3\nn 4\n"},
+		{"bad count", "n x\n"},
+		{"negative count", "n -2\n"},
+		{"bad edge arity", "n 3\ne 0\n"},
+		{"bad edge number", "n 3\ne 0 q\n"},
+		{"self loop", "n 3\ne 1 1\n"},
+		{"out of range", "n 3\ne 0 5\n"},
+		{"unknown directive", "n 3\nz 1 2\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadText(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("ReadText(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := Triangle()
+	out := DOT(g, "tri-1", func(e Edge) (int, bool) { return 0, true })
+	for _, want := range []string{"graph tri_1 {", "0 -- 1", "1 -- 2", "0 -- 2", "E1", "color="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	plain := DOT(g, "", nil)
+	if !strings.Contains(plain, "graph G {") || strings.Contains(plain, "color=") {
+		t.Fatalf("plain DOT wrong:\n%s", plain)
+	}
+}

@@ -1,0 +1,34 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadText checks the graph parser never panics and that accepted
+// graphs round-trip through WriteText.
+func FuzzReadText(f *testing.F) {
+	f.Add("n 3\ne 0 1\ne 1 2\n")
+	f.Add("n 0\n")
+	f.Add("e 0 1\n")
+	f.Add("n 2\ne 0 0\n")
+	f.Add("n 2\ne 0 5\n")
+	f.Add("# c\nn 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadText(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if err := WriteText(&b, g); err != nil {
+			t.Fatalf("WriteText failed: %v", err)
+		}
+		back, err := ReadText(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

@@ -1,0 +1,280 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Complete returns the fully-connected topology K_n of Figure 2(a), in which
+// every process can communicate directly with every other.
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Star returns the star topology on n vertices rooted at center.
+// Every other vertex is connected only to center.
+func Star(n, center int) *Graph {
+	g := New(n)
+	g.checkVertex(center)
+	for i := 0; i < n; i++ {
+		if i != center {
+			g.AddEdge(center, i)
+		}
+	}
+	return g
+}
+
+// Triangle returns the 3-vertex triangle topology.
+func Triangle() *Graph {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	return g
+}
+
+// Path returns the path P_n: 0-1-2-...-(n-1).
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle C_n. It panics for n < 3.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle needs at least 3 vertices, got %d", n))
+	}
+	g := Path(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+// Grid returns the rows x cols grid graph with vertex r*cols+c at (r, c).
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim vertices.
+func Hypercube(dim int) *Graph {
+	if dim < 0 || dim > 20 {
+		panic(fmt.Sprintf("graph: hypercube dimension %d out of range [0,20]", dim))
+	}
+	n := 1 << uint(dim)
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < dim; b++ {
+			u := v ^ (1 << uint(b))
+			if v < u {
+				g.AddEdge(v, u)
+			}
+		}
+	}
+	return g
+}
+
+// ClientServer returns the client-server topology of Section 3.3: servers
+// 0..servers-1, clients servers..servers+clients-1, where every client can
+// communicate with every server and clients never talk to each other.
+// Servers may also talk to each other when interServer is true.
+func ClientServer(servers, clients int, interServer bool) *Graph {
+	g := New(servers + clients)
+	for c := 0; c < clients; c++ {
+		for s := 0; s < servers; s++ {
+			g.AddEdge(s, servers+c)
+		}
+	}
+	if interServer {
+		for a := 0; a < servers; a++ {
+			for b := a + 1; b < servers; b++ {
+				g.AddEdge(a, b)
+			}
+		}
+	}
+	return g
+}
+
+// BalancedTree returns the complete branching-ary tree of the given depth
+// (depth 0 is a single root). Vertices are numbered in BFS order from the
+// root at 0. Trees are the motivating topology of Figure 4.
+func BalancedTree(branching, depth int) *Graph {
+	if branching < 1 {
+		panic(fmt.Sprintf("graph: branching factor %d < 1", branching))
+	}
+	n := 1
+	level := 1
+	for d := 0; d < depth; d++ {
+		level *= branching
+		n += level
+	}
+	g := New(n)
+	for child := 1; child < n; child++ {
+		parent := (child - 1) / branching
+		g.AddEdge(parent, child)
+	}
+	return g
+}
+
+// DisjointTriangles returns t vertex-disjoint triangles on 3t vertices —
+// the topology showing the β(G) ≤ 2α(G) bound is tight (Section 3.3).
+func DisjointTriangles(t int) *Graph {
+	g := New(3 * t)
+	for i := 0; i < t; i++ {
+		a, b, c := 3*i, 3*i+1, 3*i+2
+		g.AddEdge(a, b)
+		g.AddEdge(b, c)
+		g.AddEdge(a, c)
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices,
+// generated from a random Prüfer sequence.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	if n <= 1 {
+		return g
+	}
+	if n == 2 {
+		g.AddEdge(0, 1)
+		return g
+	}
+	prufer := make([]int, n-2)
+	for i := range prufer {
+		prufer[i] = rng.Intn(n)
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range prufer {
+		degree[v]++
+	}
+	for _, v := range prufer {
+		for u := 0; u < n; u++ {
+			if degree[u] == 1 {
+				g.AddEdge(u, v)
+				degree[u]--
+				degree[v]--
+				break
+			}
+		}
+	}
+	var last []int
+	for u := 0; u < n; u++ {
+		if degree[u] == 1 {
+			last = append(last, u)
+		}
+	}
+	g.AddEdge(last[0], last[1])
+	return g
+}
+
+// RandomGnp returns an Erdős–Rényi random graph G(n, p).
+func RandomGnp(n int, p float64, rng *rand.Rand) *Graph {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("graph: probability %v out of [0,1]", p))
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// RandomConnected returns a connected random graph on n vertices: a random
+// spanning tree plus each remaining edge independently with probability p.
+func RandomConnected(n int, p float64, rng *rand.Rand) *Graph {
+	g := RandomTree(n, rng)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !g.HasEdge(i, j) && rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// Figure2b returns an 11-vertex topology consistent with Figure 2(b) /
+// Figure 8 of the paper (vertices a..k mapped to 0..10). The paper draws the
+// graph without listing its edges; this reconstruction reproduces every
+// property the text states: the decomposition algorithm of Figure 7 outputs
+// a star in its first step, a triangle in its second, two stars in its
+// third, then loops back and outputs the final star containing edge (j,k);
+// the optimal edge decomposition has 4 stars and 1 triangle (size 5).
+func Figure2b() *Graph {
+	// a=0 b=1 c=2 d=3 e=4 f=5 g=6 h=7 i=8 j=9 k=10.
+	//
+	// Step-by-step behavior of the Figure 7 algorithm on this graph, exactly
+	// matching the narration of Figure 8:
+	//   step 1: a is the only degree-1 vertex -> star at b {(a,b),(b,c),(b,d)};
+	//   step 2: (c,d,e) is now a triangle with degree(c)=degree(d)=2;
+	//   step 3: (f,g) has the most adjacent edges -> star at g and star at f;
+	//   loop:   only (j,k) remains, j has degree 1 -> star at k; done.
+	// Output: 4 stars + 1 triangle = 5 groups, and the optimum is also 5
+	// (the 5 pairwise vertex-disjoint edges (a,b),(c,d),(e,f),(g,h),(j,k)
+	// force at least 5 groups), matching Figure 8(f).
+	g := New(11)
+	edges := [][2]int{
+		{0, 1},         // a-b
+		{1, 2}, {1, 3}, // b-c, b-d
+		{2, 3}, {2, 4}, {3, 4}, // triangle c,d,e after b's star leaves
+		{4, 5}, {4, 6}, // e-f, e-g
+		{5, 6},         // f-g: the step-3 pick
+		{5, 7}, {6, 7}, // f-h, g-h
+		{5, 8}, {6, 8}, // f-i, g-i
+		{5, 10}, {6, 9}, // f-k, g-j
+		{9, 10}, // j-k: survives to the loop-back
+	}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// Figure4Tree returns the 20-process tree of Figure 4, built so that its
+// optimal edge decomposition is exactly 3 stars (E1, E2, E3): three star
+// roots 0, 1, 2 with 0-1 and 1-2 internal edges and leaves divided among
+// the roots.
+func Figure4Tree() *Graph {
+	g := New(20)
+	// Root stars at 0, 1 and 2; 0-1 and 1-2 connect them.
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	// Leaves 3..8 under 0, 9..13 under 1, 14..19 under 2.
+	for v := 3; v <= 8; v++ {
+		g.AddEdge(0, v)
+	}
+	for v := 9; v <= 13; v++ {
+		g.AddEdge(1, v)
+	}
+	for v := 14; v <= 19; v++ {
+		g.AddEdge(2, v)
+	}
+	return g
+}

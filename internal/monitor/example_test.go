@@ -1,0 +1,44 @@
+package monitor_test
+
+import (
+	"fmt"
+
+	"syncstamp/internal/core"
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+	"syncstamp/internal/monitor"
+	"syncstamp/internal/trace"
+	"syncstamp/internal/vector"
+)
+
+// Concurrent messages are detected from timestamps alone.
+func ExampleConcurrentMessages() {
+	tr := trace.Figure1()
+	stamps, err := core.StampTrace(tr, decomp.Approximate(tr.Topology()))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	pairs := monitor.ConcurrentMessages(stamps)
+	fmt.Println("first concurrent pair: m1 and m2:", pairs[0] == monitor.Pair{I: 0, J: 1})
+	// Output:
+	// first concurrent pair: m1 and m2: true
+}
+
+// Orphan detection for optimistic recovery: everything causally after the
+// lost message must roll back too.
+func ExampleOrphans() {
+	tr := &trace.Trace{N: 3}
+	tr.MustAppend(trace.Message(0, 1)) // m1: survives
+	tr.MustAppend(trace.Message(1, 2)) // m2: lost
+	tr.MustAppend(trace.Message(2, 0)) // m3: depends on m2 -> orphan
+	stamps, err := core.StampTrace(tr, decomp.Approximate(graph.Complete(3)))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	orphans := monitor.Orphans(stamps, []vector.V{stamps[1]})
+	fmt.Println("roll back messages:", orphans)
+	// Output:
+	// roll back messages: [1 2]
+}

@@ -1,0 +1,63 @@
+package monitor
+
+import (
+	"fmt"
+
+	"syncstamp/internal/core"
+)
+
+// ConjunctivePredicate implements weak-conjunctive-predicate detection
+// (Garg–Waldecker, the paper's global-property-evaluation citation [9]) on
+// top of the Section 5 event stamps: given, per participating process, the
+// ordered list of its internal events satisfying a local predicate, it finds
+// one event per process such that all chosen events are pairwise concurrent
+// — a consistent cut witnessing "possibly(∧ local predicates)" — or reports
+// that none exists.
+//
+// The algorithm is the classic queue elimination: while some candidate e_i
+// happened before another process's current candidate e_j, e_i can never
+// form a consistent cut with e_j or any later event of that process (their
+// order only grows), so e_i is eliminated. It runs in O(P² · E) stamp
+// comparisons for P processes and E candidate events.
+func ConjunctivePredicate(candidates [][]core.EventStamp) ([]core.EventStamp, bool, error) {
+	p := len(candidates)
+	for i, c := range candidates {
+		if len(c) == 0 {
+			return nil, false, nil // a process never satisfies its predicate
+		}
+		for k := 1; k < len(c); k++ {
+			if c[k-1].Proc != c[k].Proc {
+				return nil, false, fmt.Errorf("monitor: candidate list %d mixes processes %d and %d",
+					i, c[k-1].Proc, c[k].Proc)
+			}
+		}
+	}
+	ptr := make([]int, p)
+	for {
+		advanced := false
+		for i := 0; i < p && !advanced; i++ {
+			for j := 0; j < p; j++ {
+				if i == j {
+					continue
+				}
+				ei := candidates[i][ptr[i]]
+				ej := candidates[j][ptr[j]]
+				if ei.HappenedBefore(ej) {
+					ptr[i]++
+					if ptr[i] >= len(candidates[i]) {
+						return nil, false, nil
+					}
+					advanced = true
+					break
+				}
+			}
+		}
+		if !advanced {
+			cut := make([]core.EventStamp, p)
+			for i := range cut {
+				cut[i] = candidates[i][ptr[i]]
+			}
+			return cut, true, nil
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"syncstamp/internal/core"
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+	"syncstamp/internal/trace"
+)
+
+// stampedInternal returns the internal-event stamps of tr grouped by
+// process, in per-process order.
+func stampedInternal(t testing.TB, tr *trace.Trace) [][]core.EventStamp {
+	t.Helper()
+	// Topology() contains exactly the used channels, so its decomposition
+	// covers every message.
+	st, err := core.StampAll(tr, decomp.Best(tr.Topology()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byProc := make([][]core.EventStamp, tr.N)
+	for _, e := range st.Internal {
+		byProc[e.Proc] = append(byProc[e.Proc], e)
+	}
+	return byProc
+}
+
+func TestConjunctiveFindsConcurrentCut(t *testing.T) {
+	// P0 and P1 have concurrent internal events between two syncs.
+	tr := &trace.Trace{N: 2}
+	tr.MustAppend(trace.Message(0, 1))
+	tr.MustAppend(trace.Internal(0))
+	tr.MustAppend(trace.Internal(1))
+	tr.MustAppend(trace.Message(0, 1))
+	byProc := stampedInternal(t, tr)
+	cut, ok, err := ConjunctivePredicate([][]core.EventStamp{byProc[0], byProc[1]})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if !cut[0].ConcurrentWith(cut[1]) {
+		t.Fatal("returned cut is not consistent")
+	}
+}
+
+func TestConjunctiveNoCut(t *testing.T) {
+	// All of P0's candidates precede all of P1's: P0's event is before the
+	// sync, P1's after — and vice versa never happens.
+	tr := &trace.Trace{N: 2}
+	tr.MustAppend(trace.Internal(0))
+	tr.MustAppend(trace.Message(0, 1))
+	tr.MustAppend(trace.Internal(1))
+	byProc := stampedInternal(t, tr)
+	_, ok, err := ConjunctivePredicate([][]core.EventStamp{byProc[0], byProc[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("found a cut where none exists")
+	}
+}
+
+func TestConjunctiveEmptyCandidateList(t *testing.T) {
+	tr := &trace.Trace{N: 2}
+	tr.MustAppend(trace.Internal(0))
+	byProc := stampedInternal(t, tr)
+	_, ok, err := ConjunctivePredicate([][]core.EventStamp{byProc[0], nil})
+	if err != nil || ok {
+		t.Fatalf("ok=%v err=%v, want no-cut without error", ok, err)
+	}
+}
+
+func TestConjunctiveMixedProcessesRejected(t *testing.T) {
+	tr := &trace.Trace{N: 2}
+	tr.MustAppend(trace.Internal(0))
+	tr.MustAppend(trace.Internal(1))
+	byProc := stampedInternal(t, tr)
+	mixed := []core.EventStamp{byProc[0][0], byProc[1][0]}
+	if _, _, err := ConjunctivePredicate([][]core.EventStamp{mixed}); err == nil {
+		t.Fatal("mixed-process candidate list accepted")
+	}
+}
+
+// bruteCut searches all candidate combinations for a pairwise-concurrent
+// selection.
+func bruteCut(cands [][]core.EventStamp) bool {
+	idx := make([]int, len(cands))
+	for {
+		ok := true
+		for i := 0; i < len(cands) && ok; i++ {
+			for j := 0; j < len(cands); j++ {
+				if i == j {
+					continue
+				}
+				if cands[i][idx[i]].HappenedBefore(cands[j][idx[j]]) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return true
+		}
+		// Next combination.
+		k := 0
+		for k < len(cands) {
+			idx[k]++
+			if idx[k] < len(cands[k]) {
+				break
+			}
+			idx[k] = 0
+			k++
+		}
+		if k == len(cands) {
+			return false
+		}
+	}
+}
+
+// Property: the elimination algorithm agrees with brute force and any cut
+// it returns is pairwise concurrent.
+func TestQuickConjunctiveMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		g := graph.Complete(n)
+		tr := trace.Generate(g, trace.GenOptions{
+			Messages:     1 + rng.Intn(15),
+			InternalProb: 0.5,
+		}, rng)
+		st, err := core.StampAll(tr, decomp.Best(g))
+		if err != nil {
+			return false
+		}
+		byProc := make([][]core.EventStamp, n)
+		for _, e := range st.Internal {
+			// Each internal event is a candidate with probability 1/2.
+			if rng.Intn(2) == 0 {
+				byProc[e.Proc] = append(byProc[e.Proc], e)
+			}
+		}
+		// Use only processes with candidates (the caller's contract).
+		var cands [][]core.EventStamp
+		for _, c := range byProc {
+			if len(c) > 0 {
+				cands = append(cands, c)
+			}
+		}
+		if len(cands) == 0 {
+			return true
+		}
+		cut, ok, err := ConjunctivePredicate(cands)
+		if err != nil {
+			return false
+		}
+		if ok != bruteCut(cands) {
+			return false
+		}
+		if ok {
+			for i := range cut {
+				for j := range cut {
+					if i != j && cut[i].HappenedBefore(cut[j]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

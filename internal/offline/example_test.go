@@ -1,0 +1,25 @@
+package offline_test
+
+import (
+	"fmt"
+
+	"syncstamp/internal/offline"
+	"syncstamp/internal/trace"
+)
+
+// The offline algorithm needs only 2-dimensional vectors for the paper's
+// Figure 6 computation, as Section 4 notes.
+func ExampleStamp() {
+	res, err := offline.Stamp(trace.Figure6())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("width:", res.Width)
+	fmt.Println("m1 ↦ m3:", offline.Precedes(res.Stamps[0], res.Stamps[2]))
+	fmt.Println("m1 ‖ m2:", offline.Concurrent(res.Stamps[0], res.Stamps[1]))
+	// Output:
+	// width: 2
+	// m1 ↦ m3: true
+	// m1 ‖ m2: true
+}

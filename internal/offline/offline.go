@@ -1,0 +1,65 @@
+// Package offline implements the paper's Section 4 offline timestamping
+// algorithm (Figure 9). Given a completed synchronous computation it builds
+// the message poset (M, ↦), computes its width w — at most ⌊N/2⌋ by
+// Theorem 8, because any ⌊N/2⌋+1 messages must share a process — constructs
+// a chain realizer {L_1, ..., L_w}, and stamps each message m with the
+// vector of its positions: V_m[i] = |{m' : m' <_{L_i} m}|.
+//
+// The resulting vectors characterize ↦ exactly: since positions within one
+// linear extension are distinct, V_m1 < V_m2 in the vector order of
+// Equation (2) iff m1 precedes m2 in every extension, i.e. iff m1 ↦ m2.
+// Unlike the online algorithm the vector size depends on the computation
+// (its width), not the topology; experiments E11/E8 quantify the gap.
+package offline
+
+import (
+	"fmt"
+
+	"syncstamp/internal/order"
+	"syncstamp/internal/poset"
+	"syncstamp/internal/trace"
+	"syncstamp/internal/vector"
+)
+
+// Result is the output of the offline algorithm.
+type Result struct {
+	// Width is the poset width w = the vector size.
+	Width int
+	// Stamps holds the position vector of each message, by message index.
+	Stamps []vector.V
+	// Realizer holds the w linear extensions used (message indices).
+	Realizer [][]int
+	// Poset is the message poset the stamps encode.
+	Poset *poset.Poset
+}
+
+// Stamp runs the offline algorithm on a completed computation.
+func Stamp(tr *trace.Trace) (*Result, error) {
+	if err := tr.Validate(nil); err != nil {
+		return nil, fmt.Errorf("offline: %w", err)
+	}
+	p := order.MessagePoset(tr)
+	w := p.Width()
+	if bound := tr.N / 2; p.N() > 0 && w > bound {
+		// Theorem 8 guarantees this cannot happen for a valid synchronous
+		// computation; reaching it means the trace is corrupt.
+		return nil, fmt.Errorf("offline: width %d exceeds ⌊N/2⌋ = %d", w, bound)
+	}
+	realizer := p.Realizer()
+	stamps := make([]vector.V, p.N())
+	for m := range stamps {
+		stamps[m] = vector.New(len(realizer))
+	}
+	for i, ext := range realizer {
+		for pos, m := range ext {
+			stamps[m][i] = pos
+		}
+	}
+	return &Result{Width: w, Stamps: stamps, Realizer: realizer, Poset: p}, nil
+}
+
+// Precedes reports m1 ↦ m2 from two offline stamps.
+func Precedes(v1, v2 vector.V) bool { return vector.Less(v1, v2) }
+
+// Concurrent reports m1 ‖ m2 from two offline stamps.
+func Concurrent(v1, v2 vector.V) bool { return vector.Concurrent(v1, v2) }

@@ -1,0 +1,172 @@
+package offline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"syncstamp/internal/core"
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+	"syncstamp/internal/trace"
+	"syncstamp/internal/vector"
+)
+
+func TestStampEmptyTrace(t *testing.T) {
+	r, err := Stamp(&trace.Trace{N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Width != 0 || len(r.Stamps) != 0 {
+		t.Fatalf("empty computation: width=%d stamps=%d", r.Width, len(r.Stamps))
+	}
+}
+
+func TestStampRejectsCorruptTrace(t *testing.T) {
+	bad := &trace.Trace{N: 2, Ops: []trace.Op{{Kind: trace.OpMessage, From: 0, To: 0}}}
+	if _, err := Stamp(bad); err == nil {
+		t.Fatal("Stamp accepted a corrupt trace")
+	}
+}
+
+func TestFigure6TwoDimensional(t *testing.T) {
+	// Section 4: "if we use offline algorithm to timestamp messages in the
+	// computation shown in Figure 6, 2-dimensional vectors are sufficient".
+	r, err := Stamp(trace.Figure6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Width != 2 {
+		t.Fatalf("Figure 6 width = %d, want 2", r.Width)
+	}
+	for _, s := range r.Stamps {
+		if len(s) != 2 {
+			t.Fatalf("stamp %v is not 2-dimensional", s)
+		}
+	}
+	assertCharacterizes(t, r)
+}
+
+func TestFigure1Width(t *testing.T) {
+	r, err := Stamp(trace.Figure1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Width > 2 { // ⌊4/2⌋
+		t.Fatalf("Figure 1 width = %d > ⌊N/2⌋", r.Width)
+	}
+	assertCharacterizes(t, r)
+}
+
+func TestTotalOrderWidthOne(t *testing.T) {
+	// A star topology yields totally ordered messages (Lemma 1): width 1.
+	rng := rand.New(rand.NewSource(2))
+	tr := trace.Generate(graph.Star(7, 0), trace.GenOptions{Messages: 30}, rng)
+	r, err := Stamp(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Width != 1 {
+		t.Fatalf("star computation width = %d, want 1", r.Width)
+	}
+	if len(r.Realizer) != 1 {
+		t.Fatalf("realizer size = %d, want 1", len(r.Realizer))
+	}
+}
+
+func assertCharacterizes(t *testing.T, r *Result) {
+	t.Helper()
+	for i := range r.Stamps {
+		for j := range r.Stamps {
+			if i == j {
+				continue
+			}
+			if got, want := Precedes(r.Stamps[i], r.Stamps[j]), r.Poset.Less(i, j); got != want {
+				t.Fatalf("messages %d,%d: precedes=%v want %v (%v vs %v)",
+					i, j, got, want, r.Stamps[i], r.Stamps[j])
+			}
+			if got, want := Concurrent(r.Stamps[i], r.Stamps[j]), r.Poset.Concurrent(i, j); got != want {
+				t.Fatalf("messages %d,%d: concurrent=%v want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// Property (E11): offline stamps characterize ↦, widths respect Theorem 8,
+// and the realizer verifies.
+func TestQuickOfflineCharacterizes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(2+rng.Intn(9), 0.4, rng)
+		tr := trace.Generate(g, trace.GenOptions{Messages: 1 + rng.Intn(40), InternalProb: 0.2}, rng)
+		r, err := Stamp(tr)
+		if err != nil {
+			return false
+		}
+		if r.Width > tr.N/2 {
+			return false
+		}
+		if len(r.Realizer) != r.Width {
+			return false
+		}
+		if err := r.Poset.VerifyRealizer(r.Realizer); err != nil {
+			return false
+		}
+		for i := range r.Stamps {
+			for j := range r.Stamps {
+				if i != j && Precedes(r.Stamps[i], r.Stamps[j]) != r.Poset.Less(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (D4): the offline vector size (width) can beat the online size d
+// on sequentialized computations, and both characterize the same order.
+func TestQuickOfflineVsOnlineAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(2+rng.Intn(7), 0.5, rng)
+		tr := trace.Generate(g, trace.GenOptions{Messages: 1 + rng.Intn(30)}, rng)
+		off, err := Stamp(tr)
+		if err != nil {
+			return false
+		}
+		dec := decomp.Approximate(g)
+		on, err := core.StampTrace(tr, dec)
+		if err != nil {
+			return false
+		}
+		for i := range off.Stamps {
+			for j := range off.Stamps {
+				if i == j {
+					continue
+				}
+				if Precedes(off.Stamps[i], off.Stamps[j]) != vector.Less(on[i], on[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOfflineStamp500(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.Complete(12)
+	tr := trace.Generate(g, trace.GenOptions{Messages: 500}, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Stamp(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

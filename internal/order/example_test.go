@@ -1,0 +1,35 @@
+package order_test
+
+import (
+	"fmt"
+
+	"syncstamp/internal/order"
+	"syncstamp/internal/trace"
+)
+
+// The ground-truth poset of the paper's Figure 1 computation.
+func ExampleMessagePoset() {
+	tr := trace.Figure1()
+	p := order.MessagePoset(tr)
+	fmt.Println("m1 ‖ m2:", p.Concurrent(0, 1))
+	fmt.Println("m2 ↦ m6:", p.Less(1, 5))
+	fmt.Println("m3 ↦ m5:", p.Less(2, 4))
+	// Output:
+	// m1 ‖ m2: true
+	// m2 ↦ m6: true
+	// m3 ↦ m5: true
+}
+
+// Event-level happened-before includes acknowledgement edges: the receive
+// of a message precedes the sender's next event.
+func ExampleEventOracle_HappenedBefore() {
+	tr := &trace.Trace{N: 2}
+	tr.MustAppend(trace.Message(0, 1)) // events 0 (send@P0), 1 (recv@P1)
+	tr.MustAppend(trace.Internal(0))   // event 2: after the ack on P0
+	o := order.NewEventOracle(tr)
+	fmt.Println("send → recv:", o.HappenedBefore(0, 1))
+	fmt.Println("recv → sender's next event (ack):", o.HappenedBefore(1, 2))
+	// Output:
+	// send → recv: true
+	// recv → sender's next event (ack): true
+}

@@ -1,0 +1,209 @@
+// Package order derives the paper's order relations from a recorded
+// synchronous computation, serving as the ground-truth oracle the
+// timestamping algorithms are tested against.
+//
+// Section 2 defines m1 ▷ m2 to hold when any external event of m1 precedes
+// any external event of m2 on a common process; since send and receive of a
+// synchronous message share one logical instant, m1 ▷ m2 holds exactly when
+// m1 occurs before m2 in the global sequence and the two messages share a
+// participant. The synchronously-precedes relation ↦ is the transitive
+// closure of ▷.
+//
+// Section 5's event-level happened-before (which includes acknowledgement
+// edges) reduces to the message poset: an event e on process P happened
+// before f on a different process Q iff the first message on P at-or-after e
+// and the last message on Q at-or-before f are equal or ordered by ↦.
+package order
+
+import (
+	"fmt"
+
+	"syncstamp/internal/poset"
+	"syncstamp/internal/trace"
+)
+
+// MessagePoset returns the poset (M, ↦) of the trace's messages; element i
+// of the poset is message index i (trace.Msg.Index).
+//
+// Construction: walk the global sequence keeping the last message seen per
+// process; each new message adds a relation from each participant's previous
+// message. Transitive closure then recovers all of ▷ (two messages sharing a
+// process are linked through the chain of that process's messages) and
+// therefore all of ↦.
+func MessagePoset(tr *trace.Trace) *poset.Poset {
+	p := poset.New(tr.NumMessages())
+	last := make([]int, tr.N)
+	for i := range last {
+		last[i] = -1
+	}
+	idx := 0
+	for _, op := range tr.Ops {
+		if op.Kind != trace.OpMessage {
+			continue
+		}
+		for _, proc := range []int{op.From, op.To} {
+			if prev := last[proc]; prev != -1 && prev != idx {
+				p.AddLess(prev, idx)
+			}
+		}
+		last[op.From] = idx
+		last[op.To] = idx
+		idx++
+	}
+	if err := p.Close(); err != nil {
+		// Relations always point forward in the sequence, so a cycle is
+		// impossible for a well-formed trace.
+		panic(fmt.Sprintf("order: message poset cycle: %v", err))
+	}
+	return p
+}
+
+// Directly reports m1 ▷ m2 for message indices in the trace: m1 occurs
+// before m2 and they share a participant. It exists to cross-check the
+// closure-based MessagePoset in tests.
+func Directly(tr *trace.Trace, m1, m2 int) bool {
+	msgs := tr.Messages()
+	if m1 < 0 || m1 >= len(msgs) || m2 < 0 || m2 >= len(msgs) {
+		panic(fmt.Sprintf("order: message index out of range: %d, %d", m1, m2))
+	}
+	if m1 >= m2 {
+		return false
+	}
+	a, b := msgs[m1], msgs[m2]
+	return a.From == b.From || a.From == b.To || a.To == b.From || a.To == b.To
+}
+
+// Event is one event of the computation, in the sense of Section 5.
+type Event struct {
+	// Proc is the process the event occurs on.
+	Proc int
+	// Op is the index into tr.Ops of the underlying operation.
+	Op int
+	// Msg is the message index for send/receive events, -1 for internal.
+	Msg int
+	// Internal reports whether this is an internal event.
+	Internal bool
+}
+
+// Events lists every event of the trace in global order: for each message
+// op, one event on the sender and one on the receiver (both at the same
+// logical instant); for each internal op, one event on its process.
+func Events(tr *trace.Trace) []Event {
+	var out []Event
+	msgIdx := 0
+	for i, op := range tr.Ops {
+		switch op.Kind {
+		case trace.OpMessage:
+			out = append(out, Event{Proc: op.From, Op: i, Msg: msgIdx})
+			out = append(out, Event{Proc: op.To, Op: i, Msg: msgIdx})
+			msgIdx++
+		case trace.OpInternal:
+			out = append(out, Event{Proc: op.Proc, Op: i, Msg: -1, Internal: true})
+		}
+	}
+	return out
+}
+
+// EventOracle answers happened-before queries over the trace's events,
+// including the acknowledgement edges of Section 5 (a process participating
+// in a synchronous message is synchronized with its peer in both directions,
+// because the sender blocks for the acknowledgement).
+type EventOracle struct {
+	tr      *trace.Trace
+	events  []Event
+	msgs    *poset.Poset
+	msgList []trace.Msg
+	// prevMsg[k] / nextMsg[k]: message index of the last message on
+	// events[k].Proc at-or-before k / first at-or-after k; -1 if none.
+	prevMsg []int
+	nextMsg []int
+	// pos[k]: per-process sequence number of event k on its process.
+	pos []int
+}
+
+// NewEventOracle precomputes the oracle for tr.
+func NewEventOracle(tr *trace.Trace) *EventOracle {
+	events := Events(tr)
+	o := &EventOracle{
+		tr:      tr,
+		events:  events,
+		msgs:    MessagePoset(tr),
+		msgList: tr.Messages(),
+		prevMsg: make([]int, len(events)),
+		nextMsg: make([]int, len(events)),
+		pos:     make([]int, len(events)),
+	}
+	lastMsg := make([]int, tr.N)
+	counter := make([]int, tr.N)
+	for i := range lastMsg {
+		lastMsg[i] = -1
+	}
+	for k, e := range events {
+		// A send event's own message has not yet delivered anything from the
+		// peer (the acknowledgement arrives later), so it does not count as
+		// an incoming synchronization for the send itself; a receive event's
+		// own message does (it carries the sender's knowledge).
+		isSend := e.Msg >= 0 && e.Proc == o.msgList[e.Msg].From
+		if e.Msg >= 0 && !isSend {
+			lastMsg[e.Proc] = e.Msg
+		}
+		o.prevMsg[k] = lastMsg[e.Proc]
+		if isSend {
+			lastMsg[e.Proc] = e.Msg
+		}
+		o.pos[k] = counter[e.Proc]
+		counter[e.Proc]++
+	}
+	nextMsg := make([]int, tr.N)
+	for i := range nextMsg {
+		nextMsg[i] = -1
+	}
+	for k := len(events) - 1; k >= 0; k-- {
+		e := events[k]
+		if e.Msg >= 0 {
+			nextMsg[e.Proc] = e.Msg
+		}
+		o.nextMsg[k] = nextMsg[e.Proc]
+	}
+	return o
+}
+
+// NumEvents returns the number of events.
+func (o *EventOracle) NumEvents() int { return len(o.events) }
+
+// Event returns event k.
+func (o *EventOracle) Event(k int) Event { return o.events[k] }
+
+// HappenedBefore reports whether event a happened before event b (Lamport's
+// → of Section 5, with acknowledgements).
+func (o *EventOracle) HappenedBefore(a, b int) bool {
+	if a < 0 || a >= len(o.events) || b < 0 || b >= len(o.events) {
+		panic(fmt.Sprintf("order: event index out of range: %d, %d (have %d)", a, b, len(o.events)))
+	}
+	if a == b {
+		return false
+	}
+	ea, eb := o.events[a], o.events[b]
+	if ea.Proc == eb.Proc {
+		return o.pos[a] < o.pos[b]
+	}
+	// Cross-process causality flows only through synchronizations: the
+	// first message on ea.Proc at-or-after a (whose completion carries a's
+	// knowledge outward) must equal or precede the last message on eb.Proc
+	// at-or-before b that has delivered peer knowledge (see prevMsg).
+	// This also orders a send before its own receive and not conversely.
+	ma, mb := o.nextMsg[a], o.prevMsg[b]
+	if ma == -1 || mb == -1 {
+		return false
+	}
+	return ma == mb || o.msgs.Less(ma, mb)
+}
+
+// Concurrent reports whether events a and b are distinct and unordered.
+func (o *EventOracle) Concurrent(a, b int) bool {
+	return a != b && !o.HappenedBefore(a, b) && !o.HappenedBefore(b, a)
+}
+
+// MessagePosetRef exposes the underlying message poset (shared, do not
+// mutate); useful to callers already holding an oracle.
+func (o *EventOracle) MessagePosetRef() *poset.Poset { return o.msgs }

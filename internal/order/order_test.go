@@ -1,0 +1,359 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"syncstamp/internal/graph"
+	"syncstamp/internal/trace"
+)
+
+func TestFigure1Relations(t *testing.T) {
+	// E1: every relation the paper states about Figure 1.
+	tr := trace.Figure1()
+	p := MessagePoset(tr)
+	// Paper's m1..m6 are indices 0..5.
+	m1, m2, m3, m4, m5, m6 := 0, 1, 2, 3, 4, 5
+	if !p.Concurrent(m1, m2) {
+		t.Error("want m1 ‖ m2")
+	}
+	if !Directly(tr, m1, m3) {
+		t.Error("want m1 ▷ m3")
+	}
+	if !p.Less(m2, m6) {
+		t.Error("want m2 ↦ m6")
+	}
+	if !p.Less(m3, m5) {
+		t.Error("want m3 ↦ m5")
+	}
+	// Synchronous chain of size 4 from m1 to m5: m1 ▷ m3 ▷ m4 ▷ m5.
+	for _, step := range [][2]int{{m1, m3}, {m3, m4}, {m4, m5}} {
+		if !Directly(tr, step[0], step[1]) {
+			t.Errorf("chain step %v not a direct relation", step)
+		}
+	}
+}
+
+func TestMessagePosetSimpleChain(t *testing.T) {
+	// All messages share process 0: total order.
+	tr := &trace.Trace{N: 3}
+	tr.MustAppend(trace.Message(0, 1))
+	tr.MustAppend(trace.Message(0, 2))
+	tr.MustAppend(trace.Message(1, 0))
+	p := MessagePoset(tr)
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if !p.Less(i, j) {
+				t.Fatalf("want %d ↦ %d", i, j)
+			}
+		}
+	}
+}
+
+func TestMessagePosetDisjoint(t *testing.T) {
+	tr := &trace.Trace{N: 4}
+	tr.MustAppend(trace.Message(0, 1))
+	tr.MustAppend(trace.Message(2, 3))
+	p := MessagePoset(tr)
+	if !p.Concurrent(0, 1) {
+		t.Fatal("messages on disjoint processes must be concurrent")
+	}
+}
+
+func TestMessagePosetIgnoresInternal(t *testing.T) {
+	tr := &trace.Trace{N: 3}
+	tr.MustAppend(trace.Message(0, 1))
+	tr.MustAppend(trace.Internal(2))
+	tr.MustAppend(trace.Message(1, 2))
+	p := MessagePoset(tr)
+	if p.N() != 2 {
+		t.Fatalf("poset over %d messages, want 2", p.N())
+	}
+	if !p.Less(0, 1) {
+		t.Fatal("want 0 ↦ 1 via process 1")
+	}
+}
+
+func TestDirectly(t *testing.T) {
+	tr := trace.Figure1()
+	if Directly(tr, 2, 0) {
+		t.Fatal("▷ must respect sequence order")
+	}
+	if Directly(tr, 0, 0) {
+		t.Fatal("▷ is irreflexive")
+	}
+	if Directly(tr, 0, 1) {
+		t.Fatal("m1 and m2 share no process")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Directly out of range did not panic")
+		}
+	}()
+	Directly(tr, 0, 99)
+}
+
+// bruteClosure computes ↦ as the explicit transitive closure of ▷.
+func bruteClosure(tr *trace.Trace) [][]bool {
+	n := tr.NumMessages()
+	rel := make([][]bool, n)
+	for i := range rel {
+		rel[i] = make([]bool, n)
+		for j := range rel[i] {
+			rel[i][j] = Directly(tr, i, j)
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rel[i][k] && rel[k][j] {
+					rel[i][j] = true
+				}
+			}
+		}
+	}
+	return rel
+}
+
+// Property: MessagePoset equals the brute-force closure of ▷.
+func TestQuickMessagePosetMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo := graph.RandomConnected(2+rng.Intn(8), 0.4, rng)
+		tr := trace.Generate(topo, trace.GenOptions{Messages: 1 + rng.Intn(40)}, rng)
+		p := MessagePoset(tr)
+		brute := bruteClosure(tr)
+		for i := 0; i < p.N(); i++ {
+			for j := 0; j < p.N(); j++ {
+				if i != j && p.Less(i, j) != brute[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventsStructure(t *testing.T) {
+	tr := &trace.Trace{N: 3}
+	tr.MustAppend(trace.Message(0, 1)) // events 0 (send@0), 1 (recv@1)
+	tr.MustAppend(trace.Internal(2))   // event 2
+	tr.MustAppend(trace.Message(2, 0)) // events 3 (send@2), 4 (recv@0)
+	evs := Events(tr)
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	if evs[0].Proc != 0 || evs[0].Msg != 0 || evs[0].Internal {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Proc != 1 || evs[1].Msg != 0 {
+		t.Fatalf("event 1 = %+v", evs[1])
+	}
+	if !evs[2].Internal || evs[2].Msg != -1 || evs[2].Proc != 2 {
+		t.Fatalf("event 2 = %+v", evs[2])
+	}
+	if evs[3].Proc != 2 || evs[3].Msg != 1 {
+		t.Fatalf("event 3 = %+v", evs[3])
+	}
+}
+
+func TestEventOracleSameProcess(t *testing.T) {
+	tr := &trace.Trace{N: 2}
+	tr.MustAppend(trace.Internal(0))
+	tr.MustAppend(trace.Internal(0))
+	tr.MustAppend(trace.Internal(1))
+	o := NewEventOracle(tr)
+	if !o.HappenedBefore(0, 1) || o.HappenedBefore(1, 0) {
+		t.Fatal("same-process order wrong")
+	}
+	if !o.Concurrent(0, 2) {
+		t.Fatal("events on unsynchronized processes must be concurrent")
+	}
+	if o.HappenedBefore(0, 0) {
+		t.Fatal("happened-before is irreflexive")
+	}
+}
+
+func TestEventOracleSendBeforeReceive(t *testing.T) {
+	tr := &trace.Trace{N: 2}
+	tr.MustAppend(trace.Message(0, 1))
+	o := NewEventOracle(tr)
+	// Event 0 is the send on P0, event 1 the receive on P1.
+	if !o.HappenedBefore(0, 1) {
+		t.Fatal("send must happen before receive")
+	}
+	if o.HappenedBefore(1, 0) {
+		t.Fatal("receive must not happen before send")
+	}
+}
+
+func TestEventOracleAckEdge(t *testing.T) {
+	// P0 sends to P1, then P0 has an internal event e. Because the send
+	// blocks for the acknowledgement, the receive happened before e.
+	tr := &trace.Trace{N: 2}
+	tr.MustAppend(trace.Message(0, 1)) // events 0 (send@0), 1 (recv@1)
+	tr.MustAppend(trace.Internal(0))   // event 2
+	o := NewEventOracle(tr)
+	if !o.HappenedBefore(1, 2) {
+		t.Fatal("receive must happen before the sender's next event (ack edge)")
+	}
+}
+
+func TestEventOracleCrossProcessViaChain(t *testing.T) {
+	// P0 -int-> msg(0,1) -> msg(1,2) -> int on P2.
+	tr := &trace.Trace{N: 3}
+	tr.MustAppend(trace.Internal(0))   // event 0
+	tr.MustAppend(trace.Message(0, 1)) // events 1, 2
+	tr.MustAppend(trace.Message(1, 2)) // events 3, 4
+	tr.MustAppend(trace.Internal(2))   // event 5
+	o := NewEventOracle(tr)
+	if !o.HappenedBefore(0, 5) {
+		t.Fatal("want int@P0 → int@P2 via message chain")
+	}
+	if o.HappenedBefore(5, 0) {
+		t.Fatal("reverse direction must not hold")
+	}
+}
+
+func TestEventOracleConcurrentBetweenSyncs(t *testing.T) {
+	// P0 and P1 sync (m0), both have internal events, then sync again (m1).
+	// The two internal events are concurrent.
+	tr := &trace.Trace{N: 2}
+	tr.MustAppend(trace.Message(0, 1)) // events 0, 1
+	tr.MustAppend(trace.Internal(0))   // event 2
+	tr.MustAppend(trace.Internal(1))   // event 3
+	tr.MustAppend(trace.Message(0, 1)) // events 4, 5
+	o := NewEventOracle(tr)
+	if !o.Concurrent(2, 3) {
+		t.Fatal("internal events between the same two syncs must be concurrent")
+	}
+	if !o.HappenedBefore(2, 5) {
+		t.Fatal("sender-side internal event must precede the next receive")
+	}
+	// The receiver-side internal event does NOT precede the next send on
+	// P0: its information travels on the acknowledgement of the second
+	// message, which the sender observes only after initiating the send.
+	if o.HappenedBefore(3, 4) {
+		t.Fatal("receiver-side internal event must not precede the next send event")
+	}
+	if !o.HappenedBefore(3, 5) {
+		t.Fatal("receiver-side internal event precedes its own next receive")
+	}
+}
+
+// refOracle computes happened-before by explicit reachability on the event
+// graph: process edges, a send→receive edge per message, and an
+// acknowledgement edge from each receive to the sender's next event.
+func refOracle(tr *trace.Trace) [][]bool {
+	evs := Events(tr)
+	n := len(evs)
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	// Process edges: consecutive events per process.
+	lastOnProc := make([]int, tr.N)
+	for i := range lastOnProc {
+		lastOnProc[i] = -1
+	}
+	msgs := tr.Messages()
+	// sendEvent[m] = event index of m's send.
+	sendEvent := make([]int, len(msgs))
+	recvEvent := make([]int, len(msgs))
+	for k, e := range evs {
+		if prev := lastOnProc[e.Proc]; prev != -1 {
+			adj[prev][k] = true
+		}
+		lastOnProc[e.Proc] = k
+		if e.Msg >= 0 {
+			if e.Proc == msgs[e.Msg].From {
+				sendEvent[e.Msg] = k
+			} else {
+				recvEvent[e.Msg] = k
+			}
+		}
+	}
+	// Message edges.
+	for m := range msgs {
+		adj[sendEvent[m]][recvEvent[m]] = true
+	}
+	// Ack edges: receive → sender's next event after the send.
+	nextOnProc := make([]int, n)
+	lastSeen := make([]int, tr.N)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	for k := n - 1; k >= 0; k-- {
+		nextOnProc[k] = lastSeen[evs[k].Proc]
+		lastSeen[evs[k].Proc] = k
+	}
+	for m := range msgs {
+		if nxt := nextOnProc[sendEvent[m]]; nxt != -1 {
+			adj[recvEvent[m]][nxt] = true
+		}
+	}
+	// Transitive closure.
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !adj[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if adj[k][j] {
+					adj[i][j] = true
+				}
+			}
+		}
+	}
+	return adj
+}
+
+// Property: the oracle's happened-before equals explicit event-graph
+// reachability with message and acknowledgement edges.
+func TestQuickEventOracleMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo := graph.RandomConnected(2+rng.Intn(6), 0.4, rng)
+		tr := trace.Generate(topo, trace.GenOptions{
+			Messages:     1 + rng.Intn(25),
+			InternalProb: 0.3,
+		}, rng)
+		o := NewEventOracle(tr)
+		ref := refOracle(tr)
+		for a := 0; a < o.NumEvents(); a++ {
+			for b := 0; b < o.NumEvents(); b++ {
+				if a != b && o.HappenedBefore(a, b) != ref[a][b] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventOracleOutOfRangePanics(t *testing.T) {
+	tr := &trace.Trace{N: 2}
+	tr.MustAppend(trace.Internal(0))
+	o := NewEventOracle(tr)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range query did not panic")
+		}
+	}()
+	o.HappenedBefore(0, 5)
+}
+
+func TestMessagePosetRef(t *testing.T) {
+	tr := trace.Figure1()
+	o := NewEventOracle(tr)
+	if o.MessagePosetRef().N() != 6 {
+		t.Fatal("MessagePosetRef wrong size")
+	}
+}

@@ -1,0 +1,162 @@
+package poset
+
+import (
+	"fmt"
+	"sort"
+
+	"syncstamp/internal/bipartite"
+)
+
+// splitGraph builds the bipartite split graph of the closed order: left and
+// right copies of the elements with an edge (i, j) whenever i < j.
+func (p *Poset) splitGraph() *bipartite.Graph {
+	p.ensureClosed()
+	g := bipartite.New(p.n, p.n)
+	for i := 0; i < p.n; i++ {
+		p.up[i].ForEach(func(j int) bool {
+			g.AddEdge(i, j)
+			return true
+		})
+	}
+	return g
+}
+
+// ChainPartition returns a minimum partition of the elements into chains
+// (Dilworth's theorem via maximum bipartite matching on the split graph).
+// Each chain is listed bottom-to-top; chains are ordered by their smallest
+// first element. The number of chains equals Width().
+func (p *Poset) ChainPartition() [][]int {
+	m := p.splitGraph().MaxMatching()
+	// matchL[i] = j means i is directly followed by j in its chain.
+	isHead := make([]bool, p.n)
+	for i := range isHead {
+		isHead[i] = true
+	}
+	for _, j := range m.MatchL {
+		if j != -1 {
+			isHead[j] = false
+		}
+	}
+	var chains [][]int
+	for h := 0; h < p.n; h++ {
+		if !isHead[h] {
+			continue
+		}
+		chain := []int{h}
+		for cur := h; m.MatchL[cur] != -1; cur = m.MatchL[cur] {
+			chain = append(chain, m.MatchL[cur])
+		}
+		chains = append(chains, chain)
+	}
+	sort.Slice(chains, func(a, b int) bool { return chains[a][0] < chains[b][0] })
+	return chains
+}
+
+// Width returns the size of the largest antichain, which by Dilworth's
+// theorem equals the minimum number of chains covering the poset. For the
+// message poset of a synchronous computation on N processes this is at most
+// ⌊N/2⌋ (Theorem 8 of the paper).
+func (p *Poset) Width() int {
+	if p.n == 0 {
+		return 0
+	}
+	return p.n - p.splitGraph().MaxMatching().Size
+}
+
+// MaxAntichain returns a maximum antichain in increasing order, derived from
+// a König minimum vertex cover of the split graph: an element belongs to the
+// antichain when neither of its split copies is in the cover.
+func (p *Poset) MaxAntichain() []int {
+	if p.n == 0 {
+		return nil
+	}
+	cover, _ := p.splitGraph().MinVertexCover()
+	inCover := make([]bool, p.n)
+	for _, l := range cover.Left {
+		inCover[l] = true
+	}
+	for _, r := range cover.Right {
+		inCover[r] = true
+	}
+	var anti []int
+	for i := 0; i < p.n; i++ {
+		if !inCover[i] {
+			anti = append(anti, i)
+		}
+	}
+	return anti
+}
+
+// Realizer returns a family of linear extensions {L_1, ..., L_w}, one per
+// chain of a minimum chain partition, whose intersection is exactly the
+// order (a chain realizer in the sense of Section 4.1). Its size equals
+// Width() for nonempty posets, witnessing dim(P) ≤ width(P).
+//
+// Construction (Hiraguchi-style): for each chain C, build a linear extension
+// L_C by repeatedly removing a minimal element of the remaining poset,
+// preferring elements outside C. For any x ‖ y with y ∈ C this places x
+// before y: y is picked only when it is the unique minimal element, at which
+// point everything remaining is ≥ y. Hence each incomparable pair {x, y} is
+// reversed between L_{chain(x)} and L_{chain(y)}, so ∩L_i adds no false
+// orders, and each L_i preserves all true orders by being an extension.
+func (p *Poset) Realizer() [][]int {
+	chains := p.ChainPartition()
+	exts := make([][]int, 0, len(chains))
+	for _, chain := range chains {
+		inChain := make([]bool, p.n)
+		for _, e := range chain {
+			inChain[e] = true
+		}
+		ext := p.greedyExtension(func(minimals []int) int {
+			for _, e := range minimals {
+				if !inChain[e] {
+					return e
+				}
+			}
+			return minimals[0]
+		})
+		exts = append(exts, ext)
+	}
+	return exts
+}
+
+// VerifyRealizer checks that each extension is a linear extension of p and
+// that their intersection is exactly p: every incomparable pair appears in
+// both orders across the family. It returns nil on success.
+func (p *Poset) VerifyRealizer(exts [][]int) error {
+	if p.n > 0 && len(exts) == 0 {
+		return fmt.Errorf("poset: empty realizer for nonempty poset")
+	}
+	positions := make([][]int, len(exts))
+	for k, ext := range exts {
+		if !p.IsLinearExtension(ext) {
+			return fmt.Errorf("poset: extension %d is not a linear extension", k)
+		}
+		pos := make([]int, p.n)
+		for idx, e := range ext {
+			pos[e] = idx
+		}
+		positions[k] = pos
+	}
+	for i := 0; i < p.n; i++ {
+		for j := 0; j < p.n; j++ {
+			if i == j {
+				continue
+			}
+			inAll := true
+			for _, pos := range positions {
+				if pos[i] > pos[j] {
+					inAll = false
+					break
+				}
+			}
+			if inAll && !p.Less(i, j) {
+				return fmt.Errorf("poset: realizer orders incomparable pair (%d,%d)", i, j)
+			}
+			if p.Less(i, j) && !inAll {
+				return fmt.Errorf("poset: realizer misses relation %d < %d", i, j)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package poset_test
+
+import (
+	"fmt"
+
+	"syncstamp/internal/poset"
+)
+
+// Width and realizer of a diamond: 0 < {1, 2} < 3.
+func ExamplePoset_Width() {
+	p := poset.New(4)
+	p.AddLess(0, 1)
+	p.AddLess(0, 2)
+	p.AddLess(1, 3)
+	p.AddLess(2, 3)
+	fmt.Println("width:", p.Width())
+	fmt.Println("0 < 3 by transitivity:", p.Less(0, 3))
+	fmt.Println("1 ‖ 2:", p.Concurrent(1, 2))
+	// Output:
+	// width: 2
+	// 0 < 3 by transitivity: true
+	// 1 ‖ 2: true
+}
+
+// A realizer of size width: the offline algorithm's core construction.
+func ExamplePoset_Realizer() {
+	// Two disjoint chains 0<1 and 2<3: width 2.
+	p := poset.New(4)
+	p.AddLess(0, 1)
+	p.AddLess(2, 3)
+	r := p.Realizer()
+	fmt.Println("extensions:", len(r))
+	fmt.Println("valid:", p.VerifyRealizer(r) == nil)
+	// Output:
+	// extensions: 2
+	// valid: true
+}
+
+// The standard example S_3 has width 3 = its order dimension — the witness
+// that width-sized realizers are sometimes necessary.
+func ExampleStandardExample() {
+	s := poset.StandardExample(3)
+	fmt.Println("elements:", s.N(), "width:", s.Width())
+	// Output:
+	// elements: 6 width: 3
+}

@@ -1,0 +1,353 @@
+// Package poset implements irreflexive partially ordered sets and the
+// dimension-theory machinery of Section 4 of the paper:
+//
+//   - transitive closure and reduction of an order relation;
+//   - width and a minimum chain partition via Dilworth's theorem, computed
+//     with bipartite matching (internal/bipartite);
+//   - a maximum antichain via König's theorem;
+//   - linear extensions and a chain realizer of size equal to the width
+//     (the construction behind dim(P) ≤ width(P) used by Figure 9's offline
+//     timestamping algorithm).
+//
+// Elements are integers 0..n-1; for the paper's use they index messages of a
+// synchronous computation and the order is the synchronously-precedes
+// relation ↦.
+package poset
+
+import (
+	"fmt"
+	"sort"
+
+	"syncstamp/internal/bitset"
+)
+
+// Poset is a partial order on elements 0..n-1. Relations are added with
+// AddLess; queries transparently maintain the transitive closure.
+// The zero value is unusable; construct with New.
+type Poset struct {
+	n     int
+	up    []*bitset.Set // up[i] = {j : i < j}, transitively closed when !dirty
+	dirty bool
+}
+
+// New returns an empty partial order (an antichain) on n elements.
+func New(n int) *Poset {
+	if n < 0 {
+		panic(fmt.Sprintf("poset: negative size %d", n))
+	}
+	up := make([]*bitset.Set, n)
+	for i := range up {
+		up[i] = bitset.New(n)
+	}
+	return &Poset{n: n, up: up}
+}
+
+// N returns the number of elements.
+func (p *Poset) N() int { return p.n }
+
+func (p *Poset) check(i int) {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("poset: element %d out of range [0,%d)", i, p.n))
+	}
+}
+
+// AddLess records the relation i < j. Closure is recomputed lazily; if the
+// added relations create a cycle, the next query panics via Close. Adding
+// i < i panics immediately.
+func (p *Poset) AddLess(i, j int) {
+	p.check(i)
+	p.check(j)
+	if i == j {
+		panic(fmt.Sprintf("poset: reflexive relation %d < %d", i, j))
+	}
+	if p.up[i].Has(j) {
+		return
+	}
+	p.up[i].Add(j)
+	p.dirty = true
+}
+
+// Close computes the transitive closure. It returns an error if the added
+// relations are cyclic (and therefore not a partial order). Queries call
+// Close automatically and panic on a cycle; call Close explicitly to handle
+// cyclic input gracefully.
+func (p *Poset) Close() error {
+	if !p.dirty {
+		return nil
+	}
+	order, ok := p.topoOrder()
+	if !ok {
+		return fmt.Errorf("poset: relation contains a cycle")
+	}
+	// Propagate in reverse topological order: up[i] ∪= up[j] for each direct
+	// successor j. Iterating the current successor set is safe because any
+	// newly merged successor k of j satisfies i < j < k and is already
+	// included by j's (finished) closure.
+	for idx := len(order) - 1; idx >= 0; idx-- {
+		i := order[idx]
+		for _, j := range p.up[i].Slice() {
+			p.up[i].Or(p.up[j])
+		}
+	}
+	p.dirty = false
+	return nil
+}
+
+func (p *Poset) ensureClosed() {
+	if err := p.Close(); err != nil {
+		panic(err.Error())
+	}
+}
+
+// topoOrder returns a topological order of the current (possibly unclosed)
+// relation, or ok=false if it is cyclic.
+func (p *Poset) topoOrder() ([]int, bool) {
+	indeg := make([]int, p.n)
+	for i := 0; i < p.n; i++ {
+		p.up[i].ForEach(func(j int) bool {
+			indeg[j]++
+			return true
+		})
+	}
+	queue := make([]int, 0, p.n)
+	for i := 0; i < p.n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, p.n)
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, i)
+		p.up[i].ForEach(func(j int) bool {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+			return true
+		})
+	}
+	return order, len(order) == p.n
+}
+
+// Less reports whether i < j in the order.
+func (p *Poset) Less(i, j int) bool {
+	p.check(i)
+	p.check(j)
+	p.ensureClosed()
+	return p.up[i].Has(j)
+}
+
+// Leq reports whether i ≤ j (i.e. i == j or i < j).
+func (p *Poset) Leq(i, j int) bool { return i == j || p.Less(i, j) }
+
+// Comparable reports whether i < j or j < i.
+func (p *Poset) Comparable(i, j int) bool { return p.Less(i, j) || p.Less(j, i) }
+
+// Concurrent reports whether i ≠ j and i, j are incomparable (written i‖j in
+// the paper).
+func (p *Poset) Concurrent(i, j int) bool { return i != j && !p.Comparable(i, j) }
+
+// UpSet returns {j : i < j} as a sorted slice.
+func (p *Poset) UpSet(i int) []int {
+	p.check(i)
+	p.ensureClosed()
+	return p.up[i].Slice()
+}
+
+// DownSet returns {j : j < i} as a sorted slice.
+func (p *Poset) DownSet(i int) []int {
+	p.check(i)
+	p.ensureClosed()
+	var out []int
+	for j := 0; j < p.n; j++ {
+		if j != i && p.up[j].Has(i) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// DownSetSize returns |{j : j < i}|.
+func (p *Poset) DownSetSize(i int) int {
+	p.check(i)
+	p.ensureClosed()
+	c := 0
+	for j := 0; j < p.n; j++ {
+		if j != i && p.up[j].Has(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// Minimals returns the minimal elements in increasing order. A message m is
+// minimal when no m' satisfies m' ↦ m (Section 3.2's induction base).
+func (p *Poset) Minimals() []int {
+	p.ensureClosed()
+	hasPred := make([]bool, p.n)
+	for i := 0; i < p.n; i++ {
+		p.up[i].ForEach(func(j int) bool {
+			hasPred[j] = true
+			return true
+		})
+	}
+	var out []int
+	for i, h := range hasPred {
+		if !h {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Maximals returns the maximal elements in increasing order.
+func (p *Poset) Maximals() []int {
+	p.ensureClosed()
+	var out []int
+	for i := 0; i < p.n; i++ {
+		if !p.up[i].Any() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CoverEdges returns the transitive reduction as (i, j) pairs with i covered
+// by j (i < j with no k such that i < k < j), sorted lexicographically.
+func (p *Poset) CoverEdges() [][2]int {
+	p.ensureClosed()
+	var out [][2]int
+	for i := 0; i < p.n; i++ {
+		p.up[i].ForEach(func(j int) bool {
+			isCover := true
+			p.up[i].ForEach(func(k int) bool {
+				if k != j && p.up[k].Has(j) {
+					isCover = false
+					return false
+				}
+				return true
+			})
+			if isCover {
+				out = append(out, [2]int{i, j})
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// RelationCount returns the number of ordered pairs (i, j) with i < j.
+func (p *Poset) RelationCount() int {
+	p.ensureClosed()
+	c := 0
+	for i := 0; i < p.n; i++ {
+		c += p.up[i].Count()
+	}
+	return c
+}
+
+// Equal reports whether p and q are the same order on the same element count.
+func (p *Poset) Equal(q *Poset) bool {
+	if p.n != q.n {
+		return false
+	}
+	p.ensureClosed()
+	q.ensureClosed()
+	for i := 0; i < p.n; i++ {
+		if !p.up[i].Equal(q.up[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of p.
+func (p *Poset) Clone() *Poset {
+	c := New(p.n)
+	for i := 0; i < p.n; i++ {
+		c.up[i] = p.up[i].Clone()
+	}
+	c.dirty = p.dirty
+	return c
+}
+
+// LinearExtension returns a deterministic linear extension of p: a
+// permutation of 0..n-1 in which every relation of p is preserved. Ties are
+// broken by smallest element index.
+func (p *Poset) LinearExtension() []int {
+	p.ensureClosed()
+	return p.greedyExtension(func(minimals []int) int { return minimals[0] })
+}
+
+// greedyExtension repeatedly removes a minimal element chosen by pick from
+// the sorted slice of currently minimal elements.
+func (p *Poset) greedyExtension(pick func(minimals []int) int) []int {
+	indeg := make([]int, p.n)
+	for i := 0; i < p.n; i++ {
+		p.up[i].ForEach(func(j int) bool {
+			indeg[j]++
+			return true
+		})
+	}
+	removed := make([]bool, p.n)
+	out := make([]int, 0, p.n)
+	for len(out) < p.n {
+		var minimals []int
+		for i := 0; i < p.n; i++ {
+			if !removed[i] && indeg[i] == 0 {
+				minimals = append(minimals, i)
+			}
+		}
+		if len(minimals) == 0 {
+			panic("poset: no minimal element; relation is cyclic")
+		}
+		x := pick(minimals)
+		removed[x] = true
+		out = append(out, x)
+		p.up[x].ForEach(func(j int) bool {
+			indeg[j]--
+			return true
+		})
+	}
+	return out
+}
+
+// IsLinearExtension reports whether perm is a permutation of 0..n-1 that
+// respects every relation of p.
+func (p *Poset) IsLinearExtension(perm []int) bool {
+	if len(perm) != p.n {
+		return false
+	}
+	pos := make([]int, p.n)
+	seen := make([]bool, p.n)
+	for idx, e := range perm {
+		if e < 0 || e >= p.n || seen[e] {
+			return false
+		}
+		seen[e] = true
+		pos[e] = idx
+	}
+	p.ensureClosed()
+	for i := 0; i < p.n; i++ {
+		bad := false
+		p.up[i].ForEach(func(j int) bool {
+			if pos[i] >= pos[j] {
+				bad = true
+				return false
+			}
+			return true
+		})
+		if bad {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,435 @@
+package poset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// random returns a random poset on n elements: each pair (i, j) with i < j
+// numerically gets the relation with probability p, then closure is taken.
+// Using only numerically increasing raw relations guarantees acyclicity.
+func random(n int, p float64, rng *rand.Rand) *Poset {
+	ps := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				ps.AddLess(i, j)
+			}
+		}
+	}
+	return ps
+}
+
+func chainPoset(n int) *Poset {
+	p := New(n)
+	for i := 0; i+1 < n; i++ {
+		p.AddLess(i, i+1)
+	}
+	return p
+}
+
+func TestEmptyAndAntichain(t *testing.T) {
+	p := New(0)
+	if p.Width() != 0 || len(p.Realizer()) != 0 {
+		t.Fatal("empty poset should have width 0 and empty realizer")
+	}
+	a := New(5)
+	if a.Width() != 5 {
+		t.Fatalf("antichain width = %d, want 5", a.Width())
+	}
+	if got := len(a.ChainPartition()); got != 5 {
+		t.Fatalf("antichain chain partition size = %d, want 5", got)
+	}
+	if got := len(a.MaxAntichain()); got != 5 {
+		t.Fatalf("antichain max antichain = %d, want 5", got)
+	}
+}
+
+func TestChain(t *testing.T) {
+	p := chainPoset(6)
+	if !p.Less(0, 5) {
+		t.Fatal("closure missing 0 < 5")
+	}
+	if p.Less(5, 0) {
+		t.Fatal("5 < 0 should not hold")
+	}
+	if p.Width() != 1 {
+		t.Fatalf("chain width = %d, want 1", p.Width())
+	}
+	chains := p.ChainPartition()
+	if len(chains) != 1 || len(chains[0]) != 6 {
+		t.Fatalf("chain partition = %v", chains)
+	}
+	for i, e := range chains[0] {
+		if e != i {
+			t.Fatalf("chain should be 0..5 in order, got %v", chains[0])
+		}
+	}
+	r := p.Realizer()
+	if len(r) != 1 {
+		t.Fatalf("realizer size = %d, want 1", len(r))
+	}
+	if err := p.VerifyRealizer(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeqComparableConcurrent(t *testing.T) {
+	p := New(4)
+	p.AddLess(0, 1)
+	p.AddLess(2, 3)
+	if !p.Leq(0, 0) || !p.Leq(0, 1) || p.Leq(1, 0) {
+		t.Fatal("Leq wrong")
+	}
+	if !p.Comparable(0, 1) || p.Comparable(0, 2) {
+		t.Fatal("Comparable wrong")
+	}
+	if !p.Concurrent(0, 2) || p.Concurrent(0, 0) || p.Concurrent(0, 1) {
+		t.Fatal("Concurrent wrong")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	p := New(3)
+	p.AddLess(0, 1)
+	p.AddLess(1, 2)
+	p.AddLess(2, 0)
+	if err := p.Close(); err == nil {
+		t.Fatal("Close accepted a cyclic relation")
+	}
+}
+
+func TestReflexivePanics(t *testing.T) {
+	p := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddLess(1,1) did not panic")
+		}
+	}()
+	p.AddLess(1, 1)
+}
+
+func TestTransitiveClosureDiamond(t *testing.T) {
+	// 0 < 1, 0 < 2, 1 < 3, 2 < 3.
+	p := New(4)
+	p.AddLess(0, 1)
+	p.AddLess(0, 2)
+	p.AddLess(1, 3)
+	p.AddLess(2, 3)
+	if !p.Less(0, 3) {
+		t.Fatal("closure missing 0 < 3")
+	}
+	if !p.Concurrent(1, 2) {
+		t.Fatal("1 and 2 should be concurrent")
+	}
+	if p.Width() != 2 {
+		t.Fatalf("diamond width = %d, want 2", p.Width())
+	}
+	covers := p.CoverEdges()
+	want := [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}}
+	if len(covers) != len(want) {
+		t.Fatalf("covers = %v, want %v", covers, want)
+	}
+	for i := range want {
+		if covers[i] != want[i] {
+			t.Fatalf("covers = %v, want %v", covers, want)
+		}
+	}
+}
+
+func TestMinimalsMaximals(t *testing.T) {
+	p := New(5)
+	p.AddLess(0, 2)
+	p.AddLess(1, 2)
+	p.AddLess(2, 3)
+	mins := p.Minimals()
+	if len(mins) != 3 || mins[0] != 0 || mins[1] != 1 || mins[2] != 4 {
+		t.Fatalf("Minimals = %v, want [0 1 4]", mins)
+	}
+	maxs := p.Maximals()
+	if len(maxs) != 2 || maxs[0] != 3 || maxs[1] != 4 {
+		t.Fatalf("Maximals = %v, want [3 4]", maxs)
+	}
+}
+
+func TestUpDownSets(t *testing.T) {
+	p := chainPoset(5)
+	up := p.UpSet(2)
+	if len(up) != 2 || up[0] != 3 || up[1] != 4 {
+		t.Fatalf("UpSet(2) = %v", up)
+	}
+	down := p.DownSet(2)
+	if len(down) != 2 || down[0] != 0 || down[1] != 1 {
+		t.Fatalf("DownSet(2) = %v", down)
+	}
+	if p.DownSetSize(2) != 2 {
+		t.Fatalf("DownSetSize(2) = %d", p.DownSetSize(2))
+	}
+}
+
+func TestLinearExtensionDeterministic(t *testing.T) {
+	p := New(4)
+	p.AddLess(2, 0)
+	p.AddLess(3, 1)
+	ext := p.LinearExtension()
+	if !p.IsLinearExtension(ext) {
+		t.Fatalf("LinearExtension returned non-extension %v", ext)
+	}
+	// Smallest-first tie-break: minimals are {2, 3}, so 2 first, then 0 and
+	// 3 are minimal -> 0, etc.
+	want := []int{2, 0, 3, 1}
+	for i := range want {
+		if ext[i] != want[i] {
+			t.Fatalf("LinearExtension = %v, want %v", ext, want)
+		}
+	}
+}
+
+func TestIsLinearExtensionRejects(t *testing.T) {
+	p := chainPoset(3)
+	cases := [][]int{
+		{2, 1, 0}, // violates order
+		{0, 1},    // wrong length
+		{0, 1, 1}, // duplicate
+		{0, 1, 3}, // out of range
+		{0, 2, 1}, // violates 1 < 2
+	}
+	for _, c := range cases {
+		if p.IsLinearExtension(c) {
+			t.Fatalf("IsLinearExtension(%v) = true", c)
+		}
+	}
+}
+
+func TestEqualClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := random(8, 0.3, rng)
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Fatal("clone not equal to original")
+	}
+	q.AddLess(p.Minimals()[0], p.Maximals()[len(p.Maximals())-1])
+	_ = q.Close()
+	if p.N() != q.N() {
+		t.Fatal("clone changed size")
+	}
+	if !p.Equal(p) {
+		t.Fatal("poset not equal to itself")
+	}
+	if p.Equal(New(3)) {
+		t.Fatal("posets of different sizes equal")
+	}
+}
+
+func TestWidthKnownPosets(t *testing.T) {
+	// Two disjoint chains of length 3: width 2.
+	p := New(6)
+	for i := 0; i < 2; i++ {
+		p.AddLess(3*i, 3*i+1)
+		p.AddLess(3*i+1, 3*i+2)
+	}
+	if p.Width() != 2 {
+		t.Fatalf("two chains width = %d, want 2", p.Width())
+	}
+	anti := p.MaxAntichain()
+	if len(anti) != 2 {
+		t.Fatalf("max antichain = %v, want size 2", anti)
+	}
+	for a := 0; a < len(anti); a++ {
+		for b := a + 1; b < len(anti); b++ {
+			if p.Comparable(anti[a], anti[b]) {
+				t.Fatalf("antichain members %d,%d comparable", anti[a], anti[b])
+			}
+		}
+	}
+	// Standard example S3: bipartite poset with a_i < b_j for i != j, width 3.
+	s := New(6)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j {
+				s.AddLess(i, 3+j)
+			}
+		}
+	}
+	if s.Width() != 3 {
+		t.Fatalf("S3 width = %d, want 3", s.Width())
+	}
+	r := s.Realizer()
+	if err := s.VerifyRealizer(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainPartitionCoversAllOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 30; i++ {
+		p := random(1+rng.Intn(20), rng.Float64(), rng)
+		chains := p.ChainPartition()
+		seen := make([]bool, p.N())
+		for _, ch := range chains {
+			for k, e := range ch {
+				if seen[e] {
+					t.Fatalf("element %d in two chains", e)
+				}
+				seen[e] = true
+				if k > 0 && !p.Less(ch[k-1], e) {
+					t.Fatalf("chain %v not increasing at %d", ch, k)
+				}
+			}
+		}
+		for e, s := range seen {
+			if !s {
+				t.Fatalf("element %d missing from partition", e)
+			}
+		}
+		if len(chains) != p.Width() {
+			t.Fatalf("partition size %d != width %d", len(chains), p.Width())
+		}
+	}
+}
+
+// bruteWidth computes the width by brute force (largest antichain).
+func bruteWidth(p *Poset) int {
+	n := p.N()
+	best := 0
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var members []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				members = append(members, i)
+			}
+		}
+		ok := true
+		for a := 0; a < len(members) && ok; a++ {
+			for b := a + 1; b < len(members); b++ {
+				if p.Comparable(members[a], members[b]) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok && len(members) > best {
+			best = len(members)
+		}
+	}
+	return best
+}
+
+// Property: matching-based width equals brute-force max antichain size.
+func TestQuickWidthMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := random(1+rng.Intn(10), rng.Float64(), rng)
+		return p.Width() == bruteWidth(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the realizer has size Width and its intersection is the poset.
+func TestQuickRealizerExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := random(1+rng.Intn(16), rng.Float64(), rng)
+		r := p.Realizer()
+		if len(r) != p.Width() {
+			return false
+		}
+		return p.VerifyRealizer(r) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: closure is transitive — i<j and j<k imply i<k.
+func TestQuickClosureTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := random(2+rng.Intn(12), 0.4, rng)
+		n := p.N()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					if i != j && j != k && i != k &&
+						p.Less(i, j) && p.Less(j, k) && !p.Less(i, k) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MaxAntichain is an antichain of size Width.
+func TestQuickMaxAntichain(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := random(1+rng.Intn(14), rng.Float64(), rng)
+		anti := p.MaxAntichain()
+		if len(anti) != p.Width() {
+			return false
+		}
+		for a := 0; a < len(anti); a++ {
+			for b := a + 1; b < len(anti); b++ {
+				if p.Comparable(anti[a], anti[b]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRealizerRejectsBad(t *testing.T) {
+	p := New(3) // antichain, width 3
+	// A single extension cannot realize a 3-antichain: it orders pairs.
+	bad := [][]int{{0, 1, 2}}
+	if err := p.VerifyRealizer(bad); err == nil {
+		t.Fatal("VerifyRealizer accepted an insufficient family")
+	}
+	// Non-extension member.
+	q := chainPoset(3)
+	if err := q.VerifyRealizer([][]int{{2, 1, 0}}); err == nil {
+		t.Fatal("VerifyRealizer accepted a non-extension")
+	}
+	// Missing relation coverage is impossible for true extensions, but an
+	// empty family must be rejected for nonempty posets.
+	if err := q.VerifyRealizer(nil); err == nil {
+		t.Fatal("VerifyRealizer accepted an empty family")
+	}
+}
+
+func TestRelationCount(t *testing.T) {
+	p := chainPoset(4) // closure has 3+2+1 = 6 pairs
+	if got := p.RelationCount(); got != 6 {
+		t.Fatalf("RelationCount = %d, want 6", got)
+	}
+}
+
+func BenchmarkClosure(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < b.N; i++ {
+		p := random(200, 0.05, rng)
+		_ = p.Close()
+	}
+}
+
+func BenchmarkWidth200(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	p := random(200, 0.05, rng)
+	_ = p.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Width()
+	}
+}

@@ -1,0 +1,80 @@
+package poset
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// StandardExample returns the standard example S_n of dimension theory
+// (Dushnik–Miller): elements a_1..a_n (indices 0..n-1) and b_1..b_n
+// (indices n..2n-1) with a_i < b_j exactly when i ≠ j. Its width and
+// dimension are both n, making it the canonical witness that realizers
+// cannot be smaller than the width bound used by the offline algorithm.
+func StandardExample(n int) *Poset {
+	if n < 1 {
+		panic(fmt.Sprintf("poset: standard example needs n >= 1, got %d", n))
+	}
+	p := New(2 * n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				p.AddLess(i, n+j)
+			}
+		}
+	}
+	return p
+}
+
+// BooleanLattice returns the subset lattice of {1..n} ordered by strict
+// inclusion: element x < y iff bitmask x ⊂ y. Its width is the central
+// binomial coefficient C(n, ⌊n/2⌋) (Sperner's theorem), exercised by the
+// width machinery's tests.
+func BooleanLattice(n int) *Poset {
+	if n < 0 || n > 16 {
+		panic(fmt.Sprintf("poset: boolean lattice size %d out of [0,16]", n))
+	}
+	p := New(1 << uint(n))
+	for x := 0; x < 1<<uint(n); x++ {
+		// Add covers: x < x ∪ {b} for each bit b not in x; closure does the
+		// rest.
+		for b := 0; b < n; b++ {
+			if x&(1<<uint(b)) == 0 {
+				p.AddLess(x, x|1<<uint(b))
+			}
+		}
+	}
+	return p
+}
+
+// Divisibility returns the divisibility order on 1..n (element i-1
+// represents the integer i): i < j iff i divides j and i ≠ j.
+func Divisibility(n int) *Poset {
+	if n < 1 {
+		panic(fmt.Sprintf("poset: divisibility order needs n >= 1, got %d", n))
+	}
+	p := New(n)
+	for i := 1; i <= n; i++ {
+		for j := 2 * i; j <= n; j += i {
+			p.AddLess(i-1, j-1)
+		}
+	}
+	return p
+}
+
+// binomial returns C(n, k) for the small arguments used in tests.
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	res := 1
+	for i := 0; i < k; i++ {
+		res = res * (n - i) / (i + 1)
+	}
+	return res
+}
+
+// SpernerWidth returns the expected width of BooleanLattice(n).
+func SpernerWidth(n int) int { return binomial(n, n/2) }
+
+// popcount is exposed for rank-based test assertions on BooleanLattice.
+func popcount(x int) int { return bits.OnesCount(uint(x)) }

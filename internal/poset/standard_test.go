@@ -1,0 +1,134 @@
+package poset
+
+import (
+	"testing"
+)
+
+func TestStandardExampleWidthAndRealizer(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5} {
+		s := StandardExample(n)
+		if s.N() != 2*n {
+			t.Fatalf("S_%d has %d elements", n, s.N())
+		}
+		wantWidth := n
+		if n == 1 {
+			wantWidth = 2 // a_1 and b_1 are incomparable singletons
+		}
+		if w := s.Width(); w != wantWidth {
+			t.Fatalf("S_%d width = %d, want %d", n, w, wantWidth)
+		}
+		r := s.Realizer()
+		if err := s.VerifyRealizer(r); err != nil {
+			t.Fatalf("S_%d: %v", n, err)
+		}
+		// The realizer from the chain partition has exactly width members —
+		// which for S_n (n ≥ 2) matches its dimension n, the canonical
+		// tight case.
+		if len(r) != wantWidth {
+			t.Fatalf("S_%d realizer size = %d, want %d", n, len(r), wantWidth)
+		}
+	}
+}
+
+func TestStandardExampleRelations(t *testing.T) {
+	s := StandardExample(3)
+	if s.Less(0, 3) {
+		t.Fatal("a_1 < b_1 must not hold")
+	}
+	if !s.Less(0, 4) || !s.Less(0, 5) {
+		t.Fatal("a_1 < b_2, b_3 must hold")
+	}
+	if !s.Concurrent(0, 1) || !s.Concurrent(3, 4) {
+		t.Fatal("the a's and the b's are antichains")
+	}
+}
+
+func TestBooleanLatticeSperner(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5} {
+		b := BooleanLattice(n)
+		if got, want := b.Width(), SpernerWidth(n); got != want {
+			t.Fatalf("B_%d width = %d, want %d (Sperner)", n, got, want)
+		}
+	}
+}
+
+func TestBooleanLatticeOrderIsInclusion(t *testing.T) {
+	b := BooleanLattice(4)
+	for x := 0; x < 16; x++ {
+		for y := 0; y < 16; y++ {
+			want := x != y && x&y == x // strict subset
+			if b.Less(x, y) != want {
+				t.Fatalf("B_4: Less(%04b, %04b) = %v, want %v", x, y, b.Less(x, y), want)
+			}
+		}
+	}
+	// Max antichain must be a middle layer.
+	anti := b.MaxAntichain()
+	if len(anti) != 6 {
+		t.Fatalf("B_4 max antichain size = %d, want 6", len(anti))
+	}
+	for _, x := range anti {
+		if popcount(x) != 2 {
+			t.Fatalf("B_4 antichain member %04b not in the middle layer", x)
+		}
+	}
+}
+
+func TestBooleanLatticeRealizer(t *testing.T) {
+	b := BooleanLattice(3)
+	r := b.Realizer()
+	if err := b.VerifyRealizer(r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != b.Width() {
+		t.Fatalf("realizer size %d != width %d", len(r), b.Width())
+	}
+}
+
+func TestDivisibility(t *testing.T) {
+	d := Divisibility(12)
+	cases := []struct {
+		a, b int
+		want bool
+	}{
+		{1, 12, true}, {2, 6, true}, {3, 9, true}, {2, 12, true},
+		{4, 6, false}, {5, 7, false}, {6, 3, false}, {12, 12, false},
+	}
+	for _, tc := range cases {
+		if got := d.Less(tc.a-1, tc.b-1); got != tc.want {
+			t.Fatalf("%d | %d: Less = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+	// Width of divisibility on 1..12: the largest antichain is
+	// {7, 8, 9, 10, 11, 12}, size 6.
+	if w := d.Width(); w != 6 {
+		t.Fatalf("divisibility width = %d, want 6", w)
+	}
+}
+
+func TestStandardPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { StandardExample(0) },
+		func() { BooleanLattice(-1) },
+		func() { BooleanLattice(17) },
+		func() { Divisibility(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := [][3]int{{4, 2, 6}, {5, 0, 1}, {5, 5, 1}, {6, 3, 20}, {3, 5, 0}, {3, -1, 0}}
+	for _, c := range cases {
+		if got := binomial(c[0], c[1]); got != c[2] {
+			t.Fatalf("C(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}

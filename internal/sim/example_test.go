@@ -1,0 +1,28 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"syncstamp/internal/sim"
+	"syncstamp/internal/trace"
+)
+
+// A 4-stage pipeline with 2 items: boundaries 0-1 and 2-3 share no stage,
+// so different items overlap and the makespan beats the serial time.
+func ExampleSchedule() {
+	tr := trace.Pipeline(4, 2)
+	res, err := sim.Schedule(tr, sim.Uniform(10, 0))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("hand-offs:", len(res.Start))
+	fmt.Println("serial time:", res.SerialTime)
+	fmt.Println("makespan:", res.Makespan)
+	fmt.Printf("speedup: %.2fx\n", res.Parallelism())
+	// Output:
+	// hand-offs: 6
+	// serial time: 60
+	// makespan: 50
+	// speedup: 1.20x
+}

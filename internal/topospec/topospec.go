@@ -1,0 +1,174 @@
+// Package topospec parses compact textual topology specifications used by
+// the command-line tools, e.g. "complete:8", "clientserver:2x10",
+// "tree:3x2", "gnp:12:0.3:seed7". It exists so tsgen, tsdecomp, tsstamp and
+// paperbench accept the same vocabulary.
+package topospec
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"syncstamp/internal/graph"
+)
+
+// Help describes the accepted specifications, for tool usage text.
+const Help = `topology specs:
+  complete:N          fully connected on N processes (Figure 2(a))
+  star:N              star on N processes rooted at 0
+  triangle            the 3-process triangle
+  path:N              path on N processes
+  cycle:N             cycle on N processes
+  grid:RxC            R x C grid
+  hypercube:D         D-dimensional hypercube (2^D processes)
+  clientserver:SxC    S servers, C clients, clients talk only to servers
+  tree:BxD            complete B-ary tree of depth D
+  randtree:N[:seedS]  random tree on N processes
+  gnp:N:P[:seedS]     Erdos-Renyi G(N, P), connected up by a random tree
+  triangles:T         T disjoint triangles (beta = 2*alpha example)
+  figure2b            the 11-process topology of Figures 2(b)/8
+  figure4             the 20-process tree of Figure 4`
+
+// Parse builds the graph described by spec.
+func Parse(spec string) (*graph.Graph, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	if len(parts) == 0 || parts[0] == "" {
+		return nil, fmt.Errorf("topospec: empty spec")
+	}
+	name := strings.ToLower(parts[0])
+	args := parts[1:]
+
+	seed := int64(1)
+	// A trailing "seedS" argument selects the RNG seed for random families.
+	if len(args) > 0 && strings.HasPrefix(args[len(args)-1], "seed") {
+		s, err := strconv.ParseInt(strings.TrimPrefix(args[len(args)-1], "seed"), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("topospec: bad seed in %q", spec)
+		}
+		seed = s
+		args = args[:len(args)-1]
+	}
+
+	intArg := func(i int) (int, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("topospec: %s needs argument %d", name, i+1)
+		}
+		v, err := strconv.Atoi(args[i])
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("topospec: bad number %q in %q", args[i], spec)
+		}
+		return v, nil
+	}
+	pairArg := func(i int) (int, int, error) {
+		if i >= len(args) {
+			return 0, 0, fmt.Errorf("topospec: %s needs AxB argument", name)
+		}
+		ab := strings.SplitN(strings.ToLower(args[i]), "x", 2)
+		if len(ab) != 2 {
+			return 0, 0, fmt.Errorf("topospec: want AxB, got %q", args[i])
+		}
+		a, err1 := strconv.Atoi(ab[0])
+		b, err2 := strconv.Atoi(ab[1])
+		if err1 != nil || err2 != nil || a < 0 || b < 0 {
+			return 0, 0, fmt.Errorf("topospec: bad pair %q", args[i])
+		}
+		return a, b, nil
+	}
+
+	switch name {
+	case "complete", "k":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Complete(n), nil
+	case "star":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("topospec: star needs at least 1 process")
+		}
+		return graph.Star(n, 0), nil
+	case "triangle":
+		return graph.Triangle(), nil
+	case "path":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Path(n), nil
+	case "cycle":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		if n < 3 {
+			return nil, fmt.Errorf("topospec: cycle needs at least 3 processes")
+		}
+		return graph.Cycle(n), nil
+	case "grid":
+		r, c, err := pairArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Grid(r, c), nil
+	case "hypercube":
+		d, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		if d > 16 {
+			return nil, fmt.Errorf("topospec: hypercube dimension %d too large", d)
+		}
+		return graph.Hypercube(d), nil
+	case "clientserver", "cs":
+		s, c, err := pairArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.ClientServer(s, c, false), nil
+	case "tree":
+		b, d, err := pairArg(0)
+		if err != nil {
+			return nil, err
+		}
+		if b < 1 {
+			return nil, fmt.Errorf("topospec: tree branching must be >= 1")
+		}
+		return graph.BalancedTree(b, d), nil
+	case "randtree":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.RandomTree(n, rand.New(rand.NewSource(seed))), nil
+	case "gnp":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 2 {
+			return nil, fmt.Errorf("topospec: gnp needs a probability")
+		}
+		p, err := strconv.ParseFloat(args[1], 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("topospec: bad probability %q", args[1])
+		}
+		return graph.RandomConnected(n, p, rand.New(rand.NewSource(seed))), nil
+	case "triangles":
+		t, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.DisjointTriangles(t), nil
+	case "figure2b":
+		return graph.Figure2b(), nil
+	case "figure4":
+		return graph.Figure4Tree(), nil
+	default:
+		return nil, fmt.Errorf("topospec: unknown topology %q\n%s", name, Help)
+	}
+}

@@ -1,0 +1,95 @@
+package topospec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseValid(t *testing.T) {
+	cases := []struct {
+		spec string
+		n, m int
+	}{
+		{"complete:5", 5, 10},
+		{"k:4", 4, 6},
+		{"star:6", 6, 5},
+		{"triangle", 3, 3},
+		{"path:4", 4, 3},
+		{"cycle:5", 5, 5},
+		{"grid:2x3", 6, 7},
+		{"hypercube:3", 8, 12},
+		{"clientserver:2x4", 6, 8},
+		{"cs:3x3", 6, 9},
+		{"tree:2x2", 7, 6},
+		{"randtree:9", 9, 8},
+		{"randtree:9:seed42", 9, 8},
+		{"triangles:2", 6, 6},
+		{"figure2b", 11, 16},
+		{"figure4", 20, 19},
+		{"COMPLETE:3", 3, 3}, // case-insensitive
+		{" path:3 ", 3, 2},   // whitespace tolerated
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			g, err := Parse(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.N() != tc.n || g.M() != tc.m {
+				t.Fatalf("%q -> n=%d m=%d, want n=%d m=%d", tc.spec, g.N(), g.M(), tc.n, tc.m)
+			}
+		})
+	}
+}
+
+func TestParseGnp(t *testing.T) {
+	g, err := Parse("gnp:10:0.3:seed7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 || !g.IsConnected() {
+		t.Fatalf("gnp: n=%d connected=%v", g.N(), g.IsConnected())
+	}
+	// Same seed -> same graph.
+	g2, err := Parse("gnp:10:0.3:seed7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != g2.M() {
+		t.Fatal("gnp spec is not deterministic for a fixed seed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"unknown:3",
+		"complete",
+		"complete:x",
+		"complete:-1",
+		"star:0",
+		"cycle:2",
+		"grid:3",
+		"grid:ax2",
+		"hypercube:99",
+		"tree:0x2",
+		"gnp:5",
+		"gnp:5:1.5",
+		"randtree:5:seedX",
+	}
+	for _, spec := range cases {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestHelpMentionsAllFamilies(t *testing.T) {
+	for _, name := range []string{"complete", "star", "triangle", "path", "cycle",
+		"grid", "hypercube", "clientserver", "tree", "randtree", "gnp", "triangles",
+		"figure2b", "figure4"} {
+		if !strings.Contains(Help, name) {
+			t.Errorf("Help missing %q", name)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText serializes a trace in a line-oriented format:
+//
+//	n <processes>
+//	m <from> <to>
+//	i <proc>
+//
+// Lines beginning with '#' are comments.
+func WriteText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", t.N); err != nil {
+		return err
+	}
+	for _, op := range t.Ops {
+		var err error
+		switch op.Kind {
+		case OpMessage:
+			_, err = fmt.Fprintf(bw, "m %d %d\n", op.From, op.To)
+		case OpInternal:
+			_, err = fmt.Fprintf(bw, "i %d\n", op.Proc)
+		default:
+			err = fmt.Errorf("trace: cannot encode op kind %d", int(op.Kind))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the format produced by WriteText.
+func ReadText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var tr *Trace
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "n":
+			if tr != nil {
+				return nil, fmt.Errorf("trace: line %d: duplicate n line", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: want \"n <count>\"", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("trace: line %d: bad process count %q", line, fields[1])
+			}
+			tr = &Trace{N: n}
+		case "m":
+			if tr == nil {
+				return nil, fmt.Errorf("trace: line %d: op before n line", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace: line %d: want \"m <from> <to>\"", line)
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("trace: line %d: bad message %q", line, text)
+			}
+			if err := tr.Append(Message(from, to)); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+		case "i":
+			if tr == nil {
+				return nil, fmt.Errorf("trace: line %d: op before n line", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: want \"i <proc>\"", line)
+			}
+			proc, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad process %q", line, fields[1])
+			}
+			if err := tr.Append(Internal(proc)); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("trace: missing n line")
+	}
+	return tr, nil
+}

@@ -1,0 +1,35 @@
+package trace
+
+// Figure1 returns a 4-process synchronous computation with six messages
+// m1..m6 realizing every relation the paper states about its Figure 1:
+// m1‖m2, m1 ▷ m3, m2 ↦ m6, m3 ↦ m5, and a synchronous chain of size 4 from
+// m1 to m5 (m1 ▷ m3 ▷ m4 ▷ m5). The paper draws the computation without
+// listing the exact channels; this reconstruction is checked against each
+// stated relation by experiment E1. Message index i corresponds to m(i+1).
+func Figure1() *Trace {
+	tr := &Trace{N: 4}
+	tr.MustAppend(Message(0, 1)) // m1: P1 -> P2
+	tr.MustAppend(Message(2, 3)) // m2: P3 -> P4 (concurrent with m1)
+	tr.MustAppend(Message(1, 2)) // m3: P2 -> P3 (after m1 via P2, after m2 via P3)
+	tr.MustAppend(Message(2, 3)) // m4: P3 -> P4
+	tr.MustAppend(Message(3, 0)) // m5: P4 -> P1 (chain m1,m3,m4,m5)
+	tr.MustAppend(Message(0, 1)) // m6: P1 -> P2 (m2 ↦ m4 ↦ m5 ↦ m6)
+	return tr
+}
+
+// Figure6 returns the 5-process computation of the paper's Figure 6 worked
+// example, played over the complete topology K5 with the Figure 3(a)
+// decomposition (see decomp.Figure3a): E1 = star at P1, E2 = star at P2,
+// E3 = triangle (P3, P4, P5). The third message (P2 -> P3) must be
+// timestamped (1,1,1) exactly as the paper narrates. Processes P1..P5 map
+// to 0..4.
+func Figure6() *Trace {
+	tr := &Trace{N: 5}
+	tr.MustAppend(Message(0, 1)) // P1 -> P2 on E1: both reach (1,0,0)
+	tr.MustAppend(Message(3, 2)) // P4 -> P3 on E3: both reach (0,0,1)
+	tr.MustAppend(Message(1, 2)) // P2 -> P3 on E2: max then inc -> (1,1,1)
+	tr.MustAppend(Message(0, 3)) // P1 -> P4 on E1: max((1,0,0),(0,0,1)) inc -> (2,0,1)
+	tr.MustAppend(Message(4, 2)) // P5 -> P3 on E3: max((0,0,0),(1,1,1)) inc -> (1,1,2)
+	tr.MustAppend(Message(1, 4)) // P2 -> P5 on E2: max((1,1,1),(1,1,2)) inc -> (1,2,2)
+	return tr
+}

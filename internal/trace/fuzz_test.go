@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadText checks the trace parser never panics and that anything it
+// accepts round-trips through WriteText.
+func FuzzReadText(f *testing.F) {
+	f.Add("n 3\nm 0 1\ni 2\nm 1 2\n")
+	f.Add("n 0\n")
+	f.Add("# comment\n\nn 2\nm 1 0\n")
+	f.Add("n 2\nm 0 1")
+	f.Add("m 0 1\nn 2\n")
+	f.Add("n -1\n")
+	f.Add("n 2\nm 0 0\n")
+	f.Add("n 2\nq\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadText(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(nil); err != nil {
+			t.Fatalf("parser accepted an invalid trace: %v", err)
+		}
+		var b strings.Builder
+		if err := WriteText(&b, tr); err != nil {
+			t.Fatalf("WriteText of accepted trace failed: %v", err)
+		}
+		back, err := ReadText(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.N != tr.N || len(back.Ops) != len(tr.Ops) {
+			t.Fatal("round trip changed the trace")
+		}
+		for i := range tr.Ops {
+			if back.Ops[i] != tr.Ops[i] {
+				t.Fatalf("op %d changed: %v -> %v", i, tr.Ops[i], back.Ops[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,253 @@
+// Package trace represents synchronous computations. Because every
+// computation built from synchronous messages is logically equivalent to one
+// in which all messages are instantaneous (Charron-Bost et al.; Section 1 of
+// the paper — time diagrams with vertical arrows), a computation is recorded
+// as a single global sequence of operations: message exchanges between two
+// processes and internal events on one process. All order relations of the
+// paper (the message poset ↦ of Section 2 and the event-level happened-before
+// of Section 5) are derivable from this sequence; internal/order implements
+// the derivations.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"syncstamp/internal/graph"
+)
+
+// OpKind discriminates trace operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	// OpMessage is a synchronous message exchange: the sender blocks until
+	// the receiver delivers (send and receive share one logical instant).
+	OpMessage OpKind = iota + 1
+	// OpInternal is an internal event on a single process.
+	OpInternal
+)
+
+// Op is one operation of a synchronous computation.
+type Op struct {
+	Kind OpKind
+	// From and To are the sender and receiver of a message op.
+	From, To int
+	// Proc is the process of an internal op.
+	Proc int
+}
+
+// Message returns a message op from sender to receiver.
+func Message(from, to int) Op { return Op{Kind: OpMessage, From: from, To: to} }
+
+// Internal returns an internal op on proc.
+func Internal(proc int) Op { return Op{Kind: OpInternal, Proc: proc} }
+
+// String renders the op as "2->5" or "int@3".
+func (o Op) String() string {
+	switch o.Kind {
+	case OpMessage:
+		return fmt.Sprintf("%d->%d", o.From, o.To)
+	case OpInternal:
+		return fmt.Sprintf("int@%d", o.Proc)
+	default:
+		return fmt.Sprintf("Op(kind=%d)", int(o.Kind))
+	}
+}
+
+// Msg identifies one message of a computation along with its channel.
+type Msg struct {
+	// Index is the message's position among the message ops (0-based).
+	Index int
+	// From and To are the sender and receiver processes.
+	From, To int
+}
+
+// Edge returns the channel the message travels on.
+func (m Msg) Edge() graph.Edge { return graph.NewEdge(m.From, m.To) }
+
+// Trace is a synchronous computation on processes 0..N-1.
+type Trace struct {
+	// N is the number of processes.
+	N int
+	// Ops is the global operation sequence.
+	Ops []Op
+}
+
+// NumMessages returns the number of message ops.
+func (t *Trace) NumMessages() int {
+	c := 0
+	for _, op := range t.Ops {
+		if op.Kind == OpMessage {
+			c++
+		}
+	}
+	return c
+}
+
+// NumInternal returns the number of internal ops.
+func (t *Trace) NumInternal() int {
+	c := 0
+	for _, op := range t.Ops {
+		if op.Kind == OpInternal {
+			c++
+		}
+	}
+	return c
+}
+
+// Messages returns the message list in order of occurrence.
+func (t *Trace) Messages() []Msg {
+	out := make([]Msg, 0, t.NumMessages())
+	for _, op := range t.Ops {
+		if op.Kind == OpMessage {
+			out = append(out, Msg{Index: len(out), From: op.From, To: op.To})
+		}
+	}
+	return out
+}
+
+// Append adds an op to the trace after validating process indices.
+func (t *Trace) Append(op Op) error {
+	switch op.Kind {
+	case OpMessage:
+		if op.From < 0 || op.From >= t.N || op.To < 0 || op.To >= t.N {
+			return fmt.Errorf("trace: message %v out of range for N=%d", op, t.N)
+		}
+		if op.From == op.To {
+			return fmt.Errorf("trace: self-message on process %d", op.From)
+		}
+	case OpInternal:
+		if op.Proc < 0 || op.Proc >= t.N {
+			return fmt.Errorf("trace: internal op on process %d out of range for N=%d", op.Proc, t.N)
+		}
+	default:
+		return fmt.Errorf("trace: invalid op kind %d", int(op.Kind))
+	}
+	t.Ops = append(t.Ops, op)
+	return nil
+}
+
+// MustAppend is Append but panics on error; for hand-built test traces.
+func (t *Trace) MustAppend(op Op) {
+	if err := t.Append(op); err != nil {
+		panic(err.Error())
+	}
+}
+
+// Validate checks every op's process indices, and, when topo is non-nil,
+// that every message travels on an edge of the topology.
+func (t *Trace) Validate(topo *graph.Graph) error {
+	if topo != nil && topo.N() != t.N {
+		return fmt.Errorf("trace: N=%d but topology has %d vertices", t.N, topo.N())
+	}
+	for i, op := range t.Ops {
+		switch op.Kind {
+		case OpMessage:
+			if op.From < 0 || op.From >= t.N || op.To < 0 || op.To >= t.N || op.From == op.To {
+				return fmt.Errorf("trace: op %d: invalid message %v", i, op)
+			}
+			if topo != nil && !topo.HasEdge(op.From, op.To) {
+				return fmt.Errorf("trace: op %d: message %v not on a topology edge", i, op)
+			}
+		case OpInternal:
+			if op.Proc < 0 || op.Proc >= t.N {
+				return fmt.Errorf("trace: op %d: invalid internal %v", i, op)
+			}
+		default:
+			return fmt.Errorf("trace: op %d: invalid kind %d", i, int(op.Kind))
+		}
+	}
+	return nil
+}
+
+// Topology returns the communication topology actually used by the trace:
+// the graph whose edges are exactly the channels that carry some message.
+func (t *Trace) Topology() *graph.Graph {
+	g := graph.New(t.N)
+	for _, op := range t.Ops {
+		if op.Kind == OpMessage {
+			g.AddEdge(op.From, op.To)
+		}
+	}
+	return g
+}
+
+// ProcOps returns, for each process, the indices into Ops of the operations
+// it participates in (messages as sender or receiver, and its internal ops).
+func (t *Trace) ProcOps() [][]int {
+	out := make([][]int, t.N)
+	for i, op := range t.Ops {
+		switch op.Kind {
+		case OpMessage:
+			out[op.From] = append(out[op.From], i)
+			out[op.To] = append(out[op.To], i)
+		case OpInternal:
+			out[op.Proc] = append(out[op.Proc], i)
+		}
+	}
+	return out
+}
+
+// GenOptions configures random computation generation.
+type GenOptions struct {
+	// Messages is the number of message ops to generate.
+	Messages int
+	// InternalProb is the probability, before each message, of inserting an
+	// internal event on a uniformly random process (repeatedly, until the
+	// coin fails), in [0, 1).
+	InternalProb float64
+	// Hotspot, when in (0, 1], biases channel selection: with this
+	// probability the next message reuses a process of the previous one,
+	// producing longer synchronous chains than uniform selection.
+	Hotspot float64
+}
+
+// Generate builds a random synchronous computation over the channels of
+// topo. Messages are uniform over edges (optionally biased by Hotspot);
+// the result is always a valid trace of topo. It panics if topo has no
+// edges but Messages > 0.
+func Generate(topo *graph.Graph, opts GenOptions, rng *rand.Rand) *Trace {
+	edges := topo.Edges()
+	if len(edges) == 0 && opts.Messages > 0 {
+		panic("trace: cannot generate messages on an edgeless topology")
+	}
+	if opts.InternalProb < 0 || opts.InternalProb >= 1 {
+		if opts.InternalProb != 0 {
+			panic(fmt.Sprintf("trace: InternalProb %v out of [0,1)", opts.InternalProb))
+		}
+	}
+	tr := &Trace{N: topo.N()}
+	var prev graph.Edge
+	havePrev := false
+	for m := 0; m < opts.Messages; m++ {
+		for opts.InternalProb > 0 && rng.Float64() < opts.InternalProb {
+			tr.MustAppend(Internal(rng.Intn(topo.N())))
+		}
+		e := edges[rng.Intn(len(edges))]
+		if havePrev && opts.Hotspot > 0 && rng.Float64() < opts.Hotspot {
+			// Prefer an edge sharing a vertex with the previous message.
+			var candidates []graph.Edge
+			for _, v := range []int{prev.U, prev.V} {
+				for _, u := range topo.Neighbors(v) {
+					candidates = append(candidates, graph.NewEdge(v, u))
+				}
+			}
+			if len(candidates) > 0 {
+				e = candidates[rng.Intn(len(candidates))]
+			}
+		}
+		// Random direction.
+		from, to := e.U, e.V
+		if rng.Intn(2) == 0 {
+			from, to = to, from
+		}
+		tr.MustAppend(Message(from, to))
+		prev = e
+		havePrev = true
+	}
+	for opts.InternalProb > 0 && rng.Float64() < opts.InternalProb {
+		tr.MustAppend(Internal(rng.Intn(topo.N())))
+	}
+	return tr
+}

@@ -1,0 +1,276 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"syncstamp/internal/graph"
+)
+
+func TestOpConstructorsAndString(t *testing.T) {
+	m := Message(2, 5)
+	if m.Kind != OpMessage || m.From != 2 || m.To != 5 {
+		t.Fatalf("Message = %+v", m)
+	}
+	if m.String() != "2->5" {
+		t.Fatalf("String = %q", m.String())
+	}
+	i := Internal(3)
+	if i.Kind != OpInternal || i.Proc != 3 {
+		t.Fatalf("Internal = %+v", i)
+	}
+	if i.String() != "int@3" {
+		t.Fatalf("String = %q", i.String())
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	tr := &Trace{N: 3}
+	if err := tr.Append(Message(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Op{
+		Message(0, 3),
+		Message(-1, 1),
+		Message(1, 1),
+		Internal(3),
+		Internal(-1),
+		{Kind: OpKind(7)},
+	}
+	for _, op := range cases {
+		if err := tr.Append(op); err == nil {
+			t.Fatalf("Append(%v) succeeded, want error", op)
+		}
+	}
+	if len(tr.Ops) != 1 {
+		t.Fatalf("failed appends modified the trace: %v", tr.Ops)
+	}
+}
+
+func TestCountsAndMessages(t *testing.T) {
+	tr := &Trace{N: 4}
+	tr.MustAppend(Internal(0))
+	tr.MustAppend(Message(0, 1))
+	tr.MustAppend(Internal(2))
+	tr.MustAppend(Message(2, 3))
+	tr.MustAppend(Message(1, 2))
+	if tr.NumMessages() != 3 || tr.NumInternal() != 2 {
+		t.Fatalf("messages=%d internal=%d", tr.NumMessages(), tr.NumInternal())
+	}
+	msgs := tr.Messages()
+	if len(msgs) != 3 {
+		t.Fatalf("Messages() = %v", msgs)
+	}
+	for i, m := range msgs {
+		if m.Index != i {
+			t.Fatalf("message %d has index %d", i, m.Index)
+		}
+	}
+	if msgs[1].From != 2 || msgs[1].To != 3 {
+		t.Fatalf("msgs[1] = %+v", msgs[1])
+	}
+	if msgs[1].Edge() != graph.NewEdge(2, 3) {
+		t.Fatalf("Edge() = %v", msgs[1].Edge())
+	}
+}
+
+func TestValidateAgainstTopology(t *testing.T) {
+	topo := graph.Path(3) // edges (0,1), (1,2)
+	good := &Trace{N: 3}
+	good.MustAppend(Message(0, 1))
+	good.MustAppend(Message(2, 1))
+	if err := good.Validate(topo); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Trace{N: 3}
+	bad.MustAppend(Message(0, 2)) // not a topology edge
+	if err := bad.Validate(topo); err == nil {
+		t.Fatal("Validate accepted an off-topology message")
+	}
+	mismatch := &Trace{N: 4}
+	if err := mismatch.Validate(topo); err == nil {
+		t.Fatal("Validate accepted a process-count mismatch")
+	}
+	// Corrupt ops are caught even without a topology.
+	corrupt := &Trace{N: 3, Ops: []Op{{Kind: OpMessage, From: 0, To: 0}}}
+	if err := corrupt.Validate(nil); err == nil {
+		t.Fatal("Validate accepted a self-message")
+	}
+	corrupt2 := &Trace{N: 3, Ops: []Op{{Kind: OpKind(9)}}}
+	if err := corrupt2.Validate(nil); err == nil {
+		t.Fatal("Validate accepted an invalid kind")
+	}
+}
+
+func TestTopologyExtraction(t *testing.T) {
+	tr := &Trace{N: 5}
+	tr.MustAppend(Message(0, 1))
+	tr.MustAppend(Message(1, 0)) // same channel, other direction
+	tr.MustAppend(Message(3, 4))
+	g := tr.Topology()
+	if g.M() != 2 || !g.HasEdge(0, 1) || !g.HasEdge(3, 4) {
+		t.Fatalf("Topology = %v", g)
+	}
+}
+
+func TestProcOps(t *testing.T) {
+	tr := &Trace{N: 3}
+	tr.MustAppend(Message(0, 1)) // op 0
+	tr.MustAppend(Internal(1))   // op 1
+	tr.MustAppend(Message(1, 2)) // op 2
+	po := tr.ProcOps()
+	assertInts(t, po[0], []int{0})
+	assertInts(t, po[1], []int{0, 1, 2})
+	assertInts(t, po[2], []int{2})
+}
+
+func assertInts(t *testing.T, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGenerateRespectsTopology(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	topo := graph.ClientServer(2, 6, false)
+	tr := Generate(topo, GenOptions{Messages: 200, InternalProb: 0.3, Hotspot: 0.5}, rng)
+	if err := tr.Validate(topo); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumMessages() != 200 {
+		t.Fatalf("generated %d messages, want 200", tr.NumMessages())
+	}
+	if tr.NumInternal() == 0 {
+		t.Fatal("InternalProb 0.3 over 200 messages generated no internal events")
+	}
+}
+
+func TestGenerateNoEdgesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate on edgeless topology did not panic")
+		}
+	}()
+	Generate(graph.New(3), GenOptions{Messages: 1}, rand.New(rand.NewSource(1)))
+}
+
+func TestGenerateBadInternalProbPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate with InternalProb=1 did not panic")
+		}
+	}()
+	Generate(graph.Path(3), GenOptions{Messages: 1, InternalProb: 1}, rand.New(rand.NewSource(1)))
+}
+
+func TestGenerateZeroMessages(t *testing.T) {
+	tr := Generate(graph.New(3), GenOptions{}, rand.New(rand.NewSource(1)))
+	if len(tr.Ops) != 0 || tr.N != 3 {
+		t.Fatalf("Generate zero = %+v", tr)
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	tr := Figure1()
+	if tr.N != 4 || tr.NumMessages() != 6 {
+		t.Fatalf("Figure1: N=%d messages=%d", tr.N, tr.NumMessages())
+	}
+	if err := tr.Validate(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	tr := Figure6()
+	if tr.N != 5 || tr.NumMessages() != 6 {
+		t.Fatalf("Figure6: N=%d messages=%d", tr.N, tr.NumMessages())
+	}
+	if err := tr.Validate(graph.Complete(5)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 20; i++ {
+		topo := graph.RandomConnected(2+rng.Intn(8), 0.3, rng)
+		tr := Generate(topo, GenOptions{Messages: rng.Intn(50), InternalProb: 0.2}, rng)
+		var b strings.Builder
+		if err := WriteText(&b, tr); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		got, err := ReadText(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("ReadText: %v", err)
+		}
+		if got.N != tr.N || len(got.Ops) != len(tr.Ops) {
+			t.Fatalf("round trip N=%d ops=%d, want N=%d ops=%d", got.N, len(got.Ops), tr.N, len(tr.Ops))
+		}
+		for j := range tr.Ops {
+			if got.Ops[j] != tr.Ops[j] {
+				t.Fatalf("op %d: got %v, want %v", j, got.Ops[j], tr.Ops[j])
+			}
+		}
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"missing n", "m 0 1\n"},
+		{"duplicate n", "n 2\nn 2\n"},
+		{"bad n", "n -1\n"},
+		{"empty", "# c\n"},
+		{"m arity", "n 3\nm 1\n"},
+		{"m bad", "n 3\nm a b\n"},
+		{"m out of range", "n 3\nm 0 4\n"},
+		{"i arity", "n 3\ni\n"},
+		{"i bad", "n 3\ni x\n"},
+		{"i out of range", "n 3\ni 3\n"},
+		{"unknown", "n 3\nq 1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadText(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("ReadText(%q) succeeded", tc.in)
+			}
+		})
+	}
+}
+
+// Property: Generate always produces traces that validate against their
+// topology, and Topology() is a subgraph of the generator topology.
+func TestQuickGenerateValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo := graph.RandomConnected(2+rng.Intn(10), rng.Float64(), rng)
+		tr := Generate(topo, GenOptions{
+			Messages:     rng.Intn(80),
+			InternalProb: rng.Float64() * 0.5,
+			Hotspot:      rng.Float64(),
+		}, rng)
+		if tr.Validate(topo) != nil {
+			return false
+		}
+		used := tr.Topology()
+		for _, e := range used.Edges() {
+			if !topo.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RPCWorkload builds a synchronous client-server computation over the
+// graph.ClientServer(servers, clients, false) topology: every client issues
+// rpcs request/reply pairs to each server, interleaved round-robin across
+// clients (the paper's Section 3.3 motivating workload).
+func RPCWorkload(servers, clients, rpcs int) *Trace {
+	if servers < 1 || clients < 0 || rpcs < 0 {
+		panic(fmt.Sprintf("trace: invalid RPC workload %dx%dx%d", servers, clients, rpcs))
+	}
+	tr := &Trace{N: servers + clients}
+	for r := 0; r < rpcs; r++ {
+		for c := 0; c < clients; c++ {
+			client := servers + c
+			for s := 0; s < servers; s++ {
+				tr.MustAppend(Message(client, s)) // request
+				tr.MustAppend(Message(s, client)) // reply
+			}
+		}
+	}
+	return tr
+}
+
+// RingToken builds a token circulating rounds times around a ring of n
+// processes (cycle topology): one long synchronous chain.
+func RingToken(n, rounds int) *Trace {
+	if n < 3 {
+		panic(fmt.Sprintf("trace: ring needs at least 3 processes, got %d", n))
+	}
+	tr := &Trace{N: n}
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < n; i++ {
+			tr.MustAppend(Message(i, (i+1)%n))
+		}
+	}
+	return tr
+}
+
+// TreeGatherScatter builds rounds of leaf-to-root aggregation followed by
+// root-to-leaf broadcast over the graph.BalancedTree(branching, depth)
+// topology — the tree workload behind Figure 4's motivation.
+func TreeGatherScatter(branching, depth, rounds int) *Trace {
+	if branching < 1 || depth < 0 {
+		panic(fmt.Sprintf("trace: invalid tree %dx%d", branching, depth))
+	}
+	n := 1
+	level := 1
+	for d := 0; d < depth; d++ {
+		level *= branching
+		n += level
+	}
+	tr := &Trace{N: n}
+	parent := func(v int) int { return (v - 1) / branching }
+	for r := 0; r < rounds; r++ {
+		// Gather: children report upward, deepest first.
+		for v := n - 1; v >= 1; v-- {
+			tr.MustAppend(Message(v, parent(v)))
+		}
+		// Scatter: parents push downward.
+		for v := 1; v < n; v++ {
+			tr.MustAppend(Message(parent(v), v))
+		}
+	}
+	return tr
+}
+
+// Pipeline builds a staged pipeline: items flow through processes
+// 0 → 1 → ... → n-1, with items entering back-to-back so different stages
+// work on different items concurrently.
+func Pipeline(n, items int) *Trace {
+	if n < 2 {
+		panic(fmt.Sprintf("trace: pipeline needs at least 2 stages, got %d", n))
+	}
+	tr := &Trace{N: n}
+	// Schedule by anti-diagonals: step t moves item i across stage s where
+	// s = t - i, giving maximal overlap.
+	for t := 0; t < items+n-2; t++ {
+		for i := 0; i < items; i++ {
+			s := t - i
+			if s >= 0 && s < n-1 {
+				tr.MustAppend(Message(s, s+1))
+			}
+		}
+	}
+	return tr
+}
+
+// Mixed interleaves a base workload with background noise: random messages
+// over the given extra channels and internal events, for stress scenarios.
+func Mixed(base *Trace, extra []Msg, internalPerOp float64, rng *rand.Rand) *Trace {
+	tr := &Trace{N: base.N}
+	for _, op := range base.Ops {
+		if internalPerOp > 0 && rng.Float64() < internalPerOp {
+			tr.MustAppend(Internal(rng.Intn(base.N)))
+		}
+		if len(extra) > 0 && rng.Float64() < 0.25 {
+			e := extra[rng.Intn(len(extra))]
+			tr.MustAppend(Message(e.From, e.To))
+		}
+		tr.MustAppend(op)
+	}
+	return tr
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"syncstamp/internal/graph"
+)
+
+func TestRPCWorkloadShape(t *testing.T) {
+	tr := RPCWorkload(2, 3, 4)
+	if tr.N != 5 {
+		t.Fatalf("N = %d", tr.N)
+	}
+	want := 2 * 2 * 3 * 4 // 2 msgs per RPC x servers x clients x rpcs
+	if tr.NumMessages() != want {
+		t.Fatalf("messages = %d, want %d", tr.NumMessages(), want)
+	}
+	if err := tr.Validate(graph.ClientServer(2, 3, false)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRPCWorkloadEmptyAndPanics(t *testing.T) {
+	if tr := RPCWorkload(1, 0, 5); tr.NumMessages() != 0 {
+		t.Fatal("no clients must yield no messages")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RPCWorkload(0,...) did not panic")
+		}
+	}()
+	RPCWorkload(0, 1, 1)
+}
+
+func TestRingTokenChain(t *testing.T) {
+	tr := RingToken(5, 3)
+	if tr.NumMessages() != 15 {
+		t.Fatalf("messages = %d", tr.NumMessages())
+	}
+	if err := tr.Validate(graph.Cycle(5)); err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive messages share a process: the whole computation is a
+	// single chain.
+	msgs := tr.Messages()
+	for i := 1; i < len(msgs); i++ {
+		a, b := msgs[i-1], msgs[i]
+		share := a.From == b.From || a.From == b.To || a.To == b.From || a.To == b.To
+		if !share {
+			t.Fatalf("ring token broke the chain at %d", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RingToken(2,...) did not panic")
+		}
+	}()
+	RingToken(2, 1)
+}
+
+func TestTreeGatherScatter(t *testing.T) {
+	tr := TreeGatherScatter(2, 2, 3) // 7 processes, 6 edges
+	if tr.N != 7 {
+		t.Fatalf("N = %d", tr.N)
+	}
+	if tr.NumMessages() != 3*2*6 {
+		t.Fatalf("messages = %d, want %d", tr.NumMessages(), 3*2*6)
+	}
+	if err := tr.Validate(graph.BalancedTree(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineOverlap(t *testing.T) {
+	tr := Pipeline(4, 3)
+	// Each of the 3 items crosses 3 stage boundaries.
+	if tr.NumMessages() != 9 {
+		t.Fatalf("messages = %d, want 9", tr.NumMessages())
+	}
+	if err := tr.Validate(graph.Path(4)); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pipeline(1,...) did not panic")
+		}
+	}()
+	Pipeline(1, 1)
+}
+
+func TestMixedPreservesBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := RingToken(4, 2)
+	extra := []Msg{{From: 0, To: 2}}
+	tr := Mixed(base, extra, 0.5, rng)
+	if tr.N != base.N {
+		t.Fatalf("N changed: %d", tr.N)
+	}
+	// Base messages appear in order as a subsequence.
+	var baseOps []Op
+	for _, op := range base.Ops {
+		baseOps = append(baseOps, op)
+	}
+	k := 0
+	for _, op := range tr.Ops {
+		if k < len(baseOps) && op == baseOps[k] {
+			k++
+		}
+	}
+	if k != len(baseOps) {
+		t.Fatalf("base ops not a subsequence: matched %d of %d", k, len(baseOps))
+	}
+	if tr.NumInternal() == 0 {
+		t.Fatal("expected injected internal events")
+	}
+}

@@ -1,0 +1,96 @@
+package vclock
+
+import (
+	"fmt"
+
+	"syncstamp/internal/trace"
+)
+
+// DirectDep implements Fowler–Zwaenepoel direct-dependency tracking for
+// synchronous messages. Each message piggybacks only a constant amount of
+// data (the peers' current message ids); the full ↦ relation is recovered
+// offline by recursively chasing direct dependencies. The paper's Section 6
+// notes this suits applications whose precedence tests run offline — the
+// tradeoff experiment E13/E15 quantifies the query cost against the online
+// algorithm's O(d) piggyback.
+type DirectDep struct {
+	// deps[m] lists the immediate predecessor message of m on each of its
+	// two participants (deduplicated, -1 entries removed).
+	deps [][]int
+	n    int
+}
+
+// NewDirectDep builds the dependency index for a recorded computation.
+func NewDirectDep(tr *trace.Trace) *DirectDep {
+	last := make([]int, tr.N)
+	for i := range last {
+		last[i] = -1
+	}
+	d := &DirectDep{n: tr.NumMessages()}
+	d.deps = make([][]int, 0, d.n)
+	idx := 0
+	for _, op := range tr.Ops {
+		if op.Kind != trace.OpMessage {
+			continue
+		}
+		var dep []int
+		if p := last[op.From]; p != -1 {
+			dep = append(dep, p)
+		}
+		if p := last[op.To]; p != -1 && (len(dep) == 0 || dep[0] != p) {
+			dep = append(dep, p)
+		}
+		d.deps = append(d.deps, dep)
+		last[op.From] = idx
+		last[op.To] = idx
+		idx++
+	}
+	return d
+}
+
+// NumMessages returns the number of indexed messages.
+func (d *DirectDep) NumMessages() int { return d.n }
+
+// Precedes reports m1 ↦ m2 by depth-first search through direct
+// dependencies. The second return value is the number of dependency records
+// visited — the query-cost metric reported by experiment E13.
+func (d *DirectDep) Precedes(m1, m2 int) (bool, int) {
+	if m1 < 0 || m1 >= d.n || m2 < 0 || m2 >= d.n {
+		panic(fmt.Sprintf("vclock: message index out of range: %d, %d (have %d)", m1, m2, d.n))
+	}
+	if m1 >= m2 {
+		return false, 0
+	}
+	visited := make(map[int]bool, 8)
+	cost := 0
+	var dfs func(m int) bool
+	dfs = func(m int) bool {
+		cost++
+		if m == m1 {
+			return true
+		}
+		if m < m1 || visited[m] {
+			return false
+		}
+		visited[m] = true
+		for _, p := range d.deps[m] {
+			if dfs(p) {
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	for _, p := range d.deps[m2] {
+		if dfs(p) {
+			found = true
+			break
+		}
+	}
+	return found, cost
+}
+
+// PiggybackInts returns the number of integers a message carries under
+// direct-dependency tracking: one message id per participant (constant 2),
+// independent of N — the piggyback-size metric of experiment E13.
+func (d *DirectDep) PiggybackInts() int { return 2 }

@@ -1,0 +1,118 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"syncstamp/internal/graph"
+	"syncstamp/internal/trace"
+	"syncstamp/internal/vector"
+)
+
+func TestSKName(t *testing.T) {
+	if (SK{}).Name() != "singhal-kshemkalyani" {
+		t.Fatal("SK name wrong")
+	}
+}
+
+// Property: SK's stamps are bit-identical to FM's — the differential wire
+// format changes cost, not meaning.
+func TestQuickSKEqualsFM(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := genTrace(seed, 8, 60)
+		sk := SK{}.StampTrace(tr)
+		fm := FM{}.StampTrace(tr)
+		if len(sk) != len(fm) {
+			return false
+		}
+		for i := range fm {
+			if !vector.Eq(sk[i], fm[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: differential entries never exceed 2N (full vectors both ways)
+// and are at least 2 after the first exchange on a channel (the two own
+// components always change).
+func TestQuickSKEntryBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := genTrace(seed, 8, 60)
+		res := Simulate(tr)
+		for _, n := range res.EntriesPerMsg {
+			if n < 1 || n > 2*tr.N {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSKRepeatedPairIsCheap(t *testing.T) {
+	// Two processes talking only to each other: after the first exchange,
+	// each message changes exactly the two own-components, so every later
+	// message carries exactly 2 differential entries even though N = 50.
+	tr := &trace.Trace{N: 50}
+	for k := 0; k < 20; k++ {
+		tr.MustAppend(trace.Message(0, 1))
+	}
+	res := Simulate(tr)
+	for i, n := range res.EntriesPerMsg {
+		if i == 0 {
+			if n != 2 {
+				t.Fatalf("first exchange entries = %d, want 2 (both fresh components)", n)
+			}
+			continue
+		}
+		if n != 2 {
+			t.Fatalf("message %d entries = %d, want 2", i, n)
+		}
+	}
+	if res.MeanEntries() != 2 {
+		t.Fatalf("mean entries = %v", res.MeanEntries())
+	}
+	if res.MeanBytes() != 4 {
+		t.Fatalf("mean bytes = %v", res.MeanBytes())
+	}
+}
+
+func TestSKCrossTrafficCostsMore(t *testing.T) {
+	// A relay pattern forces third-party components across: P0<->P1 and
+	// P1<->P2 alternating makes P1 carry P2's (resp. P0's) news to the
+	// other side.
+	tr := &trace.Trace{N: 3}
+	for k := 0; k < 10; k++ {
+		tr.MustAppend(trace.Message(0, 1))
+		tr.MustAppend(trace.Message(1, 2))
+	}
+	res := Simulate(tr)
+	// Later messages must carry 3 entries (two own + the relayed one).
+	if res.EntriesPerMsg[len(res.EntriesPerMsg)-1] < 3 {
+		t.Fatalf("relay entries = %v", res.EntriesPerMsg)
+	}
+}
+
+func TestSKEmpty(t *testing.T) {
+	res := Simulate(&trace.Trace{N: 3})
+	if res.TotalEntries != 0 || res.MeanEntries() != 0 || len(res.Stamps) != 0 {
+		t.Fatal("empty trace should cost nothing")
+	}
+}
+
+func BenchmarkSKSimulate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := trace.Generate(graph.ClientServer(2, 50, false), trace.GenOptions{Messages: 1000}, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(tr)
+	}
+}

@@ -1,0 +1,134 @@
+// Package vclock implements the timestamping baselines the paper compares
+// against (Sections 1 and 6), adapted to synchronous computations so that
+// each message receives one timestamp shared by its send and receive:
+//
+//   - Fidge–Mattern vector clocks (one component per process);
+//   - Lamport scalar clocks (order-preserving but not order-characterizing);
+//   - Torres-Rojas/Ahamad plausible clocks (fixed R components, may order
+//     concurrent messages);
+//   - Fowler–Zwaenepoel direct-dependency tracking (constant piggyback,
+//     recursive offline precedence test).
+//
+// All stampers implement the Stamper interface so the benchmark harness can
+// sweep them uniformly against the paper's online algorithm.
+package vclock
+
+import (
+	"fmt"
+
+	"syncstamp/internal/trace"
+	"syncstamp/internal/vector"
+)
+
+// Stamper timestamps the messages of a synchronous computation in trace
+// order. Implementations are deterministic.
+type Stamper interface {
+	// Name identifies the mechanism in benchmark tables.
+	Name() string
+	// StampTrace returns one vector per message, by message index.
+	StampTrace(tr *trace.Trace) []vector.V
+}
+
+// FM is the Fidge–Mattern vector clock baseline. Every process keeps an
+// N-vector; a synchronous exchange increments each participant's own
+// component and merges both sides (the rendezvous makes the merged vector
+// common to send and receive, which is what makes FM timestamps of
+// synchronous messages well defined).
+type FM struct{}
+
+// Name implements Stamper.
+func (FM) Name() string { return "fidge-mattern" }
+
+// StampTrace implements Stamper.
+func (FM) StampTrace(tr *trace.Trace) []vector.V {
+	clocks := make([]vector.V, tr.N)
+	for i := range clocks {
+		clocks[i] = vector.New(tr.N)
+	}
+	out := make([]vector.V, 0, tr.NumMessages())
+	for _, op := range tr.Ops {
+		if op.Kind != trace.OpMessage {
+			continue
+		}
+		i, j := op.From, op.To
+		clocks[i][i]++
+		clocks[j][j]++
+		clocks[i].Max(clocks[j])
+		copy(clocks[j], clocks[i])
+		out = append(out, clocks[i].Clone())
+	}
+	return out
+}
+
+// Lamport is the scalar logical clock baseline. Its stamps are returned as
+// 1-vectors so they fit the common interface; they preserve ↦ but cannot
+// detect concurrency (every pair is ordered).
+type Lamport struct{}
+
+// Name implements Stamper.
+func (Lamport) Name() string { return "lamport" }
+
+// StampTrace implements Stamper.
+func (Lamport) StampTrace(tr *trace.Trace) []vector.V {
+	clocks := make([]int, tr.N)
+	out := make([]vector.V, 0, tr.NumMessages())
+	for _, op := range tr.Ops {
+		if op.Kind != trace.OpMessage {
+			continue
+		}
+		t := clocks[op.From]
+		if clocks[op.To] > t {
+			t = clocks[op.To]
+		}
+		t++
+		clocks[op.From] = t
+		clocks[op.To] = t
+		out = append(out, vector.V{t})
+	}
+	return out
+}
+
+// Plausible is a Torres-Rojas/Ahamad plausible clock with R entries using
+// the comb mapping proc → proc mod R. It guarantees m1 ↦ m2 ⇒ v(m1) <
+// v(m2); with R < N it may also order concurrent messages (never the
+// reverse), which experiment E15 quantifies.
+type Plausible struct {
+	// R is the number of vector entries; must be ≥ 1.
+	R int
+}
+
+// Name implements Stamper.
+func (p Plausible) Name() string { return fmt.Sprintf("plausible-R%d", p.R) }
+
+// StampTrace implements Stamper.
+func (p Plausible) StampTrace(tr *trace.Trace) []vector.V {
+	if p.R < 1 {
+		panic(fmt.Sprintf("vclock: plausible clock needs R ≥ 1, got %d", p.R))
+	}
+	clocks := make([]vector.V, tr.N)
+	for i := range clocks {
+		clocks[i] = vector.New(p.R)
+	}
+	out := make([]vector.V, 0, tr.NumMessages())
+	for _, op := range tr.Ops {
+		if op.Kind != trace.OpMessage {
+			continue
+		}
+		// The rendezvous is one event at each participant: each increments
+		// its own comb entry (both increments land on one entry when the
+		// participants collide under mod R).
+		i, j := op.From, op.To
+		clocks[i][i%p.R]++
+		clocks[j][j%p.R]++
+		clocks[i].Max(clocks[j])
+		copy(clocks[j], clocks[i])
+		out = append(out, clocks[i].Clone())
+	}
+	return out
+}
+
+var (
+	_ Stamper = FM{}
+	_ Stamper = Lamport{}
+	_ Stamper = Plausible{}
+)

@@ -1,0 +1,234 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"syncstamp/internal/graph"
+	"syncstamp/internal/order"
+	"syncstamp/internal/trace"
+	"syncstamp/internal/vector"
+)
+
+func genTrace(seed int64, maxN, maxMsgs int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.RandomConnected(2+rng.Intn(maxN-1), 0.4, rng)
+	return trace.Generate(g, trace.GenOptions{Messages: 1 + rng.Intn(maxMsgs)}, rng)
+}
+
+func TestFMName(t *testing.T) {
+	if (FM{}).Name() != "fidge-mattern" {
+		t.Fatal("FM name wrong")
+	}
+	if (Lamport{}).Name() != "lamport" {
+		t.Fatal("Lamport name wrong")
+	}
+	if (Plausible{R: 3}).Name() != "plausible-R3" {
+		t.Fatal("Plausible name wrong")
+	}
+}
+
+// Property: FM timestamps characterize ↦ exactly (the classical result the
+// paper improves on for synchronous computations).
+func TestQuickFMCharacterizesOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := genTrace(seed, 8, 50)
+		stamps := FM{}.StampTrace(tr)
+		p := order.MessagePoset(tr)
+		for i := range stamps {
+			if len(stamps[i]) != tr.N {
+				return false
+			}
+			for j := range stamps {
+				if i != j && vector.Less(stamps[i], stamps[j]) != p.Less(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFMSimpleChain(t *testing.T) {
+	tr := &trace.Trace{N: 3}
+	tr.MustAppend(trace.Message(0, 1))
+	tr.MustAppend(trace.Message(1, 2))
+	stamps := FM{}.StampTrace(tr)
+	want0 := vector.V{1, 1, 0}
+	want1 := vector.V{1, 2, 1}
+	if !vector.Eq(stamps[0], want0) || !vector.Eq(stamps[1], want1) {
+		t.Fatalf("stamps = %v, want [%v %v]", stamps, want0, want1)
+	}
+}
+
+// Property: Lamport clocks preserve ↦ (m1 ↦ m2 ⇒ L1 < L2) and are totally
+// ordered per process sequence.
+func TestQuickLamportPreservesOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := genTrace(seed, 8, 50)
+		stamps := Lamport{}.StampTrace(tr)
+		p := order.MessagePoset(tr)
+		for i := range stamps {
+			for j := range stamps {
+				if i != j && p.Less(i, j) && stamps[i][0] >= stamps[j][0] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: plausible clocks are plausible — m1 ↦ m2 ⇒ v1 < v2, hence
+// incomparable stamps imply true concurrency. With R = N they reduce to an
+// exact characterization on these traces.
+func TestQuickPlausiblePlausibility(t *testing.T) {
+	f := func(seed int64, rRaw uint8) bool {
+		tr := genTrace(seed, 8, 40)
+		r := 1 + int(rRaw)%tr.N
+		stamps := Plausible{R: r}.StampTrace(tr)
+		p := order.MessagePoset(tr)
+		for i := range stamps {
+			for j := range stamps {
+				if i == j {
+					continue
+				}
+				if p.Less(i, j) && !vector.Less(stamps[i], stamps[j]) {
+					return false
+				}
+				if vector.Concurrent(stamps[i], stamps[j]) && !p.Concurrent(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlausibleFalseOrderingsExist(t *testing.T) {
+	// With R=1 every pair is ordered, so any concurrent pair is falsely
+	// ordered: two disjoint messages.
+	tr := &trace.Trace{N: 4}
+	tr.MustAppend(trace.Message(0, 1))
+	tr.MustAppend(trace.Message(2, 3))
+	stamps := Plausible{R: 1}.StampTrace(tr)
+	if vector.Concurrent(stamps[0], stamps[1]) {
+		t.Fatal("R=1 plausible clock cannot represent concurrency")
+	}
+}
+
+func TestPlausibleBadRPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("R=0 did not panic")
+		}
+	}()
+	Plausible{}.StampTrace(&trace.Trace{N: 2})
+}
+
+func TestDirectDepKnown(t *testing.T) {
+	// Chain 0 -> 1 -> 2 via shared processes, and 3 disjoint... build:
+	// m0=(0,1), m1=(1,2), m2=(2,3), m3=(4,5) on 6 processes.
+	tr := &trace.Trace{N: 6}
+	tr.MustAppend(trace.Message(0, 1))
+	tr.MustAppend(trace.Message(1, 2))
+	tr.MustAppend(trace.Message(2, 3))
+	tr.MustAppend(trace.Message(4, 5))
+	d := NewDirectDep(tr)
+	if d.NumMessages() != 4 {
+		t.Fatalf("NumMessages = %d", d.NumMessages())
+	}
+	if ok, _ := d.Precedes(0, 2); !ok {
+		t.Fatal("want 0 ↦ 2 via recursion")
+	}
+	if ok, _ := d.Precedes(0, 3); ok {
+		t.Fatal("0 and 3 are concurrent")
+	}
+	if ok, _ := d.Precedes(2, 0); ok {
+		t.Fatal("↦ respects sequence order")
+	}
+	if ok, _ := d.Precedes(1, 1); ok {
+		t.Fatal("↦ is irreflexive")
+	}
+	if d.PiggybackInts() != 2 {
+		t.Fatal("direct dependency piggyback must be constant")
+	}
+}
+
+func TestDirectDepPanicsOutOfRange(t *testing.T) {
+	d := NewDirectDep(&trace.Trace{N: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out of range did not panic")
+		}
+	}()
+	d.Precedes(0, 1)
+}
+
+// Property: DirectDep.Precedes equals the message poset oracle.
+func TestQuickDirectDepMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := genTrace(seed, 7, 40)
+		d := NewDirectDep(tr)
+		p := order.MessagePoset(tr)
+		for i := 0; i < d.NumMessages(); i++ {
+			for j := 0; j < d.NumMessages(); j++ {
+				if i == j {
+					continue
+				}
+				got, cost := d.Precedes(i, j)
+				if got != p.Less(i, j) {
+					return false
+				}
+				if got && cost == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FM stamps are distinct across messages (plausible clocks, by
+// contrast, may assign equal stamps to concurrent messages whose
+// participants collide under mod R — part of their imprecision).
+func TestQuickStampsDistinct(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := genTrace(seed, 8, 40)
+		stamps := FM{}.StampTrace(tr)
+		for i := range stamps {
+			for j := range stamps {
+				if i != j && vector.Eq(stamps[i], stamps[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFMStampTraceN64(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.Complete(64)
+	tr := trace.Generate(g, trace.GenOptions{Messages: 1000}, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FM{}.StampTrace(tr)
+	}
+}

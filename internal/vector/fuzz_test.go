@@ -1,0 +1,65 @@
+package vector
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode checks the vector codec never panics on arbitrary bytes and
+// that anything it accepts re-encodes to the consumed prefix.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{3, 1, 2, 3})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f})
+	f.Add((V{1, 0, 1 << 30}).Encode(nil))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		v, n, err := Decode(in)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(in) {
+			t.Fatalf("consumed %d of %d bytes", n, len(in))
+		}
+		re := v.Encode(nil)
+		back, n2, err := Decode(re)
+		if err != nil || n2 != len(re) || !Eq(back, v) {
+			t.Fatalf("re-encode round trip failed: %v %d %v", err, n2, back)
+		}
+	})
+}
+
+// FuzzCompare checks comparison laws hold for arbitrary component values:
+// antisymmetry of Before/After and consistency of the predicate helpers.
+func FuzzCompare(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{3, 2, 1})
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{5}, []byte{5})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		if len(a) > 16 || len(b) > 16 {
+			return
+		}
+		u := make(V, len(a))
+		for i, x := range a {
+			u[i] = int(x)
+		}
+		w := make(V, len(b))
+		for i, x := range b {
+			w[i] = int(x)
+		}
+		cu, cw := Compare(u, w), Compare(w, u)
+		okSym := (cu == Before && cw == After) ||
+			(cu == After && cw == Before) ||
+			(cu == Equal && cw == Equal) ||
+			(cu == Incomparable && cw == Incomparable)
+		if !okSym {
+			t.Fatalf("asymmetry violated: %v vs %v", cu, cw)
+		}
+		if Less(u, w) != (cu == Before) || Leq(u, w) != (cu == Before || cu == Equal) {
+			t.Fatal("predicate helpers disagree with Compare")
+		}
+		if len(a) == len(b) && bytes.Equal(a, b) && cu != Equal {
+			t.Fatal("equal byte vectors compare unequal")
+		}
+	})
+}

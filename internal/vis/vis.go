@@ -1,0 +1,192 @@
+// Package vis renders synchronous computations as ASCII time diagrams with
+// vertical message arrows — the canonical way to draw them (Section 2,
+// Figure 1/Figure 6 of the paper) and the kind of visualization distributed
+// debuggers such as POET and XPVM build from timestamps (Section 1).
+package vis
+
+import (
+	"fmt"
+	"strings"
+
+	"syncstamp/internal/trace"
+	"syncstamp/internal/vector"
+)
+
+// cellWidth is the number of columns each operation occupies.
+const cellWidth = 4
+
+// Options configures rendering.
+type Options struct {
+	// Stamps, when non-nil, adds a legend line per message with its vector
+	// timestamp (indexed by message index).
+	Stamps []vector.V
+	// Names overrides process labels; defaults to P1..PN (the paper's
+	// 1-indexed convention).
+	Names []string
+	// MaxOpsPerBand wraps long computations into stacked bands of at most
+	// this many operations each (0 = no wrapping).
+	MaxOpsPerBand int
+}
+
+// Render draws tr as a time diagram: one row per process, one column per
+// operation; messages are vertical arrows from sender (*) to receiver
+// (v or ^), internal events are 'o'. A header row labels message columns
+// m1, m2, ...; long computations wrap into bands when MaxOpsPerBand is set.
+func Render(tr *trace.Trace, opts Options) string {
+	if tr.N == 0 {
+		return "(empty computation)\n"
+	}
+	if opts.MaxOpsPerBand > 0 && len(tr.Ops) > opts.MaxOpsPerBand {
+		return renderBands(tr, opts)
+	}
+	return renderOnce(tr, opts, 0)
+}
+
+// renderBands splits the operation sequence into chunks and stacks their
+// diagrams, keeping global message numbering.
+func renderBands(tr *trace.Trace, opts Options) string {
+	var b strings.Builder
+	inner := opts
+	inner.MaxOpsPerBand = 0
+	inner.Stamps = nil // the legend is printed once, at the end
+	msgOffset := 0
+	for start := 0; start < len(tr.Ops); start += opts.MaxOpsPerBand {
+		end := start + opts.MaxOpsPerBand
+		if end > len(tr.Ops) {
+			end = len(tr.Ops)
+		}
+		band := &trace.Trace{N: tr.N, Ops: tr.Ops[start:end]}
+		if start > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(renderOnce(band, inner, msgOffset))
+		msgOffset += band.NumMessages()
+	}
+	if opts.Stamps != nil {
+		b.WriteByte('\n')
+		for i, s := range opts.Stamps {
+			fmt.Fprintf(&b, "m%d = %s\n", i+1, s)
+		}
+	}
+	return b.String()
+}
+
+// renderOnce draws a single band; msgOffset shifts the message labels.
+func renderOnce(tr *trace.Trace, opts Options, msgOffset int) string {
+	names := opts.Names
+	if names == nil {
+		names = make([]string, tr.N)
+		for i := range names {
+			names[i] = fmt.Sprintf("P%d", i+1)
+		}
+	}
+	labelW := 0
+	for _, n := range names {
+		if len(n) > labelW {
+			labelW = len(n)
+		}
+	}
+	cols := len(tr.Ops)
+	// grid[r][c] in (2*N−1) rows: even rows are process lines, odd rows are
+	// the gaps used by long vertical arrows.
+	rows := 2*tr.N - 1
+	if rows < 1 {
+		rows = 1
+	}
+	grid := make([][]rune, rows)
+	for r := range grid {
+		grid[r] = make([]rune, cols*cellWidth)
+		for c := range grid[r] {
+			if r%2 == 0 {
+				grid[r][c] = '-'
+			} else {
+				grid[r][c] = ' '
+			}
+		}
+	}
+	header := make([]rune, cols*cellWidth)
+	for i := range header {
+		header[i] = ' '
+	}
+
+	msg := 0
+	for c, op := range tr.Ops {
+		mid := c*cellWidth + 1
+		switch op.Kind {
+		case trace.OpMessage:
+			top, bot := op.From, op.To
+			senderOnTop := true
+			if top > bot {
+				top, bot = bot, top
+				senderOnTop = false
+			}
+			for r := 2*top + 1; r < 2*bot; r++ {
+				grid[r][mid] = '|'
+			}
+			if senderOnTop {
+				grid[2*top][mid] = '*'
+				grid[2*bot][mid] = 'v'
+			} else {
+				grid[2*top][mid] = '^'
+				grid[2*bot][mid] = '*'
+			}
+			label := []rune(fmt.Sprintf("m%d", msgOffset+msg+1))
+			for k, ch := range label {
+				if mid+k-0 < len(header) {
+					header[mid+k] = ch
+				}
+			}
+			msg++
+		case trace.OpInternal:
+			grid[2*op.Proc][mid] = 'o'
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s %s\n", labelW, "", string(header))
+	for r := 0; r < rows; r++ {
+		if r%2 == 0 {
+			fmt.Fprintf(&b, "%-*s %s\n", labelW, names[r/2], string(grid[r]))
+		} else {
+			fmt.Fprintf(&b, "%*s %s\n", labelW, "", string(grid[r]))
+		}
+	}
+	if opts.Stamps != nil {
+		b.WriteByte('\n')
+		for i, s := range opts.Stamps {
+			fmt.Fprintf(&b, "m%d = %s\n", i+1, s)
+		}
+	}
+	return b.String()
+}
+
+// RenderMatrix prints the precedence matrix of the messages under the given
+// stamps: cell (i, j) is '<' when mi ↦ mj, '>' when mj ↦ mi, '|' when
+// concurrent, '.' on the diagonal — the at-a-glance view a monitoring tool
+// derives from timestamps alone.
+func RenderMatrix(stamps []vector.V) string {
+	n := len(stamps)
+	var b strings.Builder
+	b.WriteString("    ")
+	for j := 0; j < n; j++ {
+		fmt.Fprintf(&b, "m%-3d", j+1)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "m%-3d", i+1)
+		for j := 0; j < n; j++ {
+			ch := "|"
+			switch {
+			case i == j:
+				ch = "."
+			case vector.Less(stamps[i], stamps[j]):
+				ch = "<"
+			case vector.Less(stamps[j], stamps[i]):
+				ch = ">"
+			}
+			fmt.Fprintf(&b, "%-4s", ch)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package vis
+
+import (
+	"strings"
+	"testing"
+
+	"syncstamp/internal/core"
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+	"syncstamp/internal/trace"
+	"syncstamp/internal/vector"
+)
+
+func TestRenderFigure1(t *testing.T) {
+	out := Render(trace.Figure1(), Options{})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 4 process rows + 3 gap rows.
+	if len(lines) != 8 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"P1", "P2", "P3", "P4", "m1", "m6", "*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// First op is P1 -> P2 (adjacent rows): sender star on P1's row,
+	// arrowhead on P2's row.
+	p1 := lines[1]
+	p2 := lines[3]
+	if !strings.Contains(p1, "*") {
+		t.Fatalf("P1 row has no send marker: %q", p1)
+	}
+	if !strings.Contains(p2, "v") {
+		t.Fatalf("P2 row has no receive marker: %q", p2)
+	}
+}
+
+func TestRenderUpwardArrow(t *testing.T) {
+	tr := &trace.Trace{N: 3}
+	tr.MustAppend(trace.Message(2, 0)) // sender below receiver
+	out := Render(tr, Options{})
+	if !strings.Contains(out, "^") {
+		t.Fatalf("upward message must use ^ head:\n%s", out)
+	}
+}
+
+func TestRenderInternalAndStamps(t *testing.T) {
+	tr := &trace.Trace{N: 2}
+	tr.MustAppend(trace.Internal(0))
+	tr.MustAppend(trace.Message(0, 1))
+	st, err := core.StampAll(tr, decomp.Approximate(graph.Path(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(tr, Options{Stamps: st.Messages})
+	if !strings.Contains(out, "o") {
+		t.Fatalf("internal event marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "m1 = (1)") {
+		t.Fatalf("stamp legend missing:\n%s", out)
+	}
+}
+
+func TestRenderCustomNames(t *testing.T) {
+	tr := &trace.Trace{N: 2}
+	tr.MustAppend(trace.Message(0, 1))
+	out := Render(tr, Options{Names: []string{"client", "server"}})
+	if !strings.Contains(out, "client") || !strings.Contains(out, "server") {
+		t.Fatalf("custom names missing:\n%s", out)
+	}
+}
+
+func TestRenderSingleProcess(t *testing.T) {
+	tr := &trace.Trace{N: 1}
+	tr.MustAppend(trace.Internal(0))
+	out := Render(tr, Options{})
+	if !strings.Contains(out, "P1") || !strings.Contains(out, "o") {
+		t.Fatalf("single-process render wrong:\n%s", out)
+	}
+}
+
+func TestRenderMatrix(t *testing.T) {
+	stamps := []vector.V{{1, 0}, {2, 0}, {0, 1}}
+	out := RenderMatrix(stamps)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("matrix lines = %d:\n%s", len(lines), out)
+	}
+	// m1 < m2, m1 || m3.
+	row1 := lines[1]
+	if !strings.Contains(row1, ".") || !strings.Contains(row1, "<") || !strings.Contains(row1, "|") {
+		t.Fatalf("row1 = %q", row1)
+	}
+	row2 := lines[2]
+	if !strings.Contains(row2, ">") {
+		t.Fatalf("row2 = %q", row2)
+	}
+}
+
+func TestRenderBands(t *testing.T) {
+	tr := &trace.Trace{N: 3}
+	for k := 0; k < 9; k++ {
+		tr.MustAppend(trace.Message(k%2, 2))
+	}
+	st, err := core.StampTrace(tr, decomp.Approximate(graph.Star(3, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(tr, Options{MaxOpsPerBand: 4, Stamps: st})
+	// Three bands of 4+4+1 ops, each with its own header row.
+	if got := strings.Count(out, "P1 -"); got != 3 {
+		t.Fatalf("expected 3 bands, got %d:\n%s", got, out)
+	}
+	// Global numbering: the last band's header carries m9.
+	if !strings.Contains(out, "m9") {
+		t.Fatalf("band numbering lost:\n%s", out)
+	}
+	// The legend appears once, at the end, for all messages.
+	if got := strings.Count(out, "m9 = "); got != 1 {
+		t.Fatalf("legend count = %d:\n%s", got, out)
+	}
+	// Short traces are unaffected by the option.
+	short := &trace.Trace{N: 2}
+	short.MustAppend(trace.Message(0, 1))
+	a := Render(short, Options{MaxOpsPerBand: 100})
+	b := Render(short, Options{})
+	if a != b {
+		t.Fatal("MaxOpsPerBand changed a short trace's rendering")
+	}
+}
+
+func TestRenderZeroProcesses(t *testing.T) {
+	out := Render(&trace.Trace{N: 0}, Options{})
+	if !strings.Contains(out, "empty computation") {
+		t.Fatalf("zero-process render = %q", out)
+	}
+}

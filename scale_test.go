@@ -1,0 +1,142 @@
+package syncstamp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"syncstamp/internal/core"
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+	"syncstamp/internal/offline"
+	"syncstamp/internal/trace"
+	"syncstamp/internal/vclock"
+	"syncstamp/internal/vector"
+)
+
+// TestScaleClientServer validates the headline claim at production-ish
+// scale: 4 servers, 400 clients, 50,000 messages. The full pairwise oracle
+// is quadratic, so correctness is checked on sampled pairs against the
+// Fowler–Zwaenepoel recursive oracle, and the size claim (d = 4 vs N = 404)
+// is checked exactly.
+func TestScaleClientServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	const servers, clients, msgs = 4, 400, 50000
+	g := graph.ClientServer(servers, clients, false)
+	cover := make([]int, servers)
+	for s := range cover {
+		cover[s] = s
+	}
+	dec, err := decomp.FromVertexCover(g, cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.D() != servers {
+		t.Fatalf("d = %d, want %d", dec.D(), servers)
+	}
+
+	rng := rand.New(rand.NewSource(2002))
+	tr := trace.Generate(g, trace.GenOptions{Messages: msgs, Hotspot: 0.3}, rng)
+	stamps, err := core.StampTrace(tr, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stamps) != msgs {
+		t.Fatalf("stamped %d of %d", len(stamps), msgs)
+	}
+	for _, s := range stamps {
+		if len(s) != servers {
+			t.Fatalf("stamp with %d components", len(s))
+		}
+	}
+
+	dd := vclock.NewDirectDep(tr)
+	const samples = 4000
+	for k := 0; k < samples; k++ {
+		i, j := rng.Intn(msgs), rng.Intn(msgs)
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		want, _ := dd.Precedes(i, j)
+		if got := vector.Less(stamps[i], stamps[j]); got != want {
+			t.Fatalf("pair (%d,%d): got %v want %v", i, j, got, want)
+		}
+		// And the reverse direction must never hold for i < j in trace
+		// order (stamps respect the generation order's potential causality).
+		if vector.Less(stamps[j], stamps[i]) {
+			t.Fatalf("pair (%d,%d): later message ordered before earlier", i, j)
+		}
+	}
+
+	// Overhead claim at scale: mean piggyback stays a few bytes.
+	total := 0
+	for _, s := range stamps {
+		total += s.EncodedSize()
+	}
+	mean := float64(total) / msgs
+	if mean > 3*float64(servers) {
+		t.Fatalf("mean piggyback %v bytes too large for d=%d", mean, servers)
+	}
+	t.Logf("N=%d msgs=%d d=%d mean piggyback %.1f bytes (FM would be ≥ %d)",
+		g.N(), msgs, dec.D(), mean, g.N())
+}
+
+// TestScaleTreeOnline stresses the online algorithm on a 60-process tree
+// with thousands of messages, sampled against the recursive oracle.
+func TestScaleTreeOnline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(7))
+	g := graph.RandomTree(60, rng)
+	tr := trace.Generate(g, trace.GenOptions{Messages: 3000}, rng)
+	stamps, err := core.StampTrace(tr, decomp.Approximate(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd := vclock.NewDirectDep(tr)
+	for k := 0; k < 2000; k++ {
+		i, j := rng.Intn(len(stamps)), rng.Intn(len(stamps))
+		if i >= j {
+			continue
+		}
+		want, _ := dd.Precedes(i, j)
+		if vector.Less(stamps[i], stamps[j]) != want {
+			t.Fatalf("pair (%d,%d) wrong", i, j)
+		}
+	}
+}
+
+// TestScaleOfflineWidth runs the full offline pipeline — closure, Dilworth
+// matching, realizer, position vectors — on an 800-message computation.
+func TestScaleOfflineWidth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(8))
+	g := graph.Complete(16)
+	tr := trace.Generate(g, trace.GenOptions{Messages: 800}, rng)
+	res, err := offline.Stamp(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Width > tr.N/2 {
+		t.Fatalf("width %d > ⌊N/2⌋", res.Width)
+	}
+	dd := vclock.NewDirectDep(tr)
+	for k := 0; k < 2000; k++ {
+		i, j := rng.Intn(len(res.Stamps)), rng.Intn(len(res.Stamps))
+		if i >= j {
+			continue
+		}
+		want, _ := dd.Precedes(i, j)
+		if vector.Less(res.Stamps[i], res.Stamps[j]) != want {
+			t.Fatalf("pair (%d,%d) wrong", i, j)
+		}
+	}
+	t.Logf("offline: %d messages, width %d, realizer of %d extensions", len(res.Stamps), res.Width, len(res.Realizer))
+}

@@ -1,0 +1,257 @@
+// Package syncstamp timestamps messages and events in synchronous
+// computations, reproducing Garg & Skawratananond, "Timestamping Messages in
+// Synchronous Computations" (ICDCS 2002).
+//
+// The headline result: in a system whose processes communicate only through
+// synchronous (blocking, CSP/rendezvous-style) messages, the order
+// relationship between messages can be captured with vectors whose size is
+// the edge-decomposition number of the communication topology — at most
+// min(β(G), N−2) where β(G) is a vertex cover — instead of the N components
+// Fidge–Mattern vector clocks require. For a client–server system with k
+// servers, k components suffice no matter how many clients there are.
+//
+// # Quick start
+//
+//	topo := syncstamp.ClientServer(2, 100)     // 2 servers, 100 clients
+//	dec := syncstamp.Decompose(topo)           // d == 2 edge groups
+//	s := syncstamp.NewStamper(dec)
+//	v1, _ := s.StampMessage(0, 5)              // server 0 <-> client 5
+//	v2, _ := s.StampMessage(1, 6)
+//	fmt.Println(syncstamp.Precedes(v1, v2))    // exact ↦ test, 2 ints each
+//
+// The package is a façade: the implementation lives in internal packages
+// (decomp, core, offline, csp, vclock, ...) whose doc comments map each
+// piece back to the paper.
+package syncstamp
+
+import (
+	"io"
+	"math/rand"
+	"time"
+
+	"syncstamp/internal/chainclock"
+	"syncstamp/internal/core"
+	"syncstamp/internal/csp"
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+	"syncstamp/internal/monitor"
+	"syncstamp/internal/offline"
+	"syncstamp/internal/order"
+	"syncstamp/internal/poset"
+	"syncstamp/internal/sim"
+	"syncstamp/internal/trace"
+	"syncstamp/internal/vclock"
+	"syncstamp/internal/vector"
+	"syncstamp/internal/vis"
+)
+
+// Core types, re-exported so applications need only this package.
+type (
+	// Vector is a logical-clock vector compared with the paper's vector
+	// order (Equation (2)).
+	Vector = vector.V
+	// Topology is the undirected communication graph G = (V, E).
+	Topology = graph.Graph
+	// Edge is an undirected channel between two processes.
+	Edge = graph.Edge
+	// Decomposition is an edge decomposition {E_1, ..., E_d} of a topology
+	// into stars and triangles (Definition 2).
+	Decomposition = decomp.Decomposition
+	// Clock is the per-process online-algorithm state (Figure 5).
+	Clock = core.Clock
+	// Stamper runs the online algorithm over a computation sequentially.
+	Stamper = core.Stamper
+	// EventStamp is the (prev, succ, c) internal-event timestamp of
+	// Section 5.
+	EventStamp = core.EventStamp
+	// StampedTrace bundles message and internal-event stamps.
+	StampedTrace = core.StampedTrace
+	// Trace is a recorded synchronous computation.
+	Trace = trace.Trace
+	// Op is one step of a computation (message or internal event).
+	Op = trace.Op
+	// Msg identifies one message of a computation.
+	Msg = trace.Msg
+	// OfflineResult is the Figure 9 offline algorithm's output.
+	OfflineResult = offline.Result
+	// Poset is a partial order used for ground-truth order queries.
+	Poset = poset.Poset
+	// Process is a CSP runtime process handle.
+	Process = csp.Process
+	// Message is a message delivered by the CSP runtime.
+	Message = csp.Message
+	// RunResult is the outcome of a CSP run.
+	RunResult = csp.Result
+	// System is the CSP runtime with dynamic membership (Start/Join/Wait).
+	System = csp.System
+)
+
+// Topology constructors.
+
+// NewTopology returns an empty topology on n processes; add channels with
+// AddEdge.
+func NewTopology(n int) *Topology { return graph.New(n) }
+
+// Complete returns the fully connected topology on n processes.
+func Complete(n int) *Topology { return graph.Complete(n) }
+
+// Star returns the star topology on n processes rooted at process 0.
+func Star(n int) *Topology { return graph.Star(n, 0) }
+
+// ClientServer returns a topology with the given servers and clients where
+// clients communicate only with servers (Section 3.3's motivating case).
+func ClientServer(servers, clients int) *Topology {
+	return graph.ClientServer(servers, clients, false)
+}
+
+// Tree returns the complete branching-ary tree of the given depth.
+func Tree(branching, depth int) *Topology { return graph.BalancedTree(branching, depth) }
+
+// Decompositions.
+
+// Decompose returns a small edge decomposition of topo, taking the best of
+// the Figure 7 approximation algorithm (ratio bound 2, optimal on trees)
+// and the vertex-cover and trivial constructions of Theorem 5.
+func Decompose(topo *Topology) *Decomposition { return decomp.Best(topo) }
+
+// DecomposeFigure7 runs exactly the paper's Figure 7 algorithm.
+func DecomposeFigure7(topo *Topology) *Decomposition { return decomp.Approximate(topo) }
+
+// DecomposeServers decomposes a topology with one star per cover vertex —
+// for client-server systems pass the server ids to get d = #servers.
+func DecomposeServers(topo *Topology, cover []int) (*Decomposition, error) {
+	return decomp.FromVertexCover(topo, cover)
+}
+
+// Online algorithm (Figure 5).
+
+// NewClock returns process proc's clock under dec, for embedding in a
+// messaging runtime.
+func NewClock(proc int, dec *Decomposition) *Clock { return core.NewClock(proc, dec) }
+
+// NewStamper returns a sequential stamper for replaying computations.
+func NewStamper(dec *Decomposition) *Stamper { return core.NewStamper(dec) }
+
+// StampTrace timestamps every message of tr under dec.
+func StampTrace(tr *Trace, dec *Decomposition) ([]Vector, error) {
+	return core.StampTrace(tr, dec)
+}
+
+// StampAll timestamps messages and internal events (Section 5).
+func StampAll(tr *Trace, dec *Decomposition) (*StampedTrace, error) {
+	return core.StampAll(tr, dec)
+}
+
+// Precedes reports m1 ↦ m2 from two message timestamps (Theorem 4).
+func Precedes(v1, v2 Vector) bool { return core.Precedes(v1, v2) }
+
+// Concurrent reports m1 ‖ m2 from two message timestamps.
+func Concurrent(v1, v2 Vector) bool { return core.Concurrent(v1, v2) }
+
+// Offline algorithm (Figure 9).
+
+// StampOffline timestamps a completed computation with vectors of size
+// equal to the width of its message poset (≤ ⌊N/2⌋, Theorem 8).
+func StampOffline(tr *Trace) (*OfflineResult, error) { return offline.Stamp(tr) }
+
+// Ground truth and analysis.
+
+// MessageOrder returns the poset (M, ↦) of tr's messages for oracle-grade
+// order queries.
+func MessageOrder(tr *Trace) *Poset { return order.MessagePoset(tr) }
+
+// ConcurrentMessages lists all concurrent message pairs from timestamps.
+func ConcurrentMessages(stamps []Vector) []monitor.Pair {
+	return monitor.ConcurrentMessages(stamps)
+}
+
+// Orphans computes the orphan messages for optimistic recovery: those whose
+// timestamps dominate a lost message's timestamp.
+func Orphans(stamps, lost []Vector) []int { return monitor.Orphans(stamps, lost) }
+
+// CriticalPath returns the length of the longest synchronous chain in the
+// stamped computation and one witness chain of message indices.
+func CriticalPath(stamps []Vector) (int, []int) { return monitor.CriticalPath(stamps) }
+
+// DetectConjunctive runs weak-conjunctive-predicate detection over
+// per-process candidate internal events (Section 5 stamps): it returns a
+// pairwise-concurrent cut witnessing the conjunction, if one exists.
+func DetectConjunctive(candidates [][]EventStamp) ([]EventStamp, bool, error) {
+	return monitor.ConjunctivePredicate(candidates)
+}
+
+// ScheduleUniform assigns virtual time to the computation with every
+// message costing msgTicks and every internal event intTicks, returning the
+// makespan and achieved parallelism (see internal/sim for custom costs).
+func ScheduleUniform(tr *Trace, msgTicks, intTicks int) (makespan int, speedup float64, err error) {
+	res, err := sim.Schedule(tr, sim.Uniform(msgTicks, intTicks))
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Makespan, res.Parallelism(), nil
+}
+
+// CSP runtime.
+
+// Run executes one program per process over synchronous channels with the
+// online algorithm's clocks piggybacked, then reconstructs the computation
+// and its timestamps.
+func Run(dec *Decomposition, programs []func(*Process) error, timeout time.Duration) (*RunResult, error) {
+	return csp.Run(dec, programs, timeout)
+}
+
+// NewSystem prepares a CSP runtime with spare capacity for processes that
+// Join while the run is live (the dynamic side of Section 3.3): Start the
+// initial programs, Join newcomers with a decomposition grown by GrowClient,
+// then Wait.
+func NewSystem(dec *Decomposition, capacity int) *System {
+	return csp.NewSystemCap(dec, capacity)
+}
+
+// Computation generation and rendering.
+
+// GenerateTrace builds a random synchronous computation with the given
+// number of messages over topo.
+func GenerateTrace(topo *Topology, messages int, seed int64) *Trace {
+	return trace.Generate(topo, trace.GenOptions{Messages: messages}, rand.New(rand.NewSource(seed)))
+}
+
+// WriteTrace serializes a trace in the line-oriented text format.
+func WriteTrace(w io.Writer, tr *Trace) error { return trace.WriteText(w, tr) }
+
+// ReadTrace parses a trace written by WriteTrace.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.ReadText(r) }
+
+// RenderDiagram draws tr as an ASCII time diagram with vertical arrows,
+// optionally annotated with message timestamps.
+func RenderDiagram(tr *Trace, stamps []Vector) string {
+	return vis.Render(tr, vis.Options{Stamps: stamps})
+}
+
+// Baselines (Section 6 comparisons).
+
+// StampFM timestamps messages with Fidge–Mattern vector clocks (size N).
+func StampFM(tr *Trace) []Vector { return vclock.FM{}.StampTrace(tr) }
+
+// StampLamport timestamps messages with scalar Lamport clocks (size 1;
+// order-preserving but not order-characterizing).
+func StampLamport(tr *Trace) []Vector { return vclock.Lamport{}.StampTrace(tr) }
+
+// StampChainClocks timestamps messages with centralized online chain
+// clocks (the Ward-style dimension-bounded comparator of Section 6);
+// the second result is the number of chains used (the vector size).
+func StampChainClocks(tr *Trace) ([]Vector, int) {
+	r := chainclock.StampTrace(tr)
+	return r.Stamps, r.Chains
+}
+
+// Dynamic growth (Section 3.3 scalability).
+
+// GrowClient adds a new process connected to the given star roots (e.g.
+// the servers of a client-server system) and returns the grown
+// decomposition and the new process id. The vector size d is unchanged, so
+// timestamps issued before and after the join stay comparable; switch
+// running stampers over with Stamper.Extend.
+func GrowClient(dec *Decomposition, roots []int) (*Decomposition, int, error) {
+	return dec.GrowStarVertex(roots)
+}

@@ -1,0 +1,276 @@
+package syncstamp_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"syncstamp"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	topo := syncstamp.ClientServer(2, 100)
+	dec := syncstamp.Decompose(topo)
+	if dec.D() != 2 {
+		t.Fatalf("client-server d = %d, want 2", dec.D())
+	}
+	s := syncstamp.NewStamper(dec)
+	v1, err := s.StampMessage(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.StampMessage(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syncstamp.Precedes(v1, v2) || syncstamp.Precedes(v2, v1) {
+		t.Fatal("messages on disjoint channels must be concurrent")
+	}
+	if !syncstamp.Concurrent(v1, v2) {
+		t.Fatal("Concurrent disagrees with Precedes")
+	}
+}
+
+func TestGenerateStampRoundTrip(t *testing.T) {
+	topo := syncstamp.Tree(2, 3)
+	tr := syncstamp.GenerateTrace(topo, 50, 7)
+	dec := syncstamp.Decompose(topo)
+	stamps, err := syncstamp.StampTrace(tr, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := syncstamp.MessageOrder(tr)
+	for i := range stamps {
+		for j := range stamps {
+			if i != j && syncstamp.Precedes(stamps[i], stamps[j]) != p.Less(i, j) {
+				t.Fatalf("Theorem 4 violated at (%d,%d)", i, j)
+			}
+		}
+	}
+	var b strings.Builder
+	if err := syncstamp.WriteTrace(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := syncstamp.ReadTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumMessages() != tr.NumMessages() {
+		t.Fatal("trace round trip lost messages")
+	}
+}
+
+func TestOfflineFacade(t *testing.T) {
+	topo := syncstamp.Complete(6)
+	tr := syncstamp.GenerateTrace(topo, 40, 3)
+	res, err := syncstamp.StampOffline(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Width > 3 {
+		t.Fatalf("width %d > ⌊6/2⌋", res.Width)
+	}
+}
+
+func TestRunFacade(t *testing.T) {
+	topo := syncstamp.Star(3)
+	dec := syncstamp.Decompose(topo)
+	res, err := syncstamp.Run(dec, []func(*syncstamp.Process) error{
+		func(p *syncstamp.Process) error {
+			if _, err := p.RecvFrom(1); err != nil {
+				return err
+			}
+			_, err := p.RecvFrom(2)
+			return err
+		},
+		func(p *syncstamp.Process) error {
+			_, err := p.Send(0, "a")
+			return err
+		},
+		func(p *syncstamp.Process) error {
+			_, err := p.Send(0, "b")
+			return err
+		},
+	}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.NumMessages() != 2 {
+		t.Fatalf("got %d messages", res.Trace.NumMessages())
+	}
+	// A star computation is totally ordered (Lemma 1): no concurrent pairs.
+	if pairs := syncstamp.ConcurrentMessages(res.Stamps); len(pairs) != 0 {
+		t.Fatalf("star run has concurrent pairs: %v", pairs)
+	}
+}
+
+func TestDiagramAndBaselines(t *testing.T) {
+	topo := syncstamp.Complete(4)
+	tr := syncstamp.GenerateTrace(topo, 10, 11)
+	dec := syncstamp.DecomposeFigure7(topo)
+	stamps, err := syncstamp.StampTrace(tr, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := syncstamp.RenderDiagram(tr, stamps)
+	if !strings.Contains(out, "P1") || !strings.Contains(out, "m1 = ") {
+		t.Fatalf("diagram missing content:\n%s", out)
+	}
+	fm := syncstamp.StampFM(tr)
+	if len(fm) != 10 || len(fm[0]) != 4 {
+		t.Fatal("FM baseline wrong shape")
+	}
+	lam := syncstamp.StampLamport(tr)
+	if len(lam) != 10 || len(lam[0]) != 1 {
+		t.Fatal("Lamport baseline wrong shape")
+	}
+}
+
+func TestDecomposeServersAndOrphans(t *testing.T) {
+	topo := syncstamp.ClientServer(3, 9)
+	dec, err := syncstamp.DecomposeServers(topo, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.D() != 3 {
+		t.Fatalf("d = %d, want 3", dec.D())
+	}
+	tr := syncstamp.GenerateTrace(topo, 30, 5)
+	stamps, err := syncstamp.StampTrace(tr, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphans := syncstamp.Orphans(stamps, []syncstamp.Vector{stamps[0]})
+	if len(orphans) == 0 || orphans[0] != 0 {
+		t.Fatalf("orphans = %v", orphans)
+	}
+}
+
+func TestGrowClientFacade(t *testing.T) {
+	topo := syncstamp.ClientServer(2, 1)
+	dec, err := syncstamp.DecomposeServers(topo, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := syncstamp.NewStamper(dec)
+	v1, err := s.StampMessage(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, newClient, err := syncstamp.GrowClient(dec, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Extend(grown); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.StampMessage(newClient, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !syncstamp.Precedes(v1, v2) {
+		t.Fatal("messages sharing server 0 must be ordered across the join")
+	}
+}
+
+func TestStampChainClocksFacade(t *testing.T) {
+	topo := syncstamp.Star(5)
+	tr := syncstamp.GenerateTrace(topo, 20, 4)
+	stamps, chains := syncstamp.StampChainClocks(tr)
+	if chains != 1 {
+		t.Fatalf("star computation chains = %d, want 1", chains)
+	}
+	p := syncstamp.MessageOrder(tr)
+	for i := range stamps {
+		for j := range stamps {
+			if i != j && syncstamp.Precedes(stamps[i], stamps[j]) != p.Less(i, j) {
+				t.Fatalf("chain clocks wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMonitorAndSimFacade(t *testing.T) {
+	topo := syncstamp.Star(4)
+	tr := syncstamp.GenerateTrace(topo, 12, 6)
+	dec := syncstamp.Decompose(topo)
+	stamps, err := syncstamp.StampTrace(tr, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	length, chain := syncstamp.CriticalPath(stamps)
+	if length != 12 || len(chain) != 12 {
+		t.Fatalf("star computation critical path = %d (chain %v), want 12", length, chain)
+	}
+	makespan, speedup, err := syncstamp.ScheduleUniform(tr, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if makespan != 12 || speedup != 1 {
+		t.Fatalf("makespan=%d speedup=%v, want 12 and 1 (total order)", makespan, speedup)
+	}
+
+	// Conjunctive predicate over two concurrent internal events.
+	tr2 := &syncstamp.Trace{N: 2}
+	tr2.MustAppend(syncstamp.Op{Kind: 1, From: 0, To: 1}) // message
+	tr2.MustAppend(syncstamp.Op{Kind: 2, Proc: 0})        // internal
+	tr2.MustAppend(syncstamp.Op{Kind: 2, Proc: 1})        // internal
+	topo2 := syncstamp.NewTopology(2)
+	topo2.AddEdge(0, 1)
+	st, err := syncstamp.StampAll(tr2, syncstamp.Decompose(topo2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, found, err := syncstamp.DetectConjunctive([][]syncstamp.EventStamp{
+		{st.Internal[0]}, {st.Internal[1]},
+	})
+	if err != nil || !found || len(cut) != 2 {
+		t.Fatalf("found=%v err=%v cut=%v", found, err, cut)
+	}
+}
+
+func TestDynamicSystemFacade(t *testing.T) {
+	topo := syncstamp.ClientServer(2, 1)
+	dec, err := syncstamp.DecomposeServers(topo, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := syncstamp.NewSystem(dec, 6)
+	server := func(p *syncstamp.Process) error {
+		for i := 0; i < 2; i++ { // initial client + one joiner
+			if _, err := p.Recv(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	client := func(p *syncstamp.Process) error {
+		if _, err := p.Send(0, "a"); err != nil {
+			return err
+		}
+		_, err := p.Send(1, "b")
+		return err
+	}
+	if err := sys.Start([]func(*syncstamp.Process) error{server, server, client}); err != nil {
+		t.Fatal(err)
+	}
+	grown, _, err := syncstamp.GrowClient(dec, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Join(grown, client); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Wait(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.NumMessages() != 4 || res.Trace.N != 4 {
+		t.Fatalf("messages=%d N=%d", res.Trace.NumMessages(), res.Trace.N)
+	}
+	for _, s := range res.Stamps {
+		if len(s) != 2 {
+			t.Fatalf("stamp %v should have 2 components", s)
+		}
+	}
+}
