@@ -29,6 +29,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadText -fuzztime=10s ./internal/graph
 	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/vector
 	$(GO) test -fuzz=FuzzCompare -fuzztime=10s ./internal/vector
+	$(GO) test -fuzz=FuzzStampTrace -fuzztime=10s ./internal/core
 
 # Regenerate every paper figure/claim table into paperbench_output.txt.
 repro:

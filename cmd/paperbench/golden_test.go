@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// timingLine matches output lines that report wall-clock measurements and
+// may legitimately vary between runs; everything else must be byte-stable.
+var timingLine = regexp.MustCompile(`(?i)\b(elapsed|seconds|ms/op|ns/op|µs)\b`)
+
+func normalizeGolden(s string) []string {
+	var lines []string
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimRight(line, " \t")
+		if timingLine.MatchString(line) {
+			line = "<timing>"
+		}
+		lines = append(lines, line)
+	}
+	return lines
+}
+
+// TestGoldenOutput regenerates every experiment in-process and diffs it
+// against the committed paperbench_output.txt. Run `make repro` to refresh
+// the golden file after an intentional change.
+func TestGoldenOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	goldenBytes, err := os.ReadFile("../../paperbench_output.txt")
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 0 {
+		t.Fatalf("paperbench exited %d: %s", code, errOut.String())
+	}
+	got := normalizeGolden(out.String())
+	want := normalizeGolden(string(goldenBytes))
+	limit := len(got)
+	if len(want) < limit {
+		limit = len(want)
+	}
+	for i := 0; i < limit; i++ {
+		if got[i] != want[i] {
+			t.Fatalf("output drifted from paperbench_output.txt at line %d:\n got: %q\nwant: %q\n(run `make repro` if the change is intentional)",
+				i+1, got[i], want[i])
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("output has %d lines, golden has %d (run `make repro` if intentional)", len(got), len(want))
+	}
+	if strings.Contains(out.String(), "FAIL") {
+		t.Fatal("fresh run reports experiment FAILures")
+	}
+}

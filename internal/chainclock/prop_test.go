@@ -1,0 +1,31 @@
+package chainclock_test
+
+import (
+	"fmt"
+	"testing"
+
+	"syncstamp/internal/chainclock"
+	"syncstamp/internal/check"
+	"syncstamp/internal/order"
+)
+
+// TestPropChainClockExact: the centralized chain-partition stamps must
+// characterize ↦ exactly, pass their internal consistency check, and use at
+// least width(P) chains (any chain partition does, by Dilworth) but never
+// more than one per message.
+func TestPropChainClockExact(t *testing.T) {
+	check.Run(t, check.Config{}, func(in *check.Input) error {
+		res := chainclock.StampTrace(in.Trace)
+		if err := res.Verify(); err != nil {
+			return err
+		}
+		m := in.Trace.NumMessages()
+		if res.Chains > m {
+			return fmt.Errorf("%d chains for %d messages", res.Chains, m)
+		}
+		if w := order.MessagePoset(in.Trace).Width(); res.Chains < w {
+			return fmt.Errorf("%d chains below poset width %d: not a chain partition", res.Chains, w)
+		}
+		return check.Compare(in, "chainclock")
+	})
+}

@@ -1,0 +1,165 @@
+// Package check is a property-based differential-testing harness for the
+// timestamping algorithms. It generates seeded random inputs — a topology,
+// an edge decomposition of it, and a synchronous computation over it — and
+// runs properties against them; on failure it greedily shrinks the
+// counterexample (deleting operations, idle processes, and unused channels
+// while the property still fails) and reports a minimal, replayable case.
+//
+// The harness exists because the repo's correctness story rests on
+// Theorem 4 (m1 ↦ m2 ⟺ v(m1) < v(m2)) holding for every clock
+// implementation on every topology: hand-written traces spot-check single
+// points of that space, while the oracle registry (oracle.go) differentially
+// compares every mechanism against the ground-truth poset on thousands of
+// generated computations. Properties live in the test files of the packages
+// they guard (core, offline, decomp, vclock, chainclock, cluster, csp, and
+// the syncstamp façade).
+//
+// Replay: every failure report names the seed that generated the failing
+// input. Re-running the test with SYNCSTAMP_CHECK_SEED=<seed> regenerates
+// exactly that input (with the same Config) and skips the random sweep.
+package check
+
+import (
+	"fmt"
+	"os"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"testing"
+
+	"syncstamp/internal/trace"
+)
+
+// SeedEnv is the environment variable that pins a single replay seed.
+const SeedEnv = "SYNCSTAMP_CHECK_SEED"
+
+// Property is a predicate over a generated input; nil means "holds".
+type Property func(in *Input) error
+
+// Config bounds the generated inputs. The zero value selects defaults.
+type Config struct {
+	// Runs is the number of random inputs to try (default 40; quartered
+	// under -short).
+	Runs int
+	// MaxProcs bounds the process count of generated topologies (default 8;
+	// some families round up slightly, e.g. grids).
+	MaxProcs int
+	// MaxMessages bounds the message count of generated traces (default 60).
+	MaxMessages int
+	// Seed is the base seed of the sweep (default 0x5eed). Each run derives
+	// its own input seed from it, so failures are replayable per run.
+	Seed int64
+	// ShrinkBudget caps the number of candidate evaluations during
+	// shrinking (default 4000).
+	ShrinkBudget int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runs == 0 {
+		c.Runs = 40
+		if testing.Short() {
+			c.Runs = 10
+		}
+	}
+	if c.MaxProcs == 0 {
+		c.MaxProcs = 8
+	}
+	if c.MaxMessages == 0 {
+		c.MaxMessages = 60
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+	if c.ShrinkBudget == 0 {
+		c.ShrinkBudget = 4000
+	}
+	return c
+}
+
+// failer is the slice of *testing.T the engine needs; the indirection lets
+// the engine's own tests observe failure reports.
+type failer interface {
+	Helper()
+	Name() string
+	Fatalf(format string, args ...any)
+}
+
+// Run sweeps the property over cfg.Runs seeded random inputs, shrinking and
+// reporting the first failure. With SYNCSTAMP_CHECK_SEED set it replays
+// that single seed instead.
+func Run(t *testing.T, cfg Config, prop Property) {
+	t.Helper()
+	run(t, cfg, prop)
+}
+
+func run(t failer, cfg Config, prop Property) {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	if env := os.Getenv(SeedEnv); env != "" {
+		seed, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("check: bad %s=%q: %v", SeedEnv, env, err)
+			return
+		}
+		in := GenInput(seed, cfg)
+		if err := Eval(prop, in); err != nil {
+			fail(t, cfg, in, err, prop)
+		}
+		return
+	}
+	for i := 0; i < cfg.Runs; i++ {
+		in := GenInput(runSeed(cfg.Seed, i), cfg)
+		if err := Eval(prop, in); err != nil {
+			fail(t, cfg, in, err, prop)
+			return
+		}
+	}
+}
+
+// runSeed derives the i-th input seed from the base seed (splitmix64, so
+// neighbouring runs are uncorrelated).
+func runSeed(base int64, i int) int64 {
+	z := uint64(base) + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Eval runs the property, converting panics into errors so that a crashing
+// comparison shrinks like any other failure.
+func Eval(prop Property, in *Input) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return prop(in)
+}
+
+// fail shrinks the counterexample and reports it with replay instructions.
+func fail(t failer, cfg Config, in *Input, firstErr error, prop Property) {
+	t.Helper()
+	min, minErr := Minimize(prop, in, cfg.ShrinkBudget)
+	t.Fatalf("check: property %s failed (seed=%d, decomposition=%s):\n  %v\n\n%s\nreplay: %s=%d go test -run '%s' (same Config required)",
+		t.Name(), in.Seed, in.DecAlgo, firstErr, renderCounterexample(min, minErr), SeedEnv, in.Seed, t.Name())
+}
+
+// renderCounterexample formats the shrunk input so it can be rebuilt by hand.
+func renderCounterexample(in *Input, err error) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shrunk counterexample (%d ops, %d messages, %d processes):\n",
+		len(in.Trace.Ops), in.Trace.NumMessages(), in.Trace.N)
+	fmt.Fprintf(&b, "  error: %v\n", err)
+	fmt.Fprintf(&b, "  topology: %v\n", in.Topo)
+	fmt.Fprintf(&b, "  decomposition [%s]: %v\n", in.DecAlgo, in.Dec)
+	b.WriteString("  trace:\n")
+	var tb strings.Builder
+	if werr := trace.WriteText(&tb, in.Trace); werr != nil {
+		fmt.Fprintf(&b, "    <unencodable: %v>\n", werr)
+	} else {
+		for _, line := range strings.Split(strings.TrimRight(tb.String(), "\n"), "\n") {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+	}
+	return b.String()
+}

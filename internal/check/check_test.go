@@ -1,0 +1,226 @@
+package check_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"syncstamp/internal/check"
+	"syncstamp/internal/trace"
+	"syncstamp/internal/vclock"
+)
+
+// recorder captures the engine's failure report instead of failing the test.
+type recorder struct {
+	failed bool
+	msg    string
+}
+
+func (r *recorder) Helper()      {}
+func (r *recorder) Name() string { return "TestRecorded" }
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.failed = true
+	r.msg = fmt.Sprintf(format, args...)
+}
+
+// RunRecorded is exported for tests via the internal bridge below.
+
+func TestGenInputDeterministic(t *testing.T) {
+	cfg := check.Config{}
+	for seed := int64(1); seed < 30; seed++ {
+		a := check.GenInput(seed, cfg)
+		b := check.GenInput(seed, cfg)
+		if a.Topo.String() != b.Topo.String() {
+			t.Fatalf("seed %d: topologies differ:\n%v\n%v", seed, a.Topo, b.Topo)
+		}
+		if a.Dec.String() != b.Dec.String() || a.DecAlgo != b.DecAlgo {
+			t.Fatalf("seed %d: decompositions differ", seed)
+		}
+		if len(a.Trace.Ops) != len(b.Trace.Ops) {
+			t.Fatalf("seed %d: traces differ", seed)
+		}
+		for i := range a.Trace.Ops {
+			if a.Trace.Ops[i] != b.Trace.Ops[i] {
+				t.Fatalf("seed %d: op %d differs: %v vs %v", seed, i, a.Trace.Ops[i], b.Trace.Ops[i])
+			}
+		}
+	}
+}
+
+func TestGenInputValid(t *testing.T) {
+	cfg := check.Config{}
+	for seed := int64(0); seed < 200; seed++ {
+		in := check.GenInput(seed, cfg)
+		if err := in.Trace.Validate(in.Topo); err != nil {
+			t.Fatalf("seed %d: invalid trace: %v", seed, err)
+		}
+		if err := in.Dec.Validate(in.Topo); err != nil {
+			t.Fatalf("seed %d: decomposition [%s] invalid: %v", seed, in.DecAlgo, err)
+		}
+	}
+}
+
+func TestInputRandDeterministic(t *testing.T) {
+	in := check.GenInput(7, check.Config{})
+	a, b := in.Rand(), in.Rand()
+	for i := 0; i < 16; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("Input.Rand not deterministic across calls")
+		}
+	}
+}
+
+// TestAllOraclesAgree is the harness-wide differential property: every
+// clock implementation against the ground-truth poset on every generated
+// computation.
+func TestAllOraclesAgree(t *testing.T) {
+	check.Run(t, check.Config{}, func(in *check.Input) error {
+		return check.Compare(in)
+	})
+}
+
+// TestMinimizeFindsMinimalCounterexample shrinks against a property that
+// fails on any trace with at least two messages; the minimum is exactly two
+// messages, no internal ops, and no untouched processes.
+func TestMinimizeFindsMinimalCounterexample(t *testing.T) {
+	prop := func(in *check.Input) error {
+		if in.Trace.NumMessages() >= 2 {
+			return errors.New("two messages exist")
+		}
+		return nil
+	}
+	found := false
+	for seed := int64(0); seed < 50; seed++ {
+		in := check.GenInput(seed, check.Config{})
+		if check.Eval(prop, in) == nil {
+			continue
+		}
+		found = true
+		min, err := check.Minimize(prop, in, 0)
+		if err == nil {
+			t.Fatalf("seed %d: minimized input no longer fails", seed)
+		}
+		if got := min.Trace.NumMessages(); got != 2 {
+			t.Fatalf("seed %d: minimal counterexample has %d messages, want 2", seed, got)
+		}
+		if got := min.Trace.NumInternal(); got != 0 {
+			t.Fatalf("seed %d: minimal counterexample kept %d internal ops", seed, got)
+		}
+		if min.Trace.N > 4 {
+			t.Fatalf("seed %d: minimal counterexample kept %d processes, want ≤ 4", seed, min.Trace.N)
+		}
+		if err := min.Trace.Validate(min.Topo); err != nil {
+			t.Fatalf("seed %d: shrunk trace invalid: %v", seed, err)
+		}
+		if err := min.Dec.Validate(min.Topo); err != nil {
+			t.Fatalf("seed %d: shrunk decomposition invalid: %v", seed, err)
+		}
+	}
+	if !found {
+		t.Fatal("no generated input had two messages; generator too weak")
+	}
+}
+
+// TestBrokenComparisonCaught sabotages a clock the way a regression would —
+// two distinct messages end up with identical stamps — and demands the
+// engine catch it, shrink it, and report a replayable seed.
+func TestBrokenComparisonCaught(t *testing.T) {
+	prop := func(in *check.Input) error {
+		stamps := vclock.FM{}.StampTrace(in.Trace)
+		if len(stamps) >= 2 {
+			stamps[1] = stamps[0].Clone() // deliberate corruption
+		}
+		return check.ExactMatch(in.Trace, check.VectorPrecedes(stamps))
+	}
+	rec := &recorder{}
+	check.RunForTest(rec, check.Config{}, prop)
+	if !rec.failed {
+		t.Fatal("engine did not catch the corrupted comparison")
+	}
+	for _, want := range []string{"shrunk counterexample", "replay:", check.SeedEnv + "=", "trace:", "decomposition"} {
+		if !strings.Contains(rec.msg, want) {
+			t.Fatalf("failure report missing %q:\n%s", want, rec.msg)
+		}
+	}
+	// The minimal trace for "stamp of m1 copied onto m0's" is two messages
+	// sharing a process: check the shrinker got it down to 2 or 3 ops.
+	if !strings.Contains(rec.msg, "2 messages") {
+		t.Fatalf("expected a 2-message shrunk counterexample:\n%s", rec.msg)
+	}
+}
+
+// TestSeedReplay re-runs a failing property with SYNCSTAMP_CHECK_SEED and
+// expects the identical counterexample to surface.
+func TestSeedReplay(t *testing.T) {
+	prop := func(in *check.Input) error {
+		if in.Trace.NumMessages() >= 3 {
+			return errors.New("three messages exist")
+		}
+		return nil
+	}
+	rec := &recorder{}
+	check.RunForTest(rec, check.Config{}, prop)
+	if !rec.failed {
+		t.Fatal("property did not fail on the default sweep")
+	}
+	var seed int64
+	if _, err := fmt.Sscanf(rec.msg[strings.Index(rec.msg, "seed="):], "seed=%d", &seed); err != nil {
+		t.Fatalf("cannot parse seed from report: %v\n%s", err, rec.msg)
+	}
+	t.Setenv(check.SeedEnv, fmt.Sprint(seed))
+	rec2 := &recorder{}
+	check.RunForTest(rec2, check.Config{}, prop)
+	if !rec2.failed {
+		t.Fatalf("replay with seed %d did not fail", seed)
+	}
+	if !strings.Contains(rec2.msg, fmt.Sprintf("seed=%d", seed)) {
+		t.Fatalf("replay reported a different seed:\n%s", rec2.msg)
+	}
+}
+
+// TestPanicBecomesFailure: a panicking property must be reported (and
+// shrunk), not crash the test binary.
+func TestPanicBecomesFailure(t *testing.T) {
+	prop := func(in *check.Input) error {
+		if in.Trace.NumMessages() >= 1 {
+			panic("comparison exploded")
+		}
+		return nil
+	}
+	rec := &recorder{}
+	check.RunForTest(rec, check.Config{}, prop)
+	if !rec.failed || !strings.Contains(rec.msg, "comparison exploded") {
+		t.Fatalf("panic not converted to failure report: %v\n%s", rec.failed, rec.msg)
+	}
+}
+
+func TestSoundMatchAllowsExtraOrder(t *testing.T) {
+	// Two concurrent messages: (0,1) then (2,3). A "clock" ordering them is
+	// sound but not exact.
+	tr := &trace.Trace{N: 4}
+	tr.MustAppend(trace.Message(0, 1))
+	tr.MustAppend(trace.Message(2, 3))
+	always := func(m1, m2 int) bool { return m1 < m2 }
+	if err := check.SoundMatch(tr, always); err != nil {
+		t.Fatalf("SoundMatch rejected allowed extra ordering: %v", err)
+	}
+	if err := check.ExactMatch(tr, always); err == nil {
+		t.Fatal("ExactMatch accepted a falsely ordered concurrent pair")
+	}
+	// Missing a true ordering is unsound.
+	tr2 := &trace.Trace{N: 2}
+	tr2.MustAppend(trace.Message(0, 1))
+	tr2.MustAppend(trace.Message(1, 0))
+	never := func(m1, m2 int) bool { return false }
+	if err := check.SoundMatch(tr2, never); err == nil {
+		t.Fatal("SoundMatch accepted a missed true ordering")
+	}
+}
+
+func TestCompareUnknownOracle(t *testing.T) {
+	in := check.GenInput(1, check.Config{})
+	if err := check.Compare(in, "no-such-clock"); err == nil {
+		t.Fatal("Compare accepted an unknown oracle name")
+	}
+}

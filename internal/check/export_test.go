@@ -1,0 +1,8 @@
+package check
+
+// RunForTest exposes the engine loop to the package's own tests with a
+// fake failer, so failure reports can be asserted on instead of failing
+// the test binary.
+func RunForTest(t failer, cfg Config, prop Property) {
+	run(t, cfg, prop)
+}

@@ -1,0 +1,158 @@
+package check
+
+import (
+	"math/rand"
+
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+	"syncstamp/internal/trace"
+)
+
+// Input is one generated test case: a topology, an edge decomposition of
+// it, and a synchronous computation over its channels. Every message of
+// Trace travels on an edge of Topo, and Dec covers every edge of Topo, so
+// all clock implementations accept the trace.
+type Input struct {
+	// Seed regenerates this input via GenInput (before any shrinking).
+	Seed int64
+	// Topo is the communication topology.
+	Topo *graph.Graph
+	// Dec is an edge decomposition of Topo, produced by the algorithm
+	// named by DecAlgo.
+	Dec *decomp.Decomposition
+	// DecAlgo names the decomposition strategy, for failure reports.
+	DecAlgo string
+	// Trace is the generated computation.
+	Trace *trace.Trace
+
+	// decFn rebuilds the decomposition after a structural shrink (process
+	// removal or edge trimming) with the same strategy.
+	decFn func(*graph.Graph) *decomp.Decomposition
+}
+
+// Rand returns a fresh deterministic source derived from the input's seed.
+// Properties needing extra random choices (a cluster partition, a plausible
+// clock size) must draw them from here so that re-evaluating the property
+// during shrinking stays deterministic.
+func (in *Input) Rand() *rand.Rand {
+	return rand.New(rand.NewSource(in.Seed ^ 0x5ca1ab1e))
+}
+
+// GenInput builds the input for a seed under cfg. The same (seed, cfg)
+// always yields the same input — the replay contract of the harness.
+func GenInput(seed int64, cfg Config) *Input {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	topo := randomTopology(rng, cfg.MaxProcs)
+	mutateTopology(rng, topo)
+	algo, decFn := randomDecomposer(rng, seed)
+	dec := decFn(topo)
+
+	msgs := 0
+	if topo.M() > 0 {
+		msgs = rng.Intn(cfg.MaxMessages + 1)
+	}
+	opts := trace.GenOptions{
+		Messages:     msgs,
+		InternalProb: []float64{0, 0.2, 0.4}[rng.Intn(3)],
+		Hotspot:      []float64{0, 0.3, 0.7}[rng.Intn(3)],
+	}
+	tr := trace.Generate(topo, opts, rng)
+	return &Input{Seed: seed, Topo: topo, Dec: dec, DecAlgo: algo, Trace: tr, decFn: decFn}
+}
+
+// randomTopology draws from every generator family the repo ships, so the
+// sweep exercises stars, trees, meshes, bipartite client-server graphs and
+// arbitrary G(n,p) graphs. Some families round the vertex count up a little.
+func randomTopology(rng *rand.Rand, maxProcs int) *graph.Graph {
+	n := 2 + rng.Intn(maxProcs-1)
+	switch rng.Intn(10) {
+	case 0:
+		return graph.Complete(n)
+	case 1:
+		return graph.Star(n, rng.Intn(n))
+	case 2:
+		return graph.Path(n)
+	case 3:
+		if n < 3 {
+			n = 3
+		}
+		return graph.Cycle(n)
+	case 4:
+		return graph.RandomTree(n, rng)
+	case 5:
+		return graph.RandomGnp(n, 0.2+0.6*rng.Float64(), rng)
+	case 6:
+		if n < 2 {
+			n = 2
+		}
+		servers := 1 + rng.Intn(n/2+1)
+		clients := n - servers
+		if clients < 1 {
+			clients = 1
+		}
+		return graph.ClientServer(servers, clients, rng.Intn(2) == 0)
+	case 7:
+		rows := 1 + rng.Intn(3)
+		cols := (n + rows - 1) / rows
+		if cols < 1 {
+			cols = 1
+		}
+		return graph.Grid(rows, cols)
+	case 8:
+		return graph.BalancedTree(1+rng.Intn(3), 1+rng.Intn(2))
+	default:
+		return graph.DisjointTriangles(1 + rng.Intn(2))
+	}
+}
+
+// mutateTopology randomly perturbs the generated family — adding and
+// removing a few edges — so the sweep also covers graphs no generator emits.
+func mutateTopology(rng *rand.Rand, g *graph.Graph) {
+	if g.N() < 2 || rng.Intn(2) == 0 {
+		return
+	}
+	for k := rng.Intn(3); k > 0; k-- {
+		a, b := rng.Intn(g.N()), rng.Intn(g.N())
+		if a == b {
+			continue
+		}
+		if rng.Intn(3) == 0 {
+			g.RemoveEdge(a, b)
+		} else {
+			g.AddEdge(a, b)
+		}
+	}
+}
+
+// randomDecomposer picks one decomposition strategy. Every strategy covers
+// the full edge set, so any trace over the topology can be stamped under it.
+func randomDecomposer(rng *rand.Rand, seed int64) (string, func(*graph.Graph) *decomp.Decomposition) {
+	guard := func(fn func(*graph.Graph) *decomp.Decomposition) func(*graph.Graph) *decomp.Decomposition {
+		return func(g *graph.Graph) *decomp.Decomposition {
+			if g.M() == 0 {
+				return decomp.MustNew(g.N(), nil)
+			}
+			return fn(g)
+		}
+	}
+	strategies := []struct {
+		name string
+		fn   func(*graph.Graph) *decomp.Decomposition
+	}{
+		{"best", decomp.Best},
+		{"fig7-maxadj", decomp.Approximate},
+		{"fig7-first", func(g *graph.Graph) *decomp.Decomposition {
+			d, _ := decomp.ApproximateTraced(g, decomp.ChooseFirst)
+			return d
+		}},
+		{"trivial-stars", decomp.TrivialStars},
+		{"trivial-triangle", decomp.TrivialWithTriangle},
+		{"greedy-cover", decomp.StarOnly},
+		{"multistart", func(g *graph.Graph) *decomp.Decomposition {
+			return decomp.ApproximateMultiStart(g, 4, rand.New(rand.NewSource(seed^0x0ddba11)))
+		}},
+	}
+	s := strategies[rng.Intn(len(strategies))]
+	return s.name, guard(s.fn)
+}

@@ -1,0 +1,127 @@
+package check
+
+import (
+	"syncstamp/internal/graph"
+	"syncstamp/internal/trace"
+)
+
+// Minimize greedily shrinks a failing input while the property keeps
+// failing: it deletes operation windows (halving chunk sizes down to single
+// ops), drops processes no remaining op touches, and trims the topology to
+// the channels the trace actually uses (rebuilding the decomposition with
+// the input's own strategy). budget caps the number of property
+// evaluations. It returns the minimal input and the error it still fails
+// with.
+func Minimize(prop Property, in *Input, budget int) (*Input, error) {
+	if budget <= 0 {
+		budget = 4000
+	}
+	fails := func(c *Input) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return Eval(prop, c) != nil
+	}
+	cur := in
+	for {
+		next, ok := shrinkStep(cur, fails)
+		if !ok {
+			break
+		}
+		cur = next
+	}
+	return cur, Eval(prop, cur)
+}
+
+// shrinkStep returns the first smaller failing candidate, or ok=false when
+// no candidate fails (a local minimum).
+func shrinkStep(in *Input, fails func(*Input) bool) (*Input, bool) {
+	ops := in.Trace.Ops
+	// 1. Delete op windows, largest first (ddmin-style).
+	for size := len(ops) / 2; size >= 1; size /= 2 {
+		for start := 0; start+size <= len(ops); start += size {
+			cand := in.withOps(append(append([]trace.Op(nil), ops[:start]...), ops[start+size:]...))
+			if fails(cand) {
+				return cand, true
+			}
+		}
+	}
+	// 2. Drop processes no op touches, renumbering the rest.
+	if cand := in.withoutIdleProcs(); cand != nil && fails(cand) {
+		return cand, true
+	}
+	// 3. Trim the topology to the channels the trace uses.
+	if used := in.Trace.Topology(); used.M() < in.Topo.M() {
+		cand := in.withTopology(used)
+		if fails(cand) {
+			return cand, true
+		}
+	}
+	return nil, false
+}
+
+// withOps returns a copy of the input with a different op sequence; the
+// topology and decomposition carry over (any op subset stays valid).
+func (in *Input) withOps(ops []trace.Op) *Input {
+	c := *in
+	c.Trace = &trace.Trace{N: in.Trace.N, Ops: ops}
+	return &c
+}
+
+// withTopology returns a copy over a reduced topology of the same vertex
+// count, rebuilding the decomposition with the input's strategy.
+func (in *Input) withTopology(topo *graph.Graph) *Input {
+	c := *in
+	c.Topo = topo
+	c.Dec = in.decFn(topo)
+	return &c
+}
+
+// withoutIdleProcs removes processes that participate in no op and
+// renumbers the remainder, or returns nil when every process is used.
+func (in *Input) withoutIdleProcs() *Input {
+	used := make([]bool, in.Trace.N)
+	for _, op := range in.Trace.Ops {
+		switch op.Kind {
+		case trace.OpMessage:
+			used[op.From] = true
+			used[op.To] = true
+		case trace.OpInternal:
+			used[op.Proc] = true
+		}
+	}
+	remap := make([]int, in.Trace.N)
+	kept := 0
+	for p, u := range used {
+		if u {
+			remap[p] = kept
+			kept++
+		} else {
+			remap[p] = -1
+		}
+	}
+	if kept == in.Trace.N || kept == 0 {
+		return nil
+	}
+	topo := graph.New(kept)
+	for _, e := range in.Topo.Edges() {
+		if remap[e.U] >= 0 && remap[e.V] >= 0 {
+			topo.AddEdge(remap[e.U], remap[e.V])
+		}
+	}
+	tr := &trace.Trace{N: kept}
+	for _, op := range in.Trace.Ops {
+		switch op.Kind {
+		case trace.OpMessage:
+			tr.MustAppend(trace.Message(remap[op.From], remap[op.To]))
+		case trace.OpInternal:
+			tr.MustAppend(trace.Internal(remap[op.Proc]))
+		}
+	}
+	c := *in
+	c.Topo = topo
+	c.Trace = tr
+	c.Dec = in.decFn(topo)
+	return &c
+}

@@ -1,0 +1,44 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"syncstamp/internal/check"
+	"syncstamp/internal/cluster"
+	"syncstamp/internal/order"
+)
+
+// TestPropClusterExact: the hierarchical cluster scheme must answer every
+// precedence query exactly — under the registry's random partition and at
+// both degenerate extremes (singleton clusters: nothing is pure; one big
+// cluster: everything is pure and the compact stamps carry all queries).
+func TestPropClusterExact(t *testing.T) {
+	check.Run(t, check.Config{}, func(in *check.Input) error {
+		if err := check.Compare(in, "cluster"); err != nil {
+			return err
+		}
+		p := order.MessagePoset(in.Trace)
+		for _, size := range []int{1, in.Trace.N} {
+			part, err := cluster.Contiguous(in.Trace.N, size)
+			if err != nil {
+				return err
+			}
+			res, err := cluster.Stamp(in.Trace, part)
+			if err != nil {
+				return err
+			}
+			if size == in.Trace.N && len(res.Full) > 0 && res.PureFraction() != 1 {
+				return fmt.Errorf("one-cluster partition left %v of messages impure", 1-res.PureFraction())
+			}
+			if err := check.ExactMatch(in.Trace, func(m1, m2 int) bool {
+				ok, _ := res.Precedes(m1, m2)
+				return ok
+			}); err != nil {
+				return fmt.Errorf("cluster size %d: %w", size, err)
+			}
+			_ = p
+		}
+		return nil
+	})
+}

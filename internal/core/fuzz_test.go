@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"syncstamp/internal/check"
+	"syncstamp/internal/core"
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/trace"
+	"syncstamp/internal/vclock"
+	"syncstamp/internal/vector"
+)
+
+// FuzzStampTrace feeds arbitrary text through the trace decoder and, for
+// every input that parses into a valid computation, stamps it with the
+// online algorithm over the trivial star decomposition of its own topology
+// and differentially checks the stamps against the ground-truth poset and
+// the Fidge–Mattern baseline. Nothing a parser accepts may crash the
+// stamper or break Theorem 4.
+func FuzzStampTrace(f *testing.F) {
+	f.Add("n 3\nm 0 1\nm 1 2\nm 0 1\n")
+	f.Add("n 2\nm 0 1\ni 0\nm 1 0\n")
+	f.Add("n 5\nm 0 4\nm 1 4\nm 2 4\nm 3 4\ni 4\n")
+	f.Add("n 4\n# ring\nm 0 1\nm 1 2\nm 2 3\nm 3 0\nm 0 2\n")
+	f.Add("n 1\ni 0\ni 0\n")
+	f.Add("n 6\nm 0 1\nm 2 3\nm 4 5\nm 1 2\nm 3 4\nm 5 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := trace.ReadText(strings.NewReader(input))
+		if err != nil {
+			t.Skip()
+		}
+		if tr.N < 1 || tr.N > 128 || len(tr.Ops) > 1024 {
+			t.Skip()
+		}
+		topo := tr.Topology()
+		if err := tr.Validate(topo); err != nil {
+			t.Skip()
+		}
+		dec := decomp.TrivialStars(topo)
+		if err := dec.Validate(topo); err != nil {
+			t.Fatalf("trivial stars invalid on own topology: %v", err)
+		}
+		stamps, err := core.StampTrace(tr, dec)
+		if err != nil {
+			t.Fatalf("StampTrace rejected a valid trace: %v", err)
+		}
+		if len(stamps) != tr.NumMessages() {
+			t.Fatalf("stamped %d of %d messages", len(stamps), tr.NumMessages())
+		}
+		// Differential oracles get expensive on giant inputs; the poset
+		// check is quadratic and FM is linear, both fine at these bounds.
+		if tr.NumMessages() > 200 {
+			t.Skip()
+		}
+		if err := check.ExactMatch(tr, func(m1, m2 int) bool {
+			return vector.Less(stamps[m1], stamps[m2])
+		}); err != nil {
+			t.Fatalf("online stamps diverge from poset: %v", err)
+		}
+		fm := vclock.FM{}.StampTrace(tr)
+		for i := range stamps {
+			for j := range stamps {
+				if i != j && vector.Less(stamps[i], stamps[j]) != vector.Less(fm[i], fm[j]) {
+					t.Fatalf("online and Fidge–Mattern disagree on (%d,%d)", i, j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"syncstamp/internal/check"
+	"syncstamp/internal/core"
+	"syncstamp/internal/order"
+)
+
+// TestPropTheorem4Online: the paper's central claim, differentially against
+// the ground-truth poset on random topologies, decompositions, and traces —
+// m1 ↦ m2 ⟺ v(m1) < v(m2) for the Figure 5 online algorithm.
+func TestPropTheorem4Online(t *testing.T) {
+	check.Run(t, check.Config{}, func(in *check.Input) error {
+		return check.Compare(in, "online")
+	})
+}
+
+// TestPropTheorem9EventStamps: Section 5 internal-event stamps answer
+// happened-before exactly like the event-level oracle (which derives →,
+// acknowledgement edges included, from the trace combinatorially).
+func TestPropTheorem9EventStamps(t *testing.T) {
+	check.Run(t, check.Config{MaxProcs: 6, MaxMessages: 25}, func(in *check.Input) error {
+		st, err := core.StampAll(in.Trace, in.Dec)
+		if err != nil {
+			return err
+		}
+		o := order.NewEventOracle(in.Trace)
+		var internals []int // oracle event index of each internal op, in trace order
+		for k := 0; k < o.NumEvents(); k++ {
+			if o.Event(k).Internal {
+				internals = append(internals, k)
+			}
+		}
+		if len(internals) != len(st.Internal) {
+			return fmt.Errorf("StampAll stamped %d internal events, oracle sees %d", len(st.Internal), len(internals))
+		}
+		for a := range st.Internal {
+			for b := range st.Internal {
+				if a == b {
+					continue
+				}
+				got := st.Internal[a].HappenedBefore(st.Internal[b])
+				want := o.HappenedBefore(internals[a], internals[b])
+				if got != want {
+					return fmt.Errorf("internal events %d (op %d) vs %d (op %d): stamp says %v, oracle says %v",
+						a, st.Internal[a].Op, b, st.Internal[b].Op, got, want)
+				}
+			}
+		}
+		return nil
+	})
+}

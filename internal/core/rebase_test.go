@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+	"syncstamp/internal/vector"
+)
+
+// Star rooted at 0 over a path 0-1, grown by one extra vertex on the same
+// root: the canonical legal Rebase.
+func rebaseFixture(t *testing.T) (*decomp.Decomposition, *decomp.Decomposition) {
+	t.Helper()
+	dec := decomp.TrivialStars(graph.Path(2))
+	grown, newID, err := dec.GrowStarVertex([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newID != 2 {
+		t.Fatalf("new vertex id %d, want 2", newID)
+	}
+	return dec, grown
+}
+
+func TestClockRebaseSuccess(t *testing.T) {
+	dec, grown := rebaseFixture(t)
+	c := NewClock(0, dec)
+	if _, err := c.Merge(vector.New(dec.D()), 1); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Current()
+	if err := c.Rebase(grown); err != nil {
+		t.Fatalf("legal growth rejected: %v", err)
+	}
+	if !vector.Eq(c.Current(), before) {
+		t.Fatalf("Rebase disturbed the local vector: %v → %v", before, c.Current())
+	}
+	// The channel to the new process is only covered by the grown
+	// decomposition; a Merge on it must now succeed.
+	if _, err := c.Merge(vector.New(grown.D()), 2); err != nil {
+		t.Fatalf("Merge on grown channel failed after Rebase: %v", err)
+	}
+}
+
+func TestClockRebaseRejectsDifferentD(t *testing.T) {
+	dec, _ := rebaseFixture(t)
+	c := NewClock(0, dec)
+	bigger := decomp.TrivialStars(graph.Path(3)) // d = 2
+	err := c.Rebase(bigger)
+	if err == nil {
+		t.Fatal("Rebase accepted a decomposition with a different d")
+	}
+	if !strings.Contains(err.Error(), "incomparable") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	// The failed Rebase must leave the clock on its old decomposition:
+	// the old channel still works, the new one still doesn't.
+	if _, err := c.Merge(vector.New(dec.D()), 1); err != nil {
+		t.Fatalf("old channel broken after failed Rebase: %v", err)
+	}
+	if _, err := c.Merge(vector.New(dec.D()), 2); err == nil {
+		t.Fatal("uncovered channel accepted after failed Rebase")
+	}
+}
+
+func TestClockRebaseRejectsRegrouping(t *testing.T) {
+	dec := decomp.MustNew(3, []decomp.Group{
+		{Kind: decomp.KindStar, Root: 0, Edges: []graph.Edge{graph.NewEdge(0, 1)}},
+		{Kind: decomp.KindStar, Root: 2, Edges: []graph.Edge{graph.NewEdge(1, 2)}},
+	})
+	regrouped := decomp.MustNew(3, []decomp.Group{
+		{Kind: decomp.KindStar, Root: 2, Edges: []graph.Edge{graph.NewEdge(1, 2)}},
+		{Kind: decomp.KindStar, Root: 0, Edges: []graph.Edge{graph.NewEdge(0, 1)}},
+	})
+	c := NewClock(1, dec)
+	if err := c.Rebase(regrouped); err == nil {
+		t.Fatal("Rebase accepted a growth that moves channels between groups")
+	}
+}
+
+func TestClockRebaseRejectsShrink(t *testing.T) {
+	dec := decomp.MustNew(4, []decomp.Group{
+		{Kind: decomp.KindStar, Root: 0, Edges: []graph.Edge{graph.NewEdge(0, 1)}},
+		{Kind: decomp.KindStar, Root: 2, Edges: []graph.Edge{graph.NewEdge(2, 3)}},
+	})
+	shrunk := decomp.MustNew(3, []decomp.Group{
+		{Kind: decomp.KindStar, Root: 0, Edges: []graph.Edge{graph.NewEdge(0, 1)}},
+		{Kind: decomp.KindStar, Root: 2, Edges: []graph.Edge{graph.NewEdge(1, 2)}},
+	})
+	c := NewClock(0, dec)
+	if err := c.Rebase(shrunk); err == nil {
+		t.Fatal("Rebase accepted a shrinking growth")
+	}
+}

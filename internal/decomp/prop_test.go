@@ -1,0 +1,99 @@
+package decomp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"syncstamp/internal/check"
+	"syncstamp/internal/decomp"
+)
+
+// TestPropStrategiesValidAndBounded: every polynomial strategy yields a
+// valid decomposition of the generated topology, none beats the exact
+// optimum α(G), and Figure 7 stays within its factor-2 guarantee.
+func TestPropStrategiesValidAndBounded(t *testing.T) {
+	check.Run(t, check.Config{}, func(in *check.Input) error {
+		g := in.Topo
+		exact, err := decomp.Exact(g, 0)
+		if err != nil {
+			return err
+		}
+		alpha := exact.D()
+		strategies := map[string]*decomp.Decomposition{
+			"exact":            exact,
+			"fig7":             decomp.Approximate(g),
+			"best":             decomp.Best(g),
+			"star-only":        decomp.StarOnly(g),
+			"trivial-stars":    decomp.TrivialStars(g),
+			"trivial-triangle": decomp.TrivialWithTriangle(g),
+		}
+		for name, d := range strategies {
+			if err := d.Validate(g); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			if d.D() < alpha {
+				return fmt.Errorf("%s produced %d groups below exact optimum %d", name, d.D(), alpha)
+			}
+		}
+		if fig7 := strategies["fig7"]; g.M() > 0 && fig7.D() > 2*alpha {
+			return fmt.Errorf("Figure 7 used %d groups, over twice the optimum %d", fig7.D(), alpha)
+		}
+		if best := strategies["best"]; best.D() > strategies["fig7"].D() {
+			return fmt.Errorf("Best (%d groups) worse than Figure 7 (%d)", best.D(), strategies["fig7"].D())
+		}
+		return nil
+	})
+}
+
+// TestPropTheorem5CoverBound: some polynomial strategy meets Theorem 5's
+// min(β(G), N−2) vector-size bound — stars rooted at an optimal vertex
+// cover when β ≤ N−2, the trailing-triangle decomposition otherwise.
+func TestPropTheorem5CoverBound(t *testing.T) {
+	check.Run(t, check.Config{}, func(in *check.Input) error {
+		g := in.Topo
+		bound, err := decomp.CoverBound(g)
+		if err != nil {
+			return err
+		}
+		cover, err := decomp.MinVertexCover(g, 0)
+		if err != nil {
+			return err
+		}
+		fromCover, err := decomp.FromVertexCover(g, cover)
+		if err != nil {
+			return err
+		}
+		if err := fromCover.Validate(g); err != nil {
+			return fmt.Errorf("opt-cover stars: %w", err)
+		}
+		achieved := decomp.Best(g).D()
+		if fromCover.D() < achieved {
+			achieved = fromCover.D()
+		}
+		if bound > 0 && achieved > bound {
+			return fmt.Errorf("no strategy met Theorem 5: achieved %d, bound min(β,N−2) = %d", achieved, bound)
+		}
+		return nil
+	})
+}
+
+// TestPropGreedyCoverIsCover: the greedy 2-approximate cover really covers
+// every edge, on generated topologies and on their edge-deleted mutants.
+func TestPropGreedyCoverIsCover(t *testing.T) {
+	check.Run(t, check.Config{}, func(in *check.Input) error {
+		g := in.Topo
+		inCover := make(map[int]bool)
+		for _, v := range decomp.GreedyVertexCover(g) {
+			inCover[v] = true
+		}
+		for _, e := range g.Edges() {
+			if !inCover[e.U] && !inCover[e.V] {
+				return fmt.Errorf("edge %d-%d not covered by greedy cover", e.U, e.V)
+			}
+		}
+		if _, err := decomp.FromVertexCover(g, decomp.GreedyVertexCover(g)); err != nil && g.M() > 0 {
+			return err
+		}
+		return nil
+	})
+}

@@ -1,0 +1,68 @@
+package offline_test
+
+import (
+	"fmt"
+	"testing"
+
+	"syncstamp/internal/check"
+	"syncstamp/internal/core"
+	"syncstamp/internal/offline"
+	"syncstamp/internal/vector"
+)
+
+// TestPropOfflineExact: Figure 9 stamps characterize ↦ exactly, the vector
+// size equals the poset width and respects Theorem 8's ⌊N/2⌋ bound, and the
+// realizer the stamps are read off is a genuine realizer of the poset.
+func TestPropOfflineExact(t *testing.T) {
+	check.Run(t, check.Config{}, func(in *check.Input) error {
+		res, err := offline.Stamp(in.Trace)
+		if err != nil {
+			return err
+		}
+		if res.Width > in.Trace.N/2 && res.Poset.N() > 0 {
+			return fmt.Errorf("width %d exceeds Theorem 8's ⌊N/2⌋ = %d", res.Width, in.Trace.N/2)
+		}
+		if len(res.Realizer) != res.Width {
+			return fmt.Errorf("realizer has %d extensions, width is %d", len(res.Realizer), res.Width)
+		}
+		for m, s := range res.Stamps {
+			if len(s) != res.Width {
+				return fmt.Errorf("stamp %d has %d components, want width %d", m, len(s), res.Width)
+			}
+		}
+		if err := res.Poset.VerifyRealizer(res.Realizer); err != nil {
+			return err
+		}
+		return check.Compare(in, "offline")
+	})
+}
+
+// TestPropOfflineAgreesWithOnline is the direct cross-clock differential:
+// the topology-sized online vectors and the width-sized offline vectors
+// must answer every precedence query identically, with no poset in between.
+func TestPropOfflineAgreesWithOnline(t *testing.T) {
+	check.Run(t, check.Config{}, func(in *check.Input) error {
+		on, err := core.StampTrace(in.Trace, in.Dec)
+		if err != nil {
+			return err
+		}
+		off, err := offline.Stamp(in.Trace)
+		if err != nil {
+			return err
+		}
+		if len(on) != len(off.Stamps) {
+			return fmt.Errorf("online stamped %d messages, offline %d", len(on), len(off.Stamps))
+		}
+		for i := range on {
+			for j := range on {
+				if i == j {
+					continue
+				}
+				if o1, o2 := vector.Less(on[i], on[j]), vector.Less(off.Stamps[i], off.Stamps[j]); o1 != o2 {
+					return fmt.Errorf("m%d vs m%d: online precedes=%v, offline precedes=%v", i, j, o1, o2)
+				}
+			}
+		}
+		return nil
+	})
+}

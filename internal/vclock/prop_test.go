@@ -1,0 +1,25 @@
+package vclock_test
+
+import (
+	"testing"
+
+	"syncstamp/internal/check"
+)
+
+// TestPropBaselinesExact: Fidge–Mattern vectors and Fowler–Zwaenepoel
+// direct-dependency queries must characterize ↦ exactly on every generated
+// computation.
+func TestPropBaselinesExact(t *testing.T) {
+	check.Run(t, check.Config{}, func(in *check.Input) error {
+		return check.Compare(in, "fm", "directdep")
+	})
+}
+
+// TestPropPlausibleSound: Lamport scalars and Torres-Rojas/Ahamad plausible
+// clocks may order concurrent pairs, but must report every true ordering in
+// the right direction — no false concurrency, no inversions.
+func TestPropPlausibleSound(t *testing.T) {
+	check.Run(t, check.Config{}, func(in *check.Input) error {
+		return check.Compare(in, "lamport", "plausible")
+	})
+}

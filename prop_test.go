@@ -1,0 +1,76 @@
+package syncstamp_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"syncstamp"
+	"syncstamp/internal/check"
+)
+
+// TestPropFacadeRoundTrip: writing a trace through the façade encoder and
+// reading it back preserves the computation — same ops, same topology, and
+// identical stamps under the same decomposition.
+func TestPropFacadeRoundTrip(t *testing.T) {
+	check.Run(t, check.Config{}, func(in *check.Input) error {
+		var buf bytes.Buffer
+		if err := syncstamp.WriteTrace(&buf, in.Trace); err != nil {
+			return err
+		}
+		back, err := syncstamp.ReadTrace(&buf)
+		if err != nil {
+			return err
+		}
+		if back.N != in.Trace.N || len(back.Ops) != len(in.Trace.Ops) {
+			return fmt.Errorf("round trip changed shape: N %d→%d, ops %d→%d",
+				in.Trace.N, back.N, len(in.Trace.Ops), len(back.Ops))
+		}
+		for k := range back.Ops {
+			if back.Ops[k] != in.Trace.Ops[k] {
+				return fmt.Errorf("op %d changed: %v → %v", k, in.Trace.Ops[k], back.Ops[k])
+			}
+		}
+		orig, err := syncstamp.StampTrace(in.Trace, in.Dec)
+		if err != nil {
+			return err
+		}
+		redo, err := syncstamp.StampTrace(back, in.Dec)
+		if err != nil {
+			return err
+		}
+		for m := range orig {
+			if fmt.Sprint(orig[m]) != fmt.Sprint(redo[m]) {
+				return fmt.Errorf("message %d restamped differently: %v vs %v", m, orig[m], redo[m])
+			}
+		}
+		return nil
+	})
+}
+
+// TestPropFacadePrecedesMatchesPoset: the façade's Precedes/Concurrent on
+// façade-produced stamps agree with the façade's own MessageOrder poset —
+// Theorem 4 stated entirely in the public API.
+func TestPropFacadePrecedesMatchesPoset(t *testing.T) {
+	check.Run(t, check.Config{}, func(in *check.Input) error {
+		stamps, err := syncstamp.StampTrace(in.Trace, in.Dec)
+		if err != nil {
+			return err
+		}
+		p := syncstamp.MessageOrder(in.Trace)
+		for i := range stamps {
+			for j := range stamps {
+				if i == j {
+					continue
+				}
+				if got, want := syncstamp.Precedes(stamps[i], stamps[j]), p.Less(i, j); got != want {
+					return fmt.Errorf("Precedes(m%d, m%d) = %v, poset says %v", i, j, got, want)
+				}
+				if p.Concurrent(i, j) != syncstamp.Concurrent(stamps[i], stamps[j]) {
+					return fmt.Errorf("Concurrent(m%d, m%d) disagrees with poset", i, j)
+				}
+			}
+		}
+		return nil
+	})
+}
