@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz repro examples clean
+.PHONY: all build vet lint test race bench fuzz repro examples clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,14 @@ build:
 vet:
 	$(GO) vet ./...
 	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
+
+# Static analysis gate: the repo-specific analyzers (cmd/tslint enforces the
+# clock & determinism invariants of DESIGN.md "Enforced invariants") plus
+# go vet and gofmt, so the local gate matches the CI lint job. The final
+# step proves the linter bites: the seeded-violation testdata must fail.
+lint: vet
+	$(GO) run ./cmd/tslint ./...
+	! $(GO) run ./cmd/tslint internal/lint/testdata/src/vectoralias/bad >/dev/null 2>&1
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunTwiceByteIdentical runs the full experiment sweep twice in one
+// process and asserts byte-identical output. This locks in what the mapiter
+// analyzer protects statically: every experiment is seeded, and nothing on
+// the stamping, decomposition, or rendering paths may leak map-iteration
+// (or any other) nondeterminism into the tables — the same discipline the
+// SYNCSTAMP_CHECK_SEED replay of the property harness depends on.
+func TestRunTwiceByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double experiment sweep skipped in -short mode")
+	}
+	sweep := func() []byte {
+		var out, errOut bytes.Buffer
+		if code := run(nil, &out, &errOut); code != 0 {
+			t.Fatalf("paperbench exited %d: %s", code, errOut.String())
+		}
+		return out.Bytes()
+	}
+	first := sweep()
+	second := sweep()
+	if !bytes.Equal(first, second) {
+		a := bytes.Split(first, []byte("\n"))
+		b := bytes.Split(second, []byte("\n"))
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(a[i], b[i]) {
+				t.Fatalf("output differs between identical runs at line %d:\n run1: %q\n run2: %q", i+1, a[i], b[i])
+			}
+		}
+		t.Fatalf("output differs in length between identical runs: %d vs %d lines", len(a), len(b))
+	}
+}

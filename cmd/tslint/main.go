@@ -1,0 +1,107 @@
+// Command tslint runs this repository's codebase-specific static analyzers
+// (internal/lint) over the module and fails on findings. It exists because
+// Theorem 4's guarantee is only as strong as the code's discipline around
+// vector timestamps: the analyzers machine-check aliasing, comparison,
+// iteration-determinism, locking, and error-handling invariants that code
+// review would otherwise have to re-verify at every call site.
+//
+// Usage:
+//
+//	tslint                  # analyze every package of the enclosing module
+//	tslint ./...            # same
+//	tslint <dir> [<dir>...] # analyze specific package directories
+//	tslint -list            # list analyzers and the invariant each enforces
+//	tslint -run mapiter,ordercmp ./...
+//
+// Diagnostics print as "file:line:col analyzer: message". A finding is
+// suppressed by a trailing or preceding "//nolint:<analyzer> reason"
+// comment; the reason is mandatory (an unjustified suppression is itself a
+// finding). Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"syncstamp/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	dir := fs.String("C", ".", "directory inside the module to analyze")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	// Arguments are either the ./... pattern (whole module, the default) or
+	// explicit package directories.
+	var dirs []string
+	for _, arg := range fs.Args() {
+		if arg == "./..." || arg == "..." {
+			dirs = nil
+			break
+		}
+		dirs = append(dirs, arg)
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "tslint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	loader, err := lint.NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "tslint:", err)
+		return 2
+	}
+	var pkgs []*lint.Package
+	if len(dirs) == 0 {
+		pkgs, err = loader.LoadAll()
+		if err != nil {
+			fmt.Fprintln(stderr, "tslint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range dirs {
+			pkg, err := loader.LoadDir(d)
+			if err != nil {
+				fmt.Fprintln(stderr, "tslint:", err)
+				return 2
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	diags := lint.Run(pkgs, analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d.Rel(cwd))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "tslint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

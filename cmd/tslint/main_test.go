@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("tslint -list exited %d: %s", code, errOut.String())
+	}
+	for _, name := range []string{"vectoralias", "ordercmp", "mapiter", "lockcheck", "droppederr"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown analyzer: got exit %d, want 2 (stderr: %s)", code, errOut.String())
+	}
+}
+
+func TestMissingDirectory(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"no/such/dir"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing directory: got exit %d, want 2", code)
+	}
+}
+
+// TestSeededViolationsFail points the driver at a seeded-violation testdata
+// package and requires a non-zero exit — the linter must bite.
+func TestSeededViolationsFail(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"../../internal/lint/testdata/src/vectoralias/bad"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("seeded violations: got exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "vectoralias:") {
+		t.Fatalf("expected vectoralias findings, got:\n%s", out.String())
+	}
+}
+
+// TestModuleIsClean is the repo's own gate: tslint over the whole module
+// must be finding-free (every violation fixed or suppressed with a
+// justification).
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module analysis skipped in -short mode")
+	}
+	var out, errOut strings.Builder
+	code := run(nil, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("tslint found issues (exit %d):\n%s%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("expected no diagnostics, got:\n%s", out.String())
+	}
+}

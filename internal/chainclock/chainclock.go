@@ -65,12 +65,9 @@ func StampTrace(tr *trace.Trace) *Result {
 		for _, proc := range []int{op.From, op.To} {
 			if p := last[proc]; p != -1 {
 				preds = append(preds, p)
-				pv := res.Stamps[p]
-				for k := range pv {
-					if pv[k] > v[k] {
-						v[k] = pv[k]
-					}
-				}
+				// Predecessor stamps may be shorter than the current chain
+				// count; MaxTrunc pads them into v.
+				v.MaxTrunc(res.Stamps[p])
 			}
 		}
 		// A chain c can host the new message iff the message dominates all

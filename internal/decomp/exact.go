@@ -200,17 +200,19 @@ func sharedVertex(edges []graph.Edge) int {
 		counts[e.U]++
 		counts[e.V]++
 	}
-	var verts []int
-	for v, c := range counts {
-		if c == len(edges) {
-			verts = append(verts, v)
-		}
-	}
-	if len(verts) == 0 {
-		panic(fmt.Sprintf("decomp: edges %v share no vertex", edges))
+	// Visit candidates in sorted order so the chosen root is the smallest
+	// shared vertex regardless of map iteration order.
+	verts := make([]int, 0, len(counts))
+	for v := range counts {
+		verts = append(verts, v)
 	}
 	sort.Ints(verts)
-	return verts[0]
+	for _, v := range verts {
+		if counts[v] == len(edges) {
+			return v
+		}
+	}
+	panic(fmt.Sprintf("decomp: edges %v share no vertex", edges))
 }
 
 // Alpha returns α(G), the size of a minimum edge decomposition, for small

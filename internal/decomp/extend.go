@@ -2,6 +2,7 @@ package decomp
 
 import (
 	"fmt"
+	"sort"
 
 	"syncstamp/internal/graph"
 )
@@ -30,7 +31,21 @@ func (d *Decomposition) Extend(n int, assign map[graph.Edge]int) (*Decomposition
 			Edges: append([]graph.Edge(nil), g.Edges...),
 		}
 	}
-	for e, gi := range assign {
+	// Iterate the assignment in sorted edge order: the appended edge order
+	// (and the edge blamed when several are invalid) must not depend on map
+	// iteration order, or replays stop being byte-identical.
+	newEdges := make([]graph.Edge, 0, len(assign))
+	for e := range assign {
+		newEdges = append(newEdges, e)
+	}
+	sort.Slice(newEdges, func(i, j int) bool {
+		if newEdges[i].U != newEdges[j].U {
+			return newEdges[i].U < newEdges[j].U
+		}
+		return newEdges[i].V < newEdges[j].V
+	})
+	for _, e := range newEdges {
+		gi := assign[e]
 		if e.V >= n || e.U < 0 {
 			return nil, fmt.Errorf("decomp: new edge %v out of range for n=%d", e, n)
 		}

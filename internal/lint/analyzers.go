@@ -1,0 +1,25 @@
+package lint
+
+// All returns every analyzer tslint ships, in reporting order. Each one
+// machine-checks an invariant that a paper-level guarantee or the replay
+// discipline depends on; DESIGN.md's "Enforced invariants" section maps
+// analyzers to properties.
+func All() []*Analyzer {
+	return []*Analyzer{
+		VectorAlias,
+		OrderCmp,
+		MapIter,
+		LockCheck,
+		DroppedErr,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// droppedErrAllowed lists callees whose error results are conventionally
+// ignored because they only propagate the writer's error and the writer in
+// question cannot fail (in-memory builders) or failure is unreportable
+// (stdout/stderr prints on the way out of a command). Everything else must
+// be handled or discarded explicitly with `_ =`, which keeps the discard
+// visible at the call site.
+var droppedErrAllowed = []string{
+	"fmt.Print", "fmt.Printf", "fmt.Println",
+	"fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln",
+	"(*strings.Builder).",
+	"(*bytes.Buffer).",
+}
+
+// DroppedErr flags statements that silently ignore an error result: a
+// stamping pipeline that drops an error keeps running with vectors that no
+// longer satisfy Theorem 4's invariant, and a CLI that drops a write error
+// reports success on truncated output.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "no silently ignored error results; handle them or discard explicitly with _ =",
+	Run:  runDroppedErr,
+}
+
+func runDroppedErr(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = unparen(st.X).(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = st.Call
+			case *ast.GoStmt:
+				call = st.Call
+			}
+			if call == nil {
+				return true
+			}
+			checkDroppedErr(pass, call)
+			return true
+		})
+	}
+}
+
+func checkDroppedErr(pass *Pass, call *ast.CallExpr) {
+	t := pass.TypeOf(call)
+	if t == nil || !resultHasError(t) {
+		return
+	}
+	name := callName(pass, call)
+	for _, allowed := range droppedErrAllowed {
+		if name == allowed || (strings.HasSuffix(allowed, ".") && strings.HasPrefix(name, allowed)) {
+			return
+		}
+	}
+	if name == "" {
+		name = "call"
+	}
+	pass.Reportf(call.Pos(), "error result of %s is silently dropped; handle it or discard with _ =", name)
+}
+
+// resultHasError reports whether a call's result type includes error.
+func resultHasError(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// callName renders the callee for diagnostics and the allowlist:
+// "fmt.Fprintf" for package functions, "(*strings.Builder).WriteString" for
+// methods.
+func callName(pass *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass, call); fn != nil {
+		return fn.FullName()
+	}
+	return ""
+}

@@ -1,0 +1,213 @@
+// Package lint is a small, dependency-free static-analysis framework plus
+// the codebase-specific analyzers that machine-check the clock and
+// determinism invariants this repository's correctness rests on (see
+// DESIGN.md "Enforced invariants"). It is built on go/parser and go/types
+// only — no external analysis libraries — so it works with the module's
+// empty dependency set. The cmd/tslint driver runs every analyzer over the
+// module and fails the build on findings.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the canonical file:line:col form, with
+// the file path made relative to rel when possible.
+func (d Diagnostic) String() string { return d.Rel("") }
+
+// Rel renders the diagnostic with the file path relative to dir (when dir is
+// non-empty and the path is inside it).
+func (d Diagnostic) Rel(dir string) string {
+	file := d.Pos.Filename
+	if dir != "" {
+		if r, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(r, "..") {
+			file = r
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d %s: %s", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run inspects a single package through
+// its Pass and reports findings with Pass.Reportf.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and //nolint directives.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// Analyzer is the analyzer this pass runs.
+	Analyzer *Analyzer
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when the type checker recorded none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf returns the object denoted by id (a use or a definition).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.Pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position. //nolint:<name> suppressions are applied
+// here; a suppression without a justification is itself reported under the
+// pseudo-analyzer "nolint" (the policy is that every suppression documents
+// why the invariant is safe to break at that site).
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectNolint(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, Analyzer: a}
+			pass.report = func(d Diagnostic) {
+				if !sup.suppresses(d.Pos.Filename, d.Pos.Line, d.Analyzer) {
+					diags = append(diags, d)
+				}
+			}
+			a.Run(pass)
+		}
+		diags = append(diags, sup.policyDiags...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// nolintRe matches "//nolint:name1,name2 optional justification".
+var nolintRe = regexp.MustCompile(`^//nolint:([a-zA-Z0-9_,]+)(.*)$`)
+
+// suppressions indexes //nolint directives by file and the line(s) they
+// cover: the directive's own line and, when the directive stands alone on
+// its line, the following line.
+type suppressions struct {
+	byLine      map[string]map[int][]string // file -> line -> analyzer names
+	policyDiags []Diagnostic
+}
+
+func (s *suppressions) suppresses(file string, line int, analyzer string) bool {
+	for _, name := range s.byLine[file][line] {
+		if name == analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+func collectNolint(pkg *Package) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int][]string)}
+	for _, f := range pkg.Files {
+		tokFile := pkg.Fset.File(f.Pos())
+		if tokFile == nil {
+			continue
+		}
+		file := tokFile.Name()
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := nolintRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				names := strings.Split(m[1], ",")
+				reason := strings.TrimSpace(m[2])
+				pos := pkg.Fset.Position(c.Pos())
+				if reason == "" {
+					s.policyDiags = append(s.policyDiags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "nolint",
+						Message:  "suppression without justification; write //nolint:<analyzer> <why this site is safe>",
+					})
+				}
+				lines := []int{pos.Line}
+				// A directive alone on its line guards the next line.
+				if pos.Column == 1 || onlyCommentOnLine(tokFile, f, c) {
+					lines = append(lines, pos.Line+1)
+				}
+				if s.byLine[file] == nil {
+					s.byLine[file] = make(map[int][]string)
+				}
+				for _, ln := range lines {
+					s.byLine[file][ln] = append(s.byLine[file][ln], names...)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// onlyCommentOnLine reports whether c is the only token on its line, i.e.
+// no declaration or statement starts on the same line before the comment.
+func onlyCommentOnLine(tokFile *token.File, f *ast.File, c *ast.Comment) bool {
+	line := tokFile.Line(c.Pos())
+	only := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !only {
+			return false
+		}
+		if _, isComment := n.(*ast.Comment); isComment {
+			return false
+		}
+		if _, isGroup := n.(*ast.CommentGroup); isGroup {
+			return false
+		}
+		if n.End() < c.Pos() && tokFile.Line(n.End()) == line {
+			only = false
+			return false
+		}
+		return true
+	})
+	return only
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden diagnostic files")
+
+// The loader type-checks the standard library from source, so tests share
+// one instance to pay that cost once.
+var (
+	loaderOnce sync.Once
+	sharedLd   *Loader
+	loaderErr  error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		sharedLd, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return sharedLd
+}
+
+// loadTestdata loads testdata/src/<dir> under the fake import path as.
+func loadTestdata(t *testing.T, dir, as string) *Package {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := testLoader(t).LoadDirAs(abs, as)
+	if err != nil {
+		t.Fatalf("loading %s as %s: %v", dir, as, err)
+	}
+	return pkg
+}
+
+// runOn formats the diagnostics of one analyzer over one testdata package,
+// with positions relative to the package directory.
+func runOn(t *testing.T, a *Analyzer, dir, as string) []string {
+	t.Helper()
+	pkg := loadTestdata(t, dir, as)
+	var out []string
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{a}) {
+		out = append(out, d.Rel(pkg.Dir))
+	}
+	return out
+}
+
+// TestAnalyzersGolden asserts the exact diagnostics (positions included)
+// each analyzer produces on its seeded-violation package, and that each
+// clean twin stays silent.
+func TestAnalyzersGolden(t *testing.T) {
+	cases := []struct {
+		name     string
+		analyzer *Analyzer
+		dir      string
+		as       string
+		golden   string // empty = must be clean
+	}{
+		{"vectoralias/bad", VectorAlias, "vectoralias/bad", "syncstamp/internal/tdata/vectoraliasbad", "vectoralias_bad.golden"},
+		{"vectoralias/good", VectorAlias, "vectoralias/good", "syncstamp/internal/tdata/vectoraliasgood", ""},
+		{"ordercmp/bad", OrderCmp, "ordercmp/bad", "syncstamp/internal/tdata/ordercmpbad", "ordercmp_bad.golden"},
+		{"ordercmp/good", OrderCmp, "ordercmp/good", "syncstamp/internal/tdata/ordercmpgood", ""},
+		// mapiter is path-scoped: the bad package is loaded as if it lived
+		// under internal/core (a deterministic path).
+		{"mapiter/bad", MapIter, "mapiter/bad", "syncstamp/internal/core/tdata/mapiterbad", "mapiter_bad.golden"},
+		{"mapiter/good", MapIter, "mapiter/good", "syncstamp/internal/core/tdata/mapitergood", ""},
+		// The same violations outside a deterministic path are not findings.
+		{"mapiter/out-of-scope", MapIter, "mapiter/bad", "syncstamp/internal/experiments/tdata/mapiterbad", ""},
+		// lockcheck pairing is scoped to csp and monitor.
+		{"lockcheck/bad", LockCheck, "lockcheck/bad", "syncstamp/internal/csp/tdata/lockcheckbad", "lockcheck_bad.golden"},
+		{"lockcheck/good", LockCheck, "lockcheck/good", "syncstamp/internal/csp/tdata/lockcheckgood", ""},
+		{"droppederr/bad", DroppedErr, "droppederr/bad", "syncstamp/internal/tdata/droppederrbad", "droppederr_bad.golden"},
+		{"droppederr/good", DroppedErr, "droppederr/good", "syncstamp/internal/tdata/droppederrgood", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runOn(t, tc.analyzer, tc.dir, tc.as)
+			if tc.golden == "" {
+				if len(got) != 0 {
+					t.Fatalf("expected clean package, got findings:\n%s", strings.Join(got, "\n"))
+				}
+				return
+			}
+			compareGolden(t, tc.golden, got)
+		})
+	}
+}
+
+// TestNolintPolicy asserts that justified suppressions are silent, that
+// unjustified suppressions still suppress but are flagged, and that
+// everything else is reported.
+func TestNolintPolicy(t *testing.T) {
+	got := runOn(t, MapIter, "nolint/mixed", "syncstamp/internal/core/tdata/nolintmixed")
+	compareGolden(t, "nolint_mixed.golden", got)
+}
+
+func compareGolden(t *testing.T, name string, got []string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(strings.Join(got, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run %s -update): %v", t.Name(), err)
+	}
+	want := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(want) == 1 && want[0] == "" {
+		want = nil
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d\ngot:\n%s\nwant:\n%s",
+			len(got), len(want), strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d:\n got: %s\nwant: %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestLoadAllModule smoke-tests the module walker: it must find the real
+// packages (including this one) and skip testdata.
+func TestLoadAllModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module load skipped in -short mode")
+	}
+	pkgs, err := testLoader(t).LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	seen := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		seen[p.Path] = true
+		if strings.Contains(p.Path, "testdata") {
+			t.Errorf("LoadAll descended into testdata: %s", p.Path)
+		}
+	}
+	for _, want := range []string{"syncstamp", "syncstamp/internal/vector", "syncstamp/internal/lint", "syncstamp/cmd/tslint"} {
+		if !seen[want] {
+			t.Errorf("LoadAll missed %s (got %d packages)", want, len(pkgs))
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// OrderCmp enforces that the vector order of Equation (2) is only ever
+// evaluated through the vector package's own comparators. reflect.DeepEqual
+// and hand-rolled component loops conflate "equal as slices" with "equal in
+// the order", ignore the length-incomparability rule, and silently diverge
+// from vector.Compare's Incomparable classification — the exact mistakes
+// that turn Theorem 4's ⟺ into a one-way implication.
+var OrderCmp = &Analyzer{
+	Name: "ordercmp",
+	Doc:  "compare vector.V with vector.Compare/Eq/Leq, not ==, reflect.DeepEqual, or hand-rolled loops",
+	Run:  runOrderCmp,
+}
+
+func runOrderCmp(pass *Pass) {
+	if pass.Pkg.Path == vectorPkgPath {
+		// The comparators themselves live here.
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				// v == nil / v != nil is a presence check, not an order
+				// comparison.
+				if isUntypedNil(pass, e.X) || isUntypedNil(pass, e.Y) {
+					return true
+				}
+				if isVectorV(pass.TypeOf(e.X)) || isVectorV(pass.TypeOf(e.Y)) {
+					pass.Reportf(e.OpPos, "vector.V compared with %s; use vector.Eq (or vector.Compare)", e.Op)
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(pass, e)
+				if fn == nil || fn.FullName() != "reflect.DeepEqual" || len(e.Args) != 2 {
+					return true
+				}
+				for _, arg := range e.Args {
+					if containsVector(pass.TypeOf(arg)) {
+						pass.Reportf(e.Pos(), "reflect.DeepEqual on a timestamp-bearing type; use vector.Eq/Compare so length rules and ordering semantics apply")
+						break
+					}
+				}
+			case *ast.RangeStmt:
+				checkHandRolledCompare(pass, e)
+			}
+			return true
+		})
+	}
+}
+
+// isUntypedNil reports whether e is the predeclared nil.
+func isUntypedNil(pass *Pass, e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil" && pass.ObjectOf(id) != nil && pass.ObjectOf(id).Pkg() == nil
+}
+
+// checkHandRolledCompare flags a range over a vector.V whose body compares
+// components of two vectors — the shape of a re-implemented Compare/Eq/Leq.
+func checkHandRolledCompare(pass *Pass, loop *ast.RangeStmt) {
+	if !isVectorV(pass.TypeOf(loop.X)) {
+		return
+	}
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		cmp, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch cmp.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		default:
+			return true
+		}
+		if indexesVector(pass, cmp.X) && indexesVector(pass, cmp.Y) {
+			pass.Reportf(cmp.OpPos, "hand-rolled vector comparison loop; use vector.Compare/Eq/Leq")
+			return false
+		}
+		return true
+	})
+}
+
+// indexesVector reports whether e is an index expression into a vector.V.
+func indexesVector(pass *Pass, e ast.Expr) bool {
+	ix, ok := unparen(e).(*ast.IndexExpr)
+	return ok && isVectorV(pass.TypeOf(ix.X))
+}

@@ -1,0 +1,36 @@
+// Package bad seeds droppederr violations: error results vanishing in
+// statement position.
+package bad
+
+import "errors"
+
+func fallible() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// Sink is a writer-like dependency.
+type Sink struct{}
+
+// Close is the classic deferred-and-dropped case.
+func (Sink) Close() error { return nil }
+
+// DropDirect discards the only result.
+func DropDirect() {
+	fallible() // want: dropped error
+}
+
+// DropTuple discards an (int, error) pair.
+func DropTuple() {
+	pair() // want: dropped error
+}
+
+// DropDeferred discards a deferred Close error.
+func DropDeferred() {
+	var s Sink
+	defer s.Close() // want: dropped error
+}
+
+// DropGo discards the error in a goroutine statement.
+func DropGo() {
+	go fallible() // want: dropped error
+}

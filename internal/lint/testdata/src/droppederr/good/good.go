@@ -1,0 +1,37 @@
+// Package good is the clean twin of droppederr/bad: errors handled,
+// explicitly discarded, or from conventionally infallible writers.
+package good
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fallible() error { return errors.New("boom") }
+
+// Handled propagates the error.
+func Handled() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ExplicitDiscard makes the drop visible at the call site.
+func ExplicitDiscard() {
+	_ = fallible()
+}
+
+// PrintAllowed uses the fmt print family, whose errors are conventionally
+// unreportable on the way out of a command.
+func PrintAllowed(w *strings.Builder) {
+	fmt.Println("hello")
+	fmt.Fprintf(w, "x=%d\n", 1)
+	w.WriteString("builder writes cannot fail")
+}
+
+// NoError calls a function with no error result.
+func NoError() int {
+	return len("ok")
+}

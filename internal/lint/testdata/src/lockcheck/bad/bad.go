@@ -1,0 +1,54 @@
+// Package bad seeds lockcheck violations: locks copied by value and
+// Lock/Unlock pairs broken across return paths.
+package bad
+
+import "sync"
+
+// Guarded holds a mutex by value (fine as a field).
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByValueReceiver copies the lock with every call.
+func (g Guarded) ByValueReceiver() int { // want: value receiver copies mutex
+	return g.n
+}
+
+// ByValueParam copies the caller's lock.
+func ByValueParam(mu sync.Mutex) { // want: parameter copies mutex
+	mu.Lock()
+	mu.Unlock()
+}
+
+// LeakOnReturn holds the lock on the early-return path.
+func (g *Guarded) LeakOnReturn(flag bool) int {
+	g.mu.Lock() // want: not released on a return path
+	if flag {
+		return 0
+	}
+	g.mu.Unlock()
+	return g.n
+}
+
+// NeverUnlocked takes the lock and forgets it.
+func (g *Guarded) NeverUnlocked() {
+	g.mu.Lock() // want: no matching Unlock
+	g.n++
+}
+
+// RW leaks a read lock.
+type RW struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// LeakRead has no RUnlock on the early return.
+func (r *RW) LeakRead(flag bool) int {
+	r.mu.RLock() // want: not released on a return path
+	if flag {
+		return -1
+	}
+	r.mu.RUnlock()
+	return r.n
+}

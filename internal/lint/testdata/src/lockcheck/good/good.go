@@ -1,0 +1,44 @@
+// Package good is the clean twin of lockcheck/bad: pointer receivers,
+// deferred unlocks, and straight-line critical sections.
+package good
+
+import "sync"
+
+// Guarded holds a mutex by value as a field, used through pointers.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Deferred is the canonical shape.
+func (g *Guarded) Deferred() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// StraightLine releases in the same block with no return in between.
+func (g *Guarded) StraightLine() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// PointerParam shares the caller's lock correctly.
+func PointerParam(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// RW pairs read locks correctly.
+type RW struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// Read uses a deferred RUnlock.
+func (r *RW) Read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.n
+}

@@ -1,0 +1,36 @@
+// Package bad seeds mapiter violations: map iteration whose visit order can
+// reach output in a deterministic path.
+package bad
+
+import "sort"
+
+// Render emits one line per entry in map order.
+func Render(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want: map iteration
+		out = append(out, k, string(rune('0'+v)))
+	}
+	return out
+}
+
+// FirstMatch returns an arbitrary qualifying key.
+func FirstMatch(m map[int]bool) int {
+	for k, ok := range m { // want: map iteration
+		if ok {
+			return k
+		}
+	}
+	return -1
+}
+
+// SortedValues collects values (not keys), which still depends on order
+// before the sort only by luck of the later sort; the sanctioned shape is
+// keys-then-sort, so this is flagged.
+func SortedValues(m map[int]int) []int {
+	var vals []int
+	for _, v := range m { // want: map iteration (appends value, not key)
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	return vals
+}

@@ -1,0 +1,28 @@
+// Package good is the clean twin of mapiter/bad: the sanctioned
+// collect-keys-sort-iterate shape, and iteration over ordered containers.
+package good
+
+import "sort"
+
+// Render emits entries in sorted key order.
+func Render(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var out []int
+	for _, k := range keys {
+		out = append(out, k, m[k])
+	}
+	return out
+}
+
+// SliceLoop ranges a slice, which is ordered.
+func SliceLoop(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

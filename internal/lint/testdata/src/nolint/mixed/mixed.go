@@ -1,0 +1,33 @@
+// Package mixed exercises the //nolint policy: a justified suppression is
+// honored silently, an unjustified one is honored but reported, and an
+// unsuppressed violation is reported as usual.
+package mixed
+
+// Justified is suppressed with a reason: clean.
+func Justified(m map[int]int) int {
+	n := 0
+	//nolint:mapiter sums are order-insensitive
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Unjustified is suppressed without a reason: the suppression holds but is
+// itself flagged.
+func Unjustified(m map[int]int) int {
+	n := 0
+	for _, v := range m { //nolint:mapiter
+		n += v
+	}
+	return n
+}
+
+// Unsuppressed is reported as usual.
+func Unsuppressed(m map[int]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+// Package bad seeds ordercmp violations: structural equality and hand-rolled
+// loops standing in for the vector order of Equation (2).
+package bad
+
+import (
+	"reflect"
+
+	"syncstamp/internal/vector"
+)
+
+// Stamped wraps a timestamp.
+type Stamped struct {
+	V vector.V
+}
+
+// DeepEqualDirect compares vectors structurally.
+func DeepEqualDirect(u, w vector.V) bool {
+	return reflect.DeepEqual(u, w) // want: DeepEqual on timestamp
+}
+
+// DeepEqualWrapped compares a timestamp-bearing struct structurally.
+func DeepEqualWrapped(a, b Stamped) bool {
+	return reflect.DeepEqual(a, b) // want: DeepEqual on timestamp-bearing type
+}
+
+// HandRolledEq re-implements vector.Eq.
+func HandRolledEq(u, w vector.V) bool {
+	for k := range u {
+		if u[k] != w[k] { // want: hand-rolled comparison
+			return false
+		}
+	}
+	return true
+}
+
+// HandRolledLeq re-implements vector.Leq.
+func HandRolledLeq(u, w vector.V) bool {
+	for k := range u {
+		if u[k] > w[k] { // want: hand-rolled comparison
+			return false
+		}
+	}
+	return true
+}

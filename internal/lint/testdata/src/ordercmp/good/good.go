@@ -1,0 +1,34 @@
+// Package good is the clean twin of ordercmp/bad: order queries go through
+// the vector package, and the remaining loops are not comparisons.
+package good
+
+import "syncstamp/internal/vector"
+
+// Eq uses the package comparator.
+func Eq(u, w vector.V) bool { return vector.Eq(u, w) }
+
+// Ordered classifies with Compare.
+func Ordered(u, w vector.V) bool { return vector.Compare(u, w) == vector.Before }
+
+// NilCheck is a presence test, not an order comparison.
+func NilCheck(v vector.V) bool { return v == nil }
+
+// Sum reads components without comparing two vectors.
+func Sum(v vector.V) int {
+	n := 0
+	for _, x := range v {
+		n += x
+	}
+	return n
+}
+
+// MaxComponent compares components of one vector against a scalar.
+func MaxComponent(v vector.V) int {
+	best := 0
+	for k := range v {
+		if v[k] > best {
+			best = v[k]
+		}
+	}
+	return best
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// vectorPkgPath is the import path of the vector-timestamp package whose
+// values the clock analyzers protect.
+const vectorPkgPath = "syncstamp/internal/vector"
+
+// isVectorV reports whether t is (an alias of) vector.V.
+func isVectorV(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "V" && obj.Pkg() != nil && obj.Pkg().Path() == vectorPkgPath
+}
+
+// containsVector reports whether a value of type t contains a vector.V
+// anywhere in its representation (directly, in a field, an element, or
+// behind a pointer), which makes structural equality on it meaningless for
+// timestamp ordering.
+func containsVector(t types.Type) bool {
+	return containsVectorRec(t, make(map[types.Type]bool))
+}
+
+func containsVectorRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isVectorV(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return containsVectorRec(u.Elem(), seen)
+	case *types.Array:
+		return containsVectorRec(u.Elem(), seen)
+	case *types.Pointer:
+		return containsVectorRec(u.Elem(), seen)
+	case *types.Map:
+		return containsVectorRec(u.Key(), seen) || containsVectorRec(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsVectorRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// isSyncLocker reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncLocker(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// containsLocker reports whether a value of type t holds a sync.Mutex or
+// sync.RWMutex by value (not behind a pointer), so that copying the value
+// copies the lock.
+func containsLocker(t types.Type) bool {
+	return containsLockerRec(t, make(map[types.Type]bool))
+}
+
+func containsLockerRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isSyncLocker(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockerRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockerRec(u.Elem(), seen)
+	}
+	return false
+}
+
+// pathWithin reports whether pkgPath is path or a subpackage of path.
+func pathWithin(pkgPath, path string) bool {
+	return pkgPath == path || strings.HasPrefix(pkgPath, path+"/")
+}
+
+// funcBodies yields every function body in the file together with its
+// declaration context: the FuncDecl when the body belongs to a declared
+// function (nil for function literals).
+func funcBodies(f *ast.File, visit func(decl *ast.FuncDecl, ft *ast.FuncType, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn, fn.Type, fn.Body)
+			}
+		case *ast.FuncLit:
+			visit(nil, fn.Type, fn.Body)
+		}
+		return true
+	})
+}
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeFunc resolves the called function object of a call expression, when
+// it is a static call to a named function or method.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.ObjectOf(fun).(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.ObjectOf(fun.Sel).(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

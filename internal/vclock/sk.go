@@ -71,13 +71,7 @@ func Simulate(tr *trace.Trace) *SKResult {
 			}
 			return n
 		}
-		n := 0
-		for k := range cur {
-			if cur[k] != base[k] {
-				n++
-			}
-		}
-		return n
+		return vector.Diff(cur, base)
 	}
 
 	for _, op := range tr.Ops {

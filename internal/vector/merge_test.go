@@ -1,0 +1,64 @@
+package vector
+
+import "testing"
+
+func TestMaxTrunc(t *testing.T) {
+	cases := []struct {
+		name string
+		v, w V
+		want V
+	}{
+		{"equal-length", V{1, 5, 2}, V{3, 4, 2}, V{3, 5, 2}},
+		{"shorter-arg", V{1, 5, 2}, V{4}, V{4, 5, 2}},
+		{"longer-arg", V{1, 5}, V{0, 9, 7, 8}, V{1, 9}},
+		{"empty-receiver", V{}, V{3, 1}, V{}},
+		{"empty-arg", V{2, 2}, V{}, V{2, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.v.Clone()
+			got.MaxTrunc(tc.w)
+			if !Eq(got, tc.want) {
+				t.Fatalf("(%s).MaxTrunc(%s) = %s, want %s", tc.v, tc.w, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMaxTruncLeavesArgument(t *testing.T) {
+	w := V{9, 9, 9}
+	v := V{1, 2, 3}
+	v.MaxTrunc(w)
+	if !Eq(w, V{9, 9, 9}) {
+		t.Fatalf("MaxTrunc mutated its argument: %s", w)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	cases := []struct {
+		name string
+		u, w V
+		want int
+	}{
+		{"identical", V{1, 2, 3}, V{1, 2, 3}, 0},
+		{"all-differ", V{1, 2}, V{2, 1}, 2},
+		{"some-differ", V{1, 2, 3, 4}, V{1, 0, 3, 0}, 2},
+		{"empty", V{}, V{}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Diff(tc.u, tc.w); got != tc.want {
+				t.Fatalf("Diff(%s, %s) = %d, want %d", tc.u, tc.w, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDiffLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Diff on mismatched lengths did not panic")
+		}
+	}()
+	Diff(V{1}, V{1, 2})
+}

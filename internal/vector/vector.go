@@ -115,6 +115,39 @@ func (v V) Max(w V) {
 	}
 }
 
+// MaxTrunc sets v[k] to the maximum of v[k] and w[k] on the components the
+// two vectors share (k < min(len(v), len(w))), leaving the rest of v
+// untouched. It is the merge for vectors of different generations — e.g. a
+// chain clock padding a predecessor's shorter stamp into a wider current
+// vector — where Max's equal-length contract does not apply.
+func (v V) MaxTrunc(w V) {
+	n := len(v)
+	if len(w) < n {
+		n = len(w)
+	}
+	for k := 0; k < n; k++ {
+		if w[k] > v[k] {
+			v[k] = w[k]
+		}
+	}
+}
+
+// Diff returns the number of components in which u and w differ — the entry
+// count a Singhal–Kshemkalyani differential piggyback would carry. The
+// lengths must match.
+func Diff(u, w V) int {
+	if len(u) != len(w) {
+		panic(fmt.Sprintf("vector: length mismatch %d vs %d", len(u), len(w)))
+	}
+	n := 0
+	for k := range u {
+		if u[k] != w[k] {
+			n++
+		}
+	}
+	return n
+}
+
 // EncodedSize returns the number of bytes needed to piggyback v using
 // unsigned varints — the message-overhead metric of experiment E13.
 func (v V) EncodedSize() int {
