@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench fuzz repro examples clean
+.PHONY: all build vet lint test race net-test bench fuzz repro examples clean
 
 all: build lint test
 
@@ -28,6 +28,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Networking subsystem gate: the node runtime under the race detector plus
+# the tsnode integration test (real OS processes over localhost TCP).
+net-test:
+	$(GO) test -race ./internal/wire ./internal/node
+	$(GO) test -race -run 'TestRunInProcessCluster|TestE2E' -v ./cmd/tsnode
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -38,6 +44,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/vector
 	$(GO) test -fuzz=FuzzCompare -fuzztime=10s ./internal/vector
 	$(GO) test -fuzz=FuzzStampTrace -fuzztime=10s ./internal/core
+	$(GO) test -fuzz=FuzzVectorDelta -fuzztime=10s ./internal/vector
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/wire
 
 # Regenerate every paper figure/claim table into paperbench_output.txt.
 repro:

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestE2EThreeOSProcesses is the full-stack integration test: it builds the
+// tsnode binary and launches three real OS processes that form a TCP mesh
+// over localhost, run a client–server computation with a triangle edge
+// between the servers, report logs to node 0, and verify the reconstructed
+// stamps against the sequential replay and the message poset.
+//
+// Skipped under -short: it compiles a binary and opens real sockets.
+func TestE2EThreeOSProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping OS-process integration test in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain not in PATH: %v", err)
+	}
+
+	bin := filepath.Join(t.TempDir(), "tsnode")
+	build := exec.Command(goTool, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building tsnode: %v\n%s", err, out)
+	}
+
+	addrs := freeAddrs(t, 3)
+	// Topology: 2 servers (0,1) x 4 clients (2..5), plus the 0-1 edge —
+	// so servers 0, 1 and any client close a triangle.
+	program := strings.Join([]string{
+		"0: recvfrom 2, recvfrom 3, send 1, recvfrom 4, internal server0 drained",
+		"1: recvfrom 2, recvfrom 3, recvfrom 0, recvfrom 5",
+		"2: send 0, send 1",
+		"3: send 0, send 1",
+		"4: send 0",
+		"5: send 1",
+	}, "; ")
+	common := []string{
+		"-addrs", strings.Join(addrs, ","),
+		"-topology", "clientserver:2x4",
+		"-extra-edges", "0-1",
+		"-placement", "0,1,2,0,1,2",
+		"-program", program,
+		"-handshake-timeout", "20s",
+		"-rendezvous-timeout", "20s",
+	}
+
+	type procResult struct {
+		out, errOut bytes.Buffer
+		err         error
+	}
+	results := make([]procResult, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		args := append([]string{"-node", []string{"0", "1", "2"}[i]}, common...)
+		if i == 0 {
+			args = append(args, "-collect", "-verify", "-collect-timeout", "30s")
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = &results[i].out
+		cmd.Stderr = &results[i].errOut
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting node %d: %v", i, err)
+		}
+		wg.Add(1)
+		go func(i int, cmd *exec.Cmd) {
+			defer wg.Done()
+			done := make(chan error, 1)
+			go func() { done <- cmd.Wait() }()
+			select {
+			case results[i].err = <-done:
+			case <-time.After(90 * time.Second):
+				_ = cmd.Process.Kill()
+				results[i].err = <-done
+			}
+		}(i, cmd)
+	}
+	wg.Wait()
+
+	for i := range results {
+		if results[i].err != nil {
+			t.Errorf("node %d exited with %v\nstdout:\n%s\nstderr:\n%s",
+				i, results[i].err, results[i].out.String(), results[i].errOut.String())
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	got := results[0].out.String()
+	if !strings.Contains(got, "reconstructed computation: 7 messages, 1 internal events") {
+		t.Fatalf("collector did not reconstruct the expected computation:\n%s", got)
+	}
+	if !strings.Contains(got, "verified: distributed stamps match the sequential replay") {
+		t.Fatalf("collector did not verify the run:\n%s", got)
+	}
+	for i := 1; i < 3; i++ {
+		if !strings.Contains(results[i].out.String(), "logs reported to node 0") {
+			t.Fatalf("node %d did not report its logs:\n%s", i, results[i].out.String())
+		}
+	}
+}

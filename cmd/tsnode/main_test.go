@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParseProgram(t *testing.T) {
+	scripts, err := parseProgram("0: send 1, internal hello world; 2: recvfrom 0, recv", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scripts) != 2 {
+		t.Fatalf("parsed %d processes, want 2", len(scripts))
+	}
+	want0 := []progOp{{kind: "send", arg: 1}, {kind: "internal", note: "hello world"}}
+	if len(scripts[0]) != len(want0) {
+		t.Fatalf("process 0: %d ops, want %d", len(scripts[0]), len(want0))
+	}
+	for i, op := range scripts[0] {
+		if op != want0[i] {
+			t.Fatalf("process 0 op %d: %+v, want %+v", i, op, want0[i])
+		}
+	}
+	if scripts[2][0] != (progOp{kind: "recvfrom", arg: 0}) || scripts[2][1] != (progOp{kind: "recv"}) {
+		t.Fatalf("process 2 ops wrong: %+v", scripts[2])
+	}
+}
+
+func TestParseProgramRejects(t *testing.T) {
+	cases := []string{
+		"",                   // empty
+		"0 send 1",           // no colon
+		"0: send",            // missing peer
+		"0: send 9",          // peer out of range
+		"0: fly 1",           // unknown op
+		"0: send 1; 0: recv", // duplicate process
+		"7: recv",            // process out of range
+		"0: internal",        // note missing
+		"0:",                 // empty script
+	}
+	for _, c := range cases {
+		if _, err := parseProgram(c, 3); err == nil {
+			t.Errorf("program %q accepted", c)
+		}
+	}
+}
+
+func TestParsePlacement(t *testing.T) {
+	got, err := parsePlacement("0, 1, 0", 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("parsed %v", got)
+	}
+	for _, bad := range []string{"", "0,1", "0,1,9", "0,x,0", "0,0,0"} {
+		if _, err := parsePlacement(bad, 3, 2); err == nil {
+			t.Errorf("placement %q accepted (3 procs, 2 nodes)", bad)
+		}
+	}
+}
+
+// freeAddrs reserves n distinct localhost ports and releases them for the
+// nodes to bind. The tiny reuse race is acceptable in tests.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		_ = ln.Close()
+	}
+	return addrs
+}
+
+// TestRunInProcessCluster drives the full tsnode flow — flags, TCP mesh,
+// report, collect, verify — with three nodes inside one test process.
+func TestRunInProcessCluster(t *testing.T) {
+	addrs := freeAddrs(t, 3)
+	addrList := strings.Join(addrs, ",")
+	program := "0: recvfrom 2, send 1; 1: recvfrom 0, recvfrom 2; 2: send 0, send 1, internal done"
+	common := []string{
+		"-addrs", addrList,
+		"-topology", "triangle",
+		"-placement", "0,1,2",
+		"-program", program,
+	}
+
+	outs := make([]bytes.Buffer, 3)
+	errs := make([]bytes.Buffer, 3)
+	codes := make([]int, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			args := append([]string{"-node", fmt.Sprint(i)}, common...)
+			if i == 0 {
+				args = append(args, "-collect", "-verify")
+			}
+			codes[i] = run(args, &outs[i], &errs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 3; i++ {
+		if codes[i] != 0 {
+			t.Fatalf("node %d exited %d: %s", i, codes[i], errs[i].String())
+		}
+	}
+	got := outs[0].String()
+	if !strings.Contains(got, "reconstructed computation: 3 messages, 1 internal events") {
+		t.Fatalf("collector output missing reconstruction summary:\n%s", got)
+	}
+	if !strings.Contains(got, "verified: distributed stamps match the sequential replay") {
+		t.Fatalf("collector output missing verification line:\n%s", got)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	cases := [][]string{
+		{},
+		{"-node", "0", "-addrs", "a,b", "-topology", "nope:3", "-placement", "0,1", "-program", "0: recv"},
+		{"-node", "5", "-addrs", "a,b", "-topology", "path:2", "-placement", "0,1", "-program", "0: recv"},
+		{"-node", "0", "-addrs", "a,b", "-topology", "path:2", "-placement", "0,1", "-program", "0: hop"},
+		{"-node", "0", "-addrs", "a,b", "-topology", "path:2", "-extra-edges", "0-9", "-placement", "0,1", "-program", "0: recv"},
+	}
+	for i, args := range cases {
+		if code := run(args, &out, &errBuf); code == 0 {
+			t.Errorf("case %d: bad flags %v accepted", i, args)
+		}
+	}
+}

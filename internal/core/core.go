@@ -79,6 +79,27 @@ func (c *Clock) Merge(remote vector.V, peer int) (vector.V, error) {
 	return c.v.Clone(), nil
 }
 
+// Adopt sets the clock to the agreed stamp of a rendezvous with peer that
+// the other side computed (the ACK of the internal/node wire protocol
+// carries the merged stamp rather than the pre-merge vector). Adopting is
+// equivalent to the symmetric merge of Figure 5: the stamp is
+// max(v_self, v_peer) with the channel's component incremented, so it
+// dominates the local vector componentwise — Adopt rejects a stamp that
+// does not, since that indicates a protocol error or a corrupt frame.
+func (c *Clock) Adopt(stamp vector.V, peer int) error {
+	if _, ok := c.dec.GroupOf(c.proc, peer); !ok {
+		return fmt.Errorf("core: channel (%d,%d) not covered by the edge decomposition", c.proc, peer)
+	}
+	if len(stamp) != len(c.v) {
+		return fmt.Errorf("core: stamp has %d components, clock has %d", len(stamp), len(c.v))
+	}
+	if !vector.Leq(c.v, stamp) {
+		return fmt.Errorf("core: stamp %v does not dominate local vector %v", stamp, c.v)
+	}
+	c.v = stamp.Clone()
+	return nil
+}
+
 // Stamper runs the online algorithm sequentially over a recorded
 // computation, exploiting the equivalence of synchronous computations with
 // instantaneous-message sequences: processing the global message sequence in

@@ -1,0 +1,57 @@
+package core
+
+// Overhead accounts for the piggyback bytes a run actually pays. The paper's
+// overhead claim (Section 3.2) is stated in vector components; the wire
+// subsystem (internal/wire, internal/node) makes it concrete by charging
+// every SYN and ACK frame its exact encoded size. DenseBytes is what a full
+// d-component varint vector would have cost on the same frames; WireBytes is
+// what the chosen encoding (differential when smaller, dense otherwise)
+// cost. The two coincide only when the delta codec never wins.
+type Overhead struct {
+	// Frames counts vector-carrying frames (one SYN plus one ACK per
+	// message rendezvous).
+	Frames int
+	// DenseBytes is the total piggyback cost with dense encoding.
+	DenseBytes int
+	// WireBytes is the total piggyback cost actually paid.
+	WireBytes int
+}
+
+// Add charges one vector-carrying frame.
+func (o *Overhead) Add(dense, wire int) {
+	o.Frames++
+	o.DenseBytes += dense
+	o.WireBytes += wire
+}
+
+// Merge accumulates another accounting into o.
+func (o *Overhead) Merge(other Overhead) {
+	o.Frames += other.Frames
+	o.DenseBytes += other.DenseBytes
+	o.WireBytes += other.WireBytes
+}
+
+// MeanDense returns the mean dense piggyback bytes per frame.
+func (o Overhead) MeanDense() float64 {
+	if o.Frames == 0 {
+		return 0
+	}
+	return float64(o.DenseBytes) / float64(o.Frames)
+}
+
+// MeanWire returns the mean actual piggyback bytes per frame.
+func (o Overhead) MeanWire() float64 {
+	if o.Frames == 0 {
+		return 0
+	}
+	return float64(o.WireBytes) / float64(o.Frames)
+}
+
+// Savings returns the fraction of dense bytes the delta codec saved, in
+// [0, 1]; zero when nothing was sent.
+func (o Overhead) Savings() float64 {
+	if o.DenseBytes == 0 {
+		return 0
+	}
+	return 1 - float64(o.WireBytes)/float64(o.DenseBytes)
+}

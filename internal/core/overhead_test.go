@@ -1,0 +1,31 @@
+package core
+
+import "testing"
+
+func TestOverheadAccounting(t *testing.T) {
+	var o Overhead
+	if o.MeanDense() != 0 || o.MeanWire() != 0 || o.Savings() != 0 {
+		t.Fatal("zero Overhead must report zero means and savings")
+	}
+	o.Add(10, 4)
+	o.Add(10, 10)
+	if o.Frames != 2 || o.DenseBytes != 20 || o.WireBytes != 14 {
+		t.Fatalf("totals = %+v", o)
+	}
+	if got := o.MeanDense(); got != 10 {
+		t.Fatalf("MeanDense = %v", got)
+	}
+	if got := o.MeanWire(); got != 7 {
+		t.Fatalf("MeanWire = %v", got)
+	}
+	if got := o.Savings(); got < 0.299 || got > 0.301 {
+		t.Fatalf("Savings = %v", got)
+	}
+
+	var sum Overhead
+	sum.Merge(o)
+	sum.Merge(o)
+	if sum.Frames != 4 || sum.DenseBytes != 40 || sum.WireBytes != 28 {
+		t.Fatalf("merged totals = %+v", sum)
+	}
+}

@@ -10,12 +10,31 @@
 // a canonical trace (always possible for a synchronous computation) and the
 // observed timestamps are compared against the sequential stamper and the
 // ground-truth poset.
+//
+// # Rendezvous state machine
+//
+// Both runtimes in this repository — csp over in-process channels and
+// internal/node over real transports — implement the same two-phase
+// rendezvous, so their logs are interchangeable and Reconstruct serves both:
+//
+//	sender                          receiver
+//	------                          --------
+//	SYN: piggyback v_sender  ──►    park until the program receives
+//	                                merge: v ← max(v, v_sender); v[g]++
+//	park until acknowledged  ◄──    ACK: the merged stamp (= v(m))
+//	adopt the stamp: v ← v(m)
+//
+// In csp the ACK carries the receiver's pre-merge vector and the sender
+// merges symmetrically; in node the ACK carries the merged stamp and the
+// sender adopts it. The two are equivalent — Figure 5's lines (5)-(6) and
+// (9)-(10) compute the same componentwise maximum on both sides — and both
+// runtimes log the identical agreed stamp on each side of the exchange,
+// which is the invariant Reconstruct's matching relies on.
 package csp
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,23 +65,6 @@ type envelope struct {
 	ack     chan vector.V
 }
 
-// logEntry is one operation in a process's private log, used to reconstruct
-// the global computation after the run.
-type logKind int
-
-const (
-	logSend logKind = iota + 1
-	logRecv
-	logInternal
-)
-
-type logEntry struct {
-	kind  logKind
-	peer  int
-	stamp vector.V // message stamp for send/recv
-	note  any      // payload of an internal event
-}
-
 // Process is the handle a program uses to communicate. Each Process is
 // owned by exactly one goroutine; its methods must not be called
 // concurrently.
@@ -70,7 +72,7 @@ type Process struct {
 	id    int
 	sys   *System
 	clock *core.Clock
-	log   []logEntry
+	log   []Record
 	// stash holds envelopes taken off the mailbox while waiting for a
 	// specific sender in RecvFrom; their senders stay parked on their acks.
 	stash []envelope
@@ -114,7 +116,7 @@ func (p *Process) Send(q int, payload any) (vector.V, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.log = append(p.log, logEntry{kind: logSend, peer: q, stamp: stamp})
+	p.log = append(p.log, Record{Kind: RecordSend, Peer: q, Stamp: stamp})
 	return stamp, nil
 }
 
@@ -186,7 +188,7 @@ func (p *Process) complete(env envelope) (Message, error) {
 	if err != nil {
 		return Message{}, err
 	}
-	p.log = append(p.log, logEntry{kind: logRecv, peer: env.from, stamp: stamp})
+	p.log = append(p.log, Record{Kind: RecordRecv, Peer: env.from, Stamp: stamp})
 	return Message{From: env.from, Payload: env.payload, Stamp: stamp}, nil
 }
 
@@ -194,7 +196,7 @@ func (p *Process) complete(env envelope) (Message, error) {
 // (prev, succ, c) stamp is resolved when the run completes and the next
 // message, if any, is known.
 func (p *Process) Internal(note any) {
-	p.log = append(p.log, logEntry{kind: logInternal, note: note})
+	p.log = append(p.log, Record{Kind: RecordInternal, Note: note})
 }
 
 // System runs process programs over a shared edge decomposition. Beyond the
@@ -375,7 +377,11 @@ func (s *System) Wait(timeout time.Duration) (*Result, error) {
 		}
 		return nil, fmt.Errorf("csp: process %d: %w", pick, s.errs[pick])
 	}
-	return reconstruct(s.dec.Load(), s.procs)
+	logs := make([][]Record, len(s.procs))
+	for i, p := range s.procs {
+		logs[i] = p.log
+	}
+	return Reconstruct(s.dec.Load(), logs)
 }
 
 // InternalEvent is an internal event observed in a run, with its Section 5
@@ -408,110 +414,4 @@ func Run(dec *decomp.Decomposition, programs []func(*Process) error, timeout tim
 		return nil, err
 	}
 	return sys.Wait(timeout)
-}
-
-// reconstruct merges per-process logs into a valid global linearization.
-// At every step all pending internal events are emitted, then some message
-// must have both of its log entries at the heads of its participants' logs
-// (the rendezvous that completed earliest in real time does); entries are
-// matched by their (unique) timestamps.
-func reconstruct(dec *decomp.Decomposition, procs []*Process) (*Result, error) {
-	n := len(procs)
-	heads := make([]int, n)
-	res := &Result{Trace: &trace.Trace{N: n}}
-
-	prev := make([]vector.V, n)
-	counter := make([]int, n)
-	var pending [][2]int // (process, index into res.Internal) awaiting succ
-	zero := vector.New(dec.D())
-
-	remaining := 0
-	for _, p := range procs {
-		remaining += len(p.log)
-	}
-	for remaining > 0 {
-		// Emit internal events at any head.
-		progress := true
-		for progress {
-			progress = false
-			for pi, p := range procs {
-				for heads[pi] < len(p.log) && p.log[heads[pi]].kind == logInternal {
-					entry := p.log[heads[pi]]
-					pv := zero
-					if prev[pi] != nil {
-						pv = prev[pi]
-					}
-					res.Internal = append(res.Internal, InternalEvent{
-						Note: entry.note,
-						Stamp: core.EventStamp{
-							Proc: pi,
-							Op:   len(res.Trace.Ops),
-							Prev: pv.Clone(),
-							C:    counter[pi],
-						},
-					})
-					pending = append(pending, [2]int{pi, len(res.Internal) - 1})
-					counter[pi]++
-					res.Trace.MustAppend(trace.Internal(pi))
-					heads[pi]++
-					remaining--
-					progress = true
-				}
-			}
-		}
-		if remaining == 0 {
-			break
-		}
-		// Find a matched message at two heads.
-		matched := false
-		for pi, p := range procs {
-			if heads[pi] >= len(p.log) {
-				continue
-			}
-			entry := p.log[heads[pi]]
-			if entry.kind != logSend {
-				continue
-			}
-			q := entry.peer
-			if heads[q] >= len(procs[q].log) {
-				continue
-			}
-			peer := procs[q].log[heads[q]]
-			if peer.kind != logRecv || peer.peer != pi || !vector.Eq(peer.stamp, entry.stamp) {
-				continue
-			}
-			// Commit the rendezvous.
-			res.Trace.MustAppend(trace.Message(pi, q))
-			res.Stamps = append(res.Stamps, entry.stamp.Clone())
-			for _, side := range []int{pi, q} {
-				kept := pending[:0]
-				for _, pe := range pending {
-					if pe[0] == side {
-						res.Internal[pe[1]].Stamp.Succ = entry.stamp.Clone()
-					} else {
-						kept = append(kept, pe)
-					}
-				}
-				pending = kept
-				prev[side] = entry.stamp
-				counter[side] = 0
-			}
-			heads[pi]++
-			heads[q]++
-			remaining -= 2
-			matched = true
-			break
-		}
-		if !matched {
-			return nil, fmt.Errorf("csp: inconsistent logs: no matchable rendezvous among %d remaining entries", remaining)
-		}
-	}
-	// Deterministic ordering of trailing internal events is already given
-	// by emission order; events with no later message keep Succ nil (∞).
-	sortInternalByOp(res.Internal)
-	return res, nil
-}
-
-func sortInternalByOp(evs []InternalEvent) {
-	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Stamp.Op < evs[j].Stamp.Op })
 }

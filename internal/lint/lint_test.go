@@ -77,7 +77,7 @@ func TestAnalyzersGolden(t *testing.T) {
 		{"mapiter/good", MapIter, "mapiter/good", "syncstamp/internal/core/tdata/mapitergood", ""},
 		// The same violations outside a deterministic path are not findings.
 		{"mapiter/out-of-scope", MapIter, "mapiter/bad", "syncstamp/internal/experiments/tdata/mapiterbad", ""},
-		// lockcheck pairing is scoped to csp and monitor.
+		// lockcheck pairing is scoped to csp, monitor, and node.
 		{"lockcheck/bad", LockCheck, "lockcheck/bad", "syncstamp/internal/csp/tdata/lockcheckbad", "lockcheck_bad.golden"},
 		{"lockcheck/good", LockCheck, "lockcheck/good", "syncstamp/internal/csp/tdata/lockcheckgood", ""},
 		{"droppederr/bad", DroppedErr, "droppederr/bad", "syncstamp/internal/tdata/droppederrbad", "droppederr_bad.golden"},

@@ -6,12 +6,13 @@ import (
 )
 
 // lockedPaths lists the packages whose mutex discipline lockcheck audits for
-// Lock/Unlock pairing: csp hosts the concurrent rendezvous runtime and
-// monitor is documented as safe for concurrent readers. (Copying a lock by
-// value is checked module-wide.)
+// Lock/Unlock pairing: csp and node host the concurrent rendezvous runtimes
+// and monitor is documented as safe for concurrent readers. (Copying a lock
+// by value is checked module-wide.)
 var lockedPaths = []string{
 	"syncstamp/internal/csp",
 	"syncstamp/internal/monitor",
+	"syncstamp/internal/node",
 }
 
 // LockCheck enforces two mutex rules. Module-wide, a sync.Mutex/RWMutex (or
@@ -23,7 +24,7 @@ var lockedPaths = []string{
 // matching Unlock appears in the same block with no intervening return.
 var LockCheck = &Analyzer{
 	Name: "lockcheck",
-	Doc:  "no mutexes copied by value; Lock() paired with (deferred) Unlock() on every return path in csp and monitor",
+	Doc:  "no mutexes copied by value; Lock() paired with (deferred) Unlock() on every return path in csp, monitor, and node",
 	Run:  runLockCheck,
 }
 

@@ -11,20 +11,24 @@ import (
 // shrinking must reproduce counterexamples verbatim, and vis renderings are
 // diffed against recorded figures. Go randomizes map iteration order, so a
 // bare `for range m` in these packages is a latent replay-nondeterminism
-// bug.
+// bug. The wire codec's frame bytes and the node runtime's rendezvous logs
+// feed the same golden and replay machinery, so both are held to the same
+// rule.
 var deterministicPaths = []string{
 	"syncstamp/internal/core",
 	"syncstamp/internal/decomp",
 	"syncstamp/internal/offline",
 	"syncstamp/internal/check",
 	"syncstamp/internal/vis",
+	"syncstamp/internal/wire",
+	"syncstamp/internal/node",
 }
 
 // MapIter flags map iteration in deterministic paths unless the loop merely
 // collects keys for later sorting.
 var MapIter = &Analyzer{
 	Name: "mapiter",
-	Doc:  "no map iteration in deterministic paths (core, decomp, offline, check, vis) unless keys are collected and sorted",
+	Doc:  "no map iteration in deterministic paths (core, decomp, offline, check, vis, wire, node) unless keys are collected and sorted",
 	Run:  runMapIter,
 }
 

@@ -1,0 +1,570 @@
+// Package node hosts processes of a synchronous computation behind a real
+// transport, speaking the internal/wire rendezvous protocol between nodes.
+// It is the distributed counterpart of internal/csp: the same program shape
+// (func(*Process) error), the same Figure 5 clock discipline, the same
+// per-process rendezvous logs — but processes are placed on nodes, nodes
+// exchange length-prefixed frames over a Transport (TCP in production, an
+// in-memory loop in tests), and the piggybacked vectors travel
+// delta-compressed with exact overhead accounting.
+//
+// # Rendezvous over the wire
+//
+// A send to a process on another node is a two-phase exchange:
+//
+//	(1) the sender piggybacks its current vector on a SYN frame;
+//	(2) the receiving process performs the Figure 5 merge (componentwise
+//	    max, increment the channel's group component), which yields the
+//	    message timestamp;
+//	(3) the receiver returns the agreed stamp on an ACK frame and the
+//	    sender adopts it (core.Clock.Adopt) — equivalent to the symmetric
+//	    merge, since the stamp dominates the sender's vector.
+//
+// A send to a process on the same node takes the identical path over an
+// in-memory reply channel, so local and remote rendezvous are
+// indistinguishable to programs.
+//
+// # Topology of a run
+//
+// Placement maps every process to its node. Nodes form a full data mesh:
+// the higher-numbered node dials the lower, and each connection opens with
+// a HELLO handshake carrying the node id, its hosted processes, and a
+// digest of the edge decomposition plus placement — nodes configured with
+// different topologies refuse to talk. After its programs finish, a node
+// streams its rendezvous logs to a collector node, which reconstructs the
+// global computation with csp.Reconstruct.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"syncstamp/internal/core"
+	"syncstamp/internal/csp"
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/vector"
+	"syncstamp/internal/wire"
+)
+
+// ErrStopped is returned by Send/Recv when the node has been stopped or the
+// run aborted (a peer failure, a deadline, or an explicit Stop).
+var ErrStopped = errors.New("node: stopped")
+
+// Default timeouts applied when Config leaves them zero.
+const (
+	DefaultHandshakeTimeout  = 10 * time.Second
+	DefaultRendezvousTimeout = 10 * time.Second
+)
+
+// Config describes one node's slice of a distributed run. All nodes of a
+// run must agree on Placement and Dec — the HELLO digest enforces it.
+type Config struct {
+	// Node is this node's index in [0, nodes).
+	Node int
+	// Placement maps each process to the node hosting it. Its length must
+	// equal Dec.N(), and every node index up to the maximum must host at
+	// least one process.
+	Placement []int
+	// Dec is the edge decomposition all clocks run under.
+	Dec *decomp.Decomposition
+	// HandshakeTimeout bounds connection establishment (dial retries
+	// included) and the HELLO exchange. Zero means the default.
+	HandshakeTimeout time.Duration
+	// RendezvousTimeout bounds how long a Send waits for its ACK (or local
+	// reply). Exceeding it aborts the run: a synchronous computation cannot
+	// proceed past a lost rendezvous partner. Zero means the default.
+	RendezvousTimeout time.Duration
+}
+
+// inbound is one rendezvous request parked in a process's mailbox: the
+// sender's pre-merge vector, awaiting the receiver's merge. A local sender
+// parks on reply; a remote sender parks on the ACK frame the receiver's
+// node sends back.
+type inbound struct {
+	from  int
+	vec   vector.V
+	reply chan vector.V // nil for remote senders
+}
+
+// peerConn is one established data connection to a peer node. The encoder
+// is shared by every local process sending toward that node, serialized by
+// mu; the decoder is owned by the connection's single reader goroutine.
+type peerConn struct {
+	node int
+	c    net.Conn
+	dec  *wire.Decoder
+
+	mu  sync.Mutex
+	enc *wire.Encoder
+}
+
+// send encodes one frame, serializing concurrent senders.
+func (pc *peerConn) send(f *wire.Frame) error {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.enc.Encode(f)
+}
+
+// overhead snapshots the encoder's piggyback accounting.
+func (pc *peerConn) overhead() core.Overhead {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.enc.Overhead
+}
+
+// reportConn is an inbound log-report stream awaiting Collect.
+type reportConn struct {
+	node  int
+	procs []int
+	c     net.Conn
+	dec   *wire.Decoder
+}
+
+// Node hosts the processes placed on one node and the connections to its
+// peers. Create with New, drive with Run, and release with Close.
+type Node struct {
+	cfg    Config
+	nodes  int
+	local  []int // processes hosted here, ascending
+	digest uint64
+	tr     Transport
+
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	failMu  sync.Mutex
+	failErr error
+
+	mu      sync.Mutex
+	conns   []*peerConn     // indexed by peer node; nil until connected
+	waiters []chan vector.V // indexed by local sender process; nil unless a send is parked
+
+	mailboxes []chan inbound // indexed by process; nil for remote processes
+
+	reports   chan *reportConn
+	regCh     chan int // handshake completions from the accept loop
+	acceptWG  sync.WaitGroup
+	readersWG sync.WaitGroup
+	startOnce sync.Once
+}
+
+// New validates the configuration and returns an idle node. The transport
+// is adopted: Close closes it.
+func New(cfg Config, tr Transport) (*Node, error) {
+	if cfg.Dec == nil {
+		return nil, errors.New("node: nil decomposition")
+	}
+	if len(cfg.Placement) != cfg.Dec.N() {
+		return nil, fmt.Errorf("node: placement covers %d processes, decomposition has %d", len(cfg.Placement), cfg.Dec.N())
+	}
+	nodes := cfg.Node + 1
+	for p, host := range cfg.Placement {
+		if host < 0 {
+			return nil, fmt.Errorf("node: process %d placed on negative node %d", p, host)
+		}
+		if host+1 > nodes {
+			nodes = host + 1
+		}
+	}
+	if cfg.Node < 0 {
+		return nil, fmt.Errorf("node: negative node index %d", cfg.Node)
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	if cfg.RendezvousTimeout <= 0 {
+		cfg.RendezvousTimeout = DefaultRendezvousTimeout
+	}
+	n := &Node{
+		cfg:       cfg,
+		nodes:     nodes,
+		digest:    wire.Digest(cfg.Dec, cfg.Placement),
+		tr:        tr,
+		stop:      make(chan struct{}),
+		conns:     make([]*peerConn, nodes),
+		waiters:   make([]chan vector.V, cfg.Dec.N()),
+		mailboxes: make([]chan inbound, cfg.Dec.N()),
+		reports:   make(chan *reportConn, nodes),
+		regCh:     make(chan int, nodes),
+	}
+	for p, host := range cfg.Placement {
+		if host == cfg.Node {
+			n.local = append(n.local, p)
+			// One slot per potential sender keeps any valid computation's
+			// senders from blocking on mailbox insertion.
+			n.mailboxes[p] = make(chan inbound, cfg.Dec.N())
+		}
+	}
+	return n, nil
+}
+
+// Local returns the processes hosted on this node, ascending.
+func (n *Node) Local() []int { return append([]int(nil), n.local...) }
+
+// Stop aborts the run: parked Sends and Recvs return ErrStopped, readers
+// and the accept loop unblock. Idempotent.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		_ = n.tr.Close()
+		n.mu.Lock()
+		conns := append([]*peerConn(nil), n.conns...)
+		n.mu.Unlock()
+		for _, pc := range conns {
+			if pc != nil {
+				_ = pc.c.Close()
+			}
+		}
+	})
+}
+
+// Close stops the node and waits for its goroutines to drain.
+func (n *Node) Close() {
+	n.Stop()
+	n.acceptWG.Wait()
+	n.readersWG.Wait()
+}
+
+// fail records the first abort cause and stops the node.
+func (n *Node) fail(err error) {
+	n.failMu.Lock()
+	if n.failErr == nil {
+		n.failErr = err
+	}
+	n.failMu.Unlock()
+	n.Stop()
+}
+
+func (n *Node) failure() error {
+	n.failMu.Lock()
+	defer n.failMu.Unlock()
+	return n.failErr
+}
+
+func (n *Node) stopped() bool {
+	select {
+	case <-n.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// start launches the accept loop (first Run or Collect does it).
+func (n *Node) start() {
+	n.startOnce.Do(func() {
+		n.acceptWG.Add(1)
+		go n.acceptLoop()
+	})
+}
+
+// acceptLoop owns Transport.Accept, performing the HELLO handshake inline
+// and dispatching each stream by role: data connections get a reader
+// goroutine, report streams are parked for Collect.
+func (n *Node) acceptLoop() {
+	defer n.acceptWG.Done()
+	for {
+		c, err := n.tr.Accept()
+		if err != nil {
+			return // transport closed (Stop or Close)
+		}
+		if err := n.handleAccept(c); err != nil {
+			_ = c.Close()
+			if !n.stopped() {
+				n.fail(err)
+			}
+			return
+		}
+	}
+}
+
+// handleAccept completes the server side of the HELLO handshake.
+func (n *Node) handleAccept(c net.Conn) error {
+	_ = c.SetDeadline(time.Now().Add(n.cfg.HandshakeTimeout))
+	dec := wire.NewDecoder(c, n.cfg.Dec.D())
+	f, err := dec.Decode()
+	if err != nil {
+		return fmt.Errorf("node %d: handshake read: %w", n.cfg.Node, err)
+	}
+	if f.Kind != wire.KindHello {
+		return fmt.Errorf("node %d: handshake opened with %v, want HELLO", n.cfg.Node, f.Kind)
+	}
+	if f.Digest != n.digest {
+		return fmt.Errorf("node %d: node %d has topology digest %#x, ours is %#x (mismatched decomposition or placement)", n.cfg.Node, f.Node, f.Digest, n.digest)
+	}
+	if f.Node < 0 || f.Node >= n.nodes || f.Node == n.cfg.Node {
+		return fmt.Errorf("node %d: handshake from implausible node %d", n.cfg.Node, f.Node)
+	}
+	switch f.Role {
+	case wire.RoleData:
+		enc := wire.NewEncoder(c, n.cfg.Dec.D())
+		hello := &wire.Frame{Kind: wire.KindHello, Role: wire.RoleData, Node: n.cfg.Node, Procs: n.local, Digest: n.digest}
+		if err := enc.Encode(hello); err != nil {
+			return fmt.Errorf("node %d: handshake reply to node %d: %w", n.cfg.Node, f.Node, err)
+		}
+		_ = c.SetDeadline(time.Time{})
+		pc := &peerConn{node: f.Node, c: c, enc: enc, dec: dec}
+		if err := n.register(pc); err != nil {
+			return err
+		}
+		n.regCh <- f.Node
+		return nil
+	case wire.RoleReport:
+		_ = c.SetDeadline(time.Time{})
+		select {
+		case n.reports <- &reportConn{node: f.Node, procs: f.Procs, c: c, dec: dec}:
+			return nil
+		case <-n.stop:
+			return ErrStopped
+		}
+	default:
+		return fmt.Errorf("node %d: handshake with unknown role %d", n.cfg.Node, f.Role)
+	}
+}
+
+// register records an established data connection and starts its reader.
+func (n *Node) register(pc *peerConn) error {
+	n.mu.Lock()
+	dup := n.conns[pc.node] != nil
+	if !dup {
+		n.conns[pc.node] = pc
+	}
+	n.mu.Unlock()
+	if dup {
+		return fmt.Errorf("node %d: duplicate connection from node %d", n.cfg.Node, pc.node)
+	}
+	n.readersWG.Add(1)
+	go n.readLoop(pc)
+	return nil
+}
+
+// dialPeer completes the client side of the HELLO handshake with a
+// lower-numbered node.
+func (n *Node) dialPeer(j int) error {
+	deadline := time.Now().Add(n.cfg.HandshakeTimeout)
+	c, err := n.tr.Dial(j, deadline)
+	if err != nil {
+		return fmt.Errorf("node %d: %w", n.cfg.Node, err)
+	}
+	_ = c.SetDeadline(deadline)
+	enc := wire.NewEncoder(c, n.cfg.Dec.D())
+	hello := &wire.Frame{Kind: wire.KindHello, Role: wire.RoleData, Node: n.cfg.Node, Procs: n.local, Digest: n.digest}
+	if err := enc.Encode(hello); err != nil {
+		_ = c.Close()
+		return fmt.Errorf("node %d: handshake with node %d: %w", n.cfg.Node, j, err)
+	}
+	dec := wire.NewDecoder(c, n.cfg.Dec.D())
+	f, err := dec.Decode()
+	if err != nil {
+		_ = c.Close()
+		return fmt.Errorf("node %d: handshake reply from node %d: %w", n.cfg.Node, j, err)
+	}
+	if f.Kind != wire.KindHello || f.Node != j {
+		_ = c.Close()
+		return fmt.Errorf("node %d: handshake reply from node %d carried %v/node %d", n.cfg.Node, j, f.Kind, f.Node)
+	}
+	if f.Digest != n.digest {
+		_ = c.Close()
+		return fmt.Errorf("node %d: node %d has topology digest %#x, ours is %#x (mismatched decomposition or placement)", n.cfg.Node, j, f.Digest, n.digest)
+	}
+	_ = c.SetDeadline(time.Time{})
+	return n.register(&peerConn{node: j, c: c, enc: enc, dec: dec})
+}
+
+// connect establishes the full data mesh: dial every lower node, await a
+// dial from every higher one.
+func (n *Node) connect() error {
+	n.start()
+	for j := 0; j < n.cfg.Node; j++ {
+		if err := n.dialPeer(j); err != nil {
+			return err
+		}
+	}
+	want := n.nodes - 1 - n.cfg.Node
+	timer := time.NewTimer(n.cfg.HandshakeTimeout)
+	defer timer.Stop()
+	for have := 0; have < want; {
+		select {
+		case <-n.regCh:
+			have++
+		case <-n.stop:
+			if err := n.failure(); err != nil {
+				return err
+			}
+			return ErrStopped
+		case <-timer.C:
+			return fmt.Errorf("node %d: %d of %d higher peers connected within %v", n.cfg.Node, have, want, n.cfg.HandshakeTimeout)
+		}
+	}
+	return nil
+}
+
+// readLoop demultiplexes one data connection: SYNs go to the target
+// process's mailbox, ACKs release the parked sender, BYE announces the
+// peer's clean completion. Any protocol violation or transport error while
+// the run is live aborts the node.
+func (n *Node) readLoop(pc *peerConn) {
+	defer n.readersWG.Done()
+	for {
+		f, err := pc.dec.Decode()
+		if err != nil {
+			if !n.stopped() {
+				n.fail(fmt.Errorf("node %d: connection to node %d: %w", n.cfg.Node, pc.node, err))
+			}
+			return
+		}
+		switch f.Kind {
+		case wire.KindSyn:
+			if f.To < 0 || f.To >= len(n.mailboxes) || n.mailboxes[f.To] == nil {
+				n.fail(fmt.Errorf("node %d: SYN from node %d targets process %d, not hosted here", n.cfg.Node, pc.node, f.To))
+				return
+			}
+			select {
+			case n.mailboxes[f.To] <- inbound{from: f.From, vec: f.Vec}:
+			case <-n.stop:
+				return
+			}
+		case wire.KindAck:
+			n.mu.Lock()
+			var w chan vector.V
+			if f.To >= 0 && f.To < len(n.waiters) {
+				w = n.waiters[f.To]
+				n.waiters[f.To] = nil
+			}
+			n.mu.Unlock()
+			if w == nil {
+				n.fail(fmt.Errorf("node %d: ACK from node %d for process %d, which has no send in flight", n.cfg.Node, pc.node, f.To))
+				return
+			}
+			w <- f.Vec // buffered; the sender may have timed out, never blocks
+		case wire.KindBye:
+			return
+		default:
+			n.fail(fmt.Errorf("node %d: unexpected %v frame from node %d on a data connection", n.cfg.Node, f.Kind, pc.node))
+			return
+		}
+	}
+}
+
+// registerWaiter parks a sender: the next ACK addressed to proc lands on
+// the returned channel. Must be called before the SYN is written, or the
+// ACK could race past.
+func (n *Node) registerWaiter(proc int) chan vector.V {
+	ch := make(chan vector.V, 1)
+	n.mu.Lock()
+	n.waiters[proc] = ch
+	n.mu.Unlock()
+	return ch
+}
+
+func (n *Node) clearWaiter(proc int) {
+	n.mu.Lock()
+	n.waiters[proc] = nil
+	n.mu.Unlock()
+}
+
+// connTo returns the data connection to a peer node.
+func (n *Node) connTo(node int) (*peerConn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if node < 0 || node >= len(n.conns) || n.conns[node] == nil {
+		return nil, fmt.Errorf("node %d: no connection to node %d", n.cfg.Node, node)
+	}
+	return n.conns[node], nil
+}
+
+// RunInfo is the local outcome of a completed run.
+type RunInfo struct {
+	// Logs holds each hosted process's rendezvous log, keyed by process.
+	Logs map[int][]csp.Record
+	// Overhead is the exact piggyback accounting over this node's data
+	// connections (local rendezvous cost no wire bytes and are excluded).
+	Overhead core.Overhead
+}
+
+// Run connects the data mesh, executes one program per hosted process (a
+// missing or nil entry means "immediately done"), and waits for every
+// hosted program and every peer node to finish. It returns the hosted
+// processes' rendezvous logs and the wire-overhead account. Any program
+// error, peer failure, or deadline aborts the whole run.
+func (n *Node) Run(programs map[int]func(*Process) error) (*RunInfo, error) {
+	if err := n.connect(); err != nil {
+		n.fail(err)
+		return nil, err
+	}
+	procs := make([]*Process, len(n.local))
+	errs := make([]error, len(n.local))
+	var wg sync.WaitGroup
+	for i, p := range n.local {
+		procs[i] = &Process{id: p, n: n, clock: core.NewClock(p, n.cfg.Dec)}
+		prog := programs[p]
+		if prog == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, proc *Process, prog func(*Process) error) {
+			defer wg.Done()
+			if err := prog(proc); err != nil {
+				errs[i] = err
+				n.fail(fmt.Errorf("node %d: process %d: %w", n.cfg.Node, proc.id, err))
+			}
+		}(i, procs[i], prog)
+	}
+	wg.Wait()
+
+	// Announce completion; peers' readers exit on our BYE, ours exit on
+	// theirs, so waiting for the readers is the run's global barrier.
+	if !n.stopped() {
+		n.mu.Lock()
+		conns := append([]*peerConn(nil), n.conns...)
+		n.mu.Unlock()
+		for _, pc := range conns {
+			if pc == nil {
+				continue
+			}
+			if err := pc.send(&wire.Frame{Kind: wire.KindBye}); err != nil && !n.stopped() {
+				n.fail(fmt.Errorf("node %d: closing connection to node %d: %w", n.cfg.Node, pc.node, err))
+			}
+		}
+	}
+	n.readersWG.Wait()
+
+	info := &RunInfo{Logs: make(map[int][]csp.Record, len(n.local))}
+	n.mu.Lock()
+	conns := append([]*peerConn(nil), n.conns...)
+	n.mu.Unlock()
+	for _, pc := range conns {
+		if pc == nil {
+			continue
+		}
+		info.Overhead.Merge(pc.overhead())
+		_ = pc.c.Close()
+	}
+	for i, p := range n.local {
+		info.Logs[p] = procs[i].log
+	}
+
+	// Root cause: prefer a program's own error over the ErrStopped echoes
+	// of its neighbors, mirroring csp.Wait.
+	pick := -1
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if pick == -1 || (errors.Is(errs[pick], ErrStopped) && !errors.Is(err, ErrStopped)) {
+			pick = i
+		}
+	}
+	if pick >= 0 && !errors.Is(errs[pick], ErrStopped) {
+		return info, fmt.Errorf("node %d: process %d: %w", n.cfg.Node, n.local[pick], errs[pick])
+	}
+	if err := n.failure(); err != nil {
+		return info, err
+	}
+	if pick >= 0 {
+		return info, fmt.Errorf("node %d: process %d: %w", n.cfg.Node, n.local[pick], errs[pick])
+	}
+	return info, nil
+}

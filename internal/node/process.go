@@ -1,0 +1,186 @@
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"syncstamp/internal/core"
+	"syncstamp/internal/csp"
+	"syncstamp/internal/vector"
+	"syncstamp/internal/wire"
+)
+
+// Message is one received rendezvous: who sent it and the agreed timestamp.
+// The wire protocol carries no application payload — timestamps are the
+// subject of the system; payload transport is the application's concern.
+type Message struct {
+	From  int
+	Stamp vector.V
+}
+
+// Process is the handle a program uses to communicate. Each Process is
+// owned by exactly one goroutine; its methods must not be called
+// concurrently.
+type Process struct {
+	id    int
+	n     *Node
+	clock *core.Clock
+	log   []csp.Record
+	// stash holds rendezvous requests taken off the mailbox while waiting
+	// for a specific sender in RecvFrom; their senders stay parked.
+	stash []inbound
+}
+
+// ID returns the process index.
+func (p *Process) ID() int { return p.id }
+
+// Clock returns a snapshot of the process's current vector.
+func (p *Process) Clock() vector.V { return p.clock.Current() }
+
+// Send performs a rendezvous with process q: it blocks until q has received
+// the message, then returns the agreed timestamp. The rendezvous deadline
+// bounds the wait; exceeding it aborts the run (a synchronous computation
+// cannot outlive a lost partner).
+func (p *Process) Send(q int) (vector.V, error) {
+	if q == p.id {
+		return nil, fmt.Errorf("node: process %d sending to itself", p.id)
+	}
+	if q < 0 || q >= len(p.n.cfg.Placement) {
+		return nil, fmt.Errorf("node: destination %d out of range [0,%d)", q, len(p.n.cfg.Placement))
+	}
+	n := p.n
+	timer := time.NewTimer(n.cfg.RendezvousTimeout)
+	defer timer.Stop()
+
+	var ack chan vector.V
+	if n.cfg.Placement[q] == n.cfg.Node {
+		in := inbound{from: p.id, vec: p.clock.Current(), reply: make(chan vector.V, 1)}
+		select {
+		case n.mailboxes[q] <- in:
+		case <-n.stop:
+			return nil, ErrStopped
+		case <-timer.C:
+			err := fmt.Errorf("node: process %d -> %d: rendezvous deadline %v exceeded", p.id, q, n.cfg.RendezvousTimeout)
+			n.fail(err)
+			return nil, err
+		}
+		ack = in.reply
+	} else {
+		pc, err := n.connTo(n.cfg.Placement[q])
+		if err != nil {
+			return nil, err
+		}
+		ack = n.registerWaiter(p.id)
+		syn := &wire.Frame{Kind: wire.KindSyn, From: p.id, To: q, Vec: p.clock.Current()}
+		if err := pc.send(syn); err != nil {
+			n.clearWaiter(p.id)
+			if n.stopped() {
+				return nil, ErrStopped
+			}
+			err = fmt.Errorf("node: process %d -> %d: %w", p.id, q, err)
+			n.fail(err)
+			return nil, err
+		}
+	}
+
+	select {
+	case stamp := <-ack:
+		if err := p.clock.Adopt(stamp, q); err != nil {
+			err = fmt.Errorf("node: process %d -> %d: %w", p.id, q, err)
+			p.n.fail(err)
+			return nil, err
+		}
+		p.log = append(p.log, csp.Record{Kind: csp.RecordSend, Peer: q, Stamp: stamp})
+		return stamp, nil
+	case <-n.stop:
+		n.clearWaiter(p.id)
+		return nil, ErrStopped
+	case <-timer.C:
+		n.clearWaiter(p.id)
+		err := fmt.Errorf("node: process %d -> %d: rendezvous deadline %v exceeded", p.id, q, n.cfg.RendezvousTimeout)
+		n.fail(err)
+		return nil, err
+	}
+}
+
+// Recv blocks for the next incoming rendezvous from any peer, completes it,
+// and returns the message. Requests stashed by earlier RecvFrom calls are
+// delivered first, in arrival order.
+func (p *Process) Recv() (Message, error) {
+	var in inbound
+	if len(p.stash) > 0 {
+		in = p.stash[0]
+		copy(p.stash, p.stash[1:])
+		p.stash = p.stash[:len(p.stash)-1]
+	} else {
+		select {
+		case in = <-p.n.mailboxes[p.id]:
+		case <-p.n.stop:
+			return Message{}, ErrStopped
+		}
+	}
+	return p.complete(in)
+}
+
+// RecvFrom blocks for the next rendezvous from the specific process from,
+// leaving requests from other senders pending (their senders remain
+// parked, exactly as with one rendezvous channel per process pair).
+// Replaying the per-process projections of a synchronous computation with
+// RecvFrom is deadlock-free; with the any-source Recv it need not be.
+func (p *Process) RecvFrom(from int) (Message, error) {
+	for i, in := range p.stash {
+		if in.from == from {
+			p.stash = append(p.stash[:i], p.stash[i+1:]...)
+			return p.complete(in)
+		}
+	}
+	for {
+		var in inbound
+		select {
+		case in = <-p.n.mailboxes[p.id]:
+		case <-p.n.stop:
+			return Message{}, ErrStopped
+		}
+		if in.from == from {
+			return p.complete(in)
+		}
+		p.stash = append(p.stash, in)
+	}
+}
+
+// complete performs the receiver's half of the rendezvous: the Figure 5
+// merge yields the stamp, which goes back to the sender — over the reply
+// channel for a local sender, on an ACK frame for a remote one.
+func (p *Process) complete(in inbound) (Message, error) {
+	stamp, err := p.clock.Merge(in.vec, in.from)
+	if err != nil {
+		err = fmt.Errorf("node: process %d receiving from %d: %w", p.id, in.from, err)
+		p.n.fail(err)
+		return Message{}, err
+	}
+	if in.reply != nil {
+		in.reply <- stamp // buffered; the sender is parked on it
+	} else {
+		pc, err := p.n.connTo(p.n.cfg.Placement[in.from])
+		if err == nil {
+			err = pc.send(&wire.Frame{Kind: wire.KindAck, From: p.id, To: in.from, Vec: stamp})
+		}
+		if err != nil {
+			if p.n.stopped() {
+				return Message{}, ErrStopped
+			}
+			err = fmt.Errorf("node: process %d acking %d: %w", p.id, in.from, err)
+			p.n.fail(err)
+			return Message{}, err
+		}
+	}
+	p.log = append(p.log, csp.Record{Kind: csp.RecordRecv, Peer: in.from, Stamp: stamp})
+	return Message{From: in.from, Stamp: stamp}, nil
+}
+
+// Internal records an internal event carrying note (Section 5). Its full
+// (prev, succ, c) stamp is resolved at reconstruction time, when the next
+// message, if any, is known. Note travels the wire as a string.
+func (p *Process) Internal(note string) {
+	p.log = append(p.log, csp.Record{Kind: csp.RecordInternal, Note: note})
+}

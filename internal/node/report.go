@@ -1,0 +1,143 @@
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"syncstamp/internal/csp"
+	"syncstamp/internal/wire"
+)
+
+// SendReport streams this node's rendezvous logs to the collector node
+// after a completed run, over a fresh connection with a RoleReport
+// handshake. Each hosted process's log is sent in program order: a send
+// becomes a SYN frame (From = owner, To = peer, Vec = stamp), a receive an
+// ACK frame (From = peer, To = owner, Vec = stamp), an internal event an
+// INTERNAL frame; BYE terminates the report.
+func (n *Node) SendReport(collector int, info *RunInfo) error {
+	if collector == n.cfg.Node {
+		return fmt.Errorf("node %d: cannot report to itself", n.cfg.Node)
+	}
+	deadline := time.Now().Add(n.cfg.HandshakeTimeout)
+	c, err := n.tr.Dial(collector, deadline)
+	if err != nil {
+		return fmt.Errorf("node %d: report: %w", n.cfg.Node, err)
+	}
+	defer func() { _ = c.Close() }()
+	_ = c.SetDeadline(deadline)
+	enc := wire.NewEncoder(c, n.cfg.Dec.D())
+	hello := &wire.Frame{Kind: wire.KindHello, Role: wire.RoleReport, Node: n.cfg.Node, Procs: n.local, Digest: n.digest}
+	if err := enc.Encode(hello); err != nil {
+		return fmt.Errorf("node %d: report handshake: %w", n.cfg.Node, err)
+	}
+	for _, p := range n.local {
+		for _, rec := range info.Logs[p] {
+			var f *wire.Frame
+			switch rec.Kind {
+			case csp.RecordSend:
+				f = &wire.Frame{Kind: wire.KindSyn, From: p, To: rec.Peer, Vec: rec.Stamp}
+			case csp.RecordRecv:
+				f = &wire.Frame{Kind: wire.KindAck, From: rec.Peer, To: p, Vec: rec.Stamp}
+			case csp.RecordInternal:
+				f = &wire.Frame{Kind: wire.KindInternal, Proc: p, Note: fmt.Sprint(rec.Note)}
+			default:
+				return fmt.Errorf("node %d: process %d log holds unknown record kind %v", n.cfg.Node, p, rec.Kind)
+			}
+			if err := enc.Encode(f); err != nil {
+				return fmt.Errorf("node %d: report process %d: %w", n.cfg.Node, p, err)
+			}
+		}
+	}
+	if err := enc.Encode(&wire.Frame{Kind: wire.KindBye}); err != nil {
+		return fmt.Errorf("node %d: report: %w", n.cfg.Node, err)
+	}
+	return nil
+}
+
+// Collect receives the peer nodes' log reports, joins them with this
+// node's own logs, and reconstructs the global computation with
+// csp.Reconstruct — the distributed run's oracle-checkable outcome. It
+// must be called on exactly one node, after Run, with that node's RunInfo;
+// timeout bounds the whole collection.
+func (n *Node) Collect(info *RunInfo, timeout time.Duration) (*csp.Result, error) {
+	n.start()
+	logs := make([][]csp.Record, n.cfg.Dec.N())
+	seen := make([]bool, n.cfg.Dec.N())
+	for _, p := range n.local {
+		logs[p] = info.Logs[p]
+		seen[p] = true
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for got := 1; got < n.nodes; got++ {
+		var rc *reportConn
+		select {
+		case rc = <-n.reports:
+		case <-n.stop:
+			if err := n.failure(); err != nil {
+				return nil, err
+			}
+			return nil, ErrStopped
+		case <-timer.C:
+			return nil, fmt.Errorf("node %d: %d of %d reports within %v", n.cfg.Node, got-1, n.nodes-1, timeout)
+		}
+		if err := n.readReport(rc, logs, seen); err != nil {
+			_ = rc.c.Close()
+			return nil, err
+		}
+		_ = rc.c.Close()
+	}
+	for p, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("node %d: no report covered process %d", n.cfg.Node, p)
+		}
+	}
+	res, err := csp.Reconstruct(n.cfg.Dec, logs)
+	if err != nil {
+		return nil, fmt.Errorf("node %d: %w", n.cfg.Node, err)
+	}
+	return res, nil
+}
+
+// readReport drains one report stream into logs.
+func (n *Node) readReport(rc *reportConn, logs [][]csp.Record, seen []bool) error {
+	for _, p := range rc.procs {
+		if p < 0 || p >= len(seen) {
+			return fmt.Errorf("node %d: report from node %d claims process %d, out of range", n.cfg.Node, rc.node, p)
+		}
+		if seen[p] {
+			return fmt.Errorf("node %d: report from node %d claims process %d, already reported", n.cfg.Node, rc.node, p)
+		}
+		seen[p] = true
+	}
+	owns := func(p int) bool {
+		return p >= 0 && p < len(n.cfg.Placement) && n.cfg.Placement[p] == rc.node
+	}
+	for {
+		f, err := rc.dec.Decode()
+		if err != nil {
+			return fmt.Errorf("node %d: report from node %d: %w", n.cfg.Node, rc.node, err)
+		}
+		switch f.Kind {
+		case wire.KindSyn:
+			if !owns(f.From) {
+				return fmt.Errorf("node %d: report from node %d logs a send by foreign process %d", n.cfg.Node, rc.node, f.From)
+			}
+			logs[f.From] = append(logs[f.From], csp.Record{Kind: csp.RecordSend, Peer: f.To, Stamp: f.Vec})
+		case wire.KindAck:
+			if !owns(f.To) {
+				return fmt.Errorf("node %d: report from node %d logs a receive by foreign process %d", n.cfg.Node, rc.node, f.To)
+			}
+			logs[f.To] = append(logs[f.To], csp.Record{Kind: csp.RecordRecv, Peer: f.From, Stamp: f.Vec})
+		case wire.KindInternal:
+			if !owns(f.Proc) {
+				return fmt.Errorf("node %d: report from node %d logs an internal event of foreign process %d", n.cfg.Node, rc.node, f.Proc)
+			}
+			logs[f.Proc] = append(logs[f.Proc], csp.Record{Kind: csp.RecordInternal, Note: f.Note})
+		case wire.KindBye:
+			return nil
+		default:
+			return fmt.Errorf("node %d: unexpected %v frame in report from node %d", n.cfg.Node, f.Kind, rc.node)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package vector
+
+import "fmt"
+
+// Change is one differential-piggyback entry in the Singhal–Kshemkalyani
+// style: component Index now holds Value. A frame that carries only the
+// components changed since the last exchange with the same peer transmits a
+// []Change instead of the full vector (internal/wire encodes it).
+type Change struct {
+	Index int
+	Value int
+}
+
+// DeltaSince returns the components of v that differ from prev, in index
+// order. Applying the result to a clone of prev (ApplyDelta) reconstructs v
+// exactly. The lengths must match; vectors of different generations have no
+// meaningful delta.
+func (v V) DeltaSince(prev V) []Change {
+	if len(v) != len(prev) {
+		panic(fmt.Sprintf("vector: length mismatch %d vs %d", len(v), len(prev)))
+	}
+	var out []Change
+	for k := range v {
+		if v[k] != prev[k] {
+			out = append(out, Change{Index: k, Value: v[k]})
+		}
+	}
+	return out
+}
+
+// ApplyDelta overwrites the changed components of v in place. It is the
+// inverse of DeltaSince: prev.ApplyDelta(cur.DeltaSince(prev)) makes prev
+// equal cur. Out-of-range indices are an error (a corrupt or truncated
+// frame), leaving v partially updated.
+func (v V) ApplyDelta(delta []Change) error {
+	for _, ch := range delta {
+		if ch.Index < 0 || ch.Index >= len(v) {
+			return fmt.Errorf("vector: delta index %d out of range [0,%d)", ch.Index, len(v))
+		}
+		v[ch.Index] = ch.Value
+	}
+	return nil
+}

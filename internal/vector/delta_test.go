@@ -1,0 +1,101 @@
+package vector
+
+import "testing"
+
+func TestDeltaSinceBasic(t *testing.T) {
+	prev := V{1, 2, 3, 0}
+	cur := V{1, 5, 3, 4}
+	got := cur.DeltaSince(prev)
+	want := []Change{{Index: 1, Value: 5}, {Index: 3, Value: 4}}
+	if len(got) != len(want) {
+		t.Fatalf("delta = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delta[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDeltaSinceIdentical(t *testing.T) {
+	v := V{4, 4, 4}
+	if d := v.DeltaSince(v.Clone()); d != nil {
+		t.Fatalf("identical vectors have delta %v, want nil", d)
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	cases := []struct{ prev, cur V }{
+		{V{}, V{}},
+		{V{0, 0, 0}, V{1, 0, 2}},
+		{V{7, 7}, V{7, 7}},
+		{V{1, 2, 3, 4, 5}, V{5, 4, 3, 2, 1}},
+		{New(6), V{0, 0, 0, 0, 0, 9}},
+	}
+	for _, c := range cases {
+		got := c.prev.Clone()
+		if err := got.ApplyDelta(c.cur.DeltaSince(c.prev)); err != nil {
+			t.Fatalf("ApplyDelta(%v -> %v): %v", c.prev, c.cur, err)
+		}
+		if !Eq(got, c.cur) {
+			t.Fatalf("round trip %v -> %v produced %v", c.prev, c.cur, got)
+		}
+	}
+}
+
+func TestApplyDeltaOutOfRange(t *testing.T) {
+	v := V{1, 2}
+	if err := v.ApplyDelta([]Change{{Index: 2, Value: 9}}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if err := v.ApplyDelta([]Change{{Index: -1, Value: 9}}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestDeltaSinceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	(V{1, 2}).DeltaSince(V{1})
+}
+
+// FuzzVectorDelta round-trips the differential codec: for arbitrary prev and
+// cur of the same length, applying cur.DeltaSince(prev) to prev reconstructs
+// cur exactly, and an empty delta means the vectors were already equal.
+func FuzzVectorDelta(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{1, 2, 3}, []byte{1, 9, 3})
+	f.Add([]byte{0, 0}, []byte{255, 255})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		if len(a) > 32 || len(b) > 32 {
+			return
+		}
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		prev := make(V, n)
+		cur := make(V, n)
+		for i := 0; i < n; i++ {
+			prev[i] = int(a[i])
+			cur[i] = int(b[i])
+		}
+		delta := cur.DeltaSince(prev)
+		if len(delta) != Diff(cur, prev) {
+			t.Fatalf("delta has %d entries, Diff reports %d", len(delta), Diff(cur, prev))
+		}
+		got := prev.Clone()
+		if err := got.ApplyDelta(delta); err != nil {
+			t.Fatalf("ApplyDelta: %v", err)
+		}
+		if !Eq(got, cur) {
+			t.Fatalf("round trip %v -> %v produced %v", prev, cur, got)
+		}
+		if len(delta) == 0 && !Eq(prev, cur) {
+			t.Fatalf("empty delta for unequal vectors %v vs %v", prev, cur)
+		}
+	})
+}

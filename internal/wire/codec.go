@@ -1,0 +1,357 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"syncstamp/internal/core"
+	"syncstamp/internal/vector"
+)
+
+// Frame is one decoded protocol frame. Which fields are meaningful depends
+// on Kind; the codec ignores the rest.
+type Frame struct {
+	Kind Kind
+
+	// HELLO fields.
+	Node   int
+	Procs  []int
+	Digest uint64
+	Role   byte
+
+	// SYN/ACK fields. Vec is the full piggybacked vector — delta
+	// compression is codec-internal and never visible to callers.
+	From, To int
+	Vec      vector.V
+
+	// INTERNAL fields.
+	Proc int
+	Note string
+}
+
+// pair keys the delta baselines: the ordered (from, to) process pair whose
+// frames carry vectors from from to to.
+type pair struct{ from, to int }
+
+// Encoder writes frames to one stream, maintaining the per-pair delta
+// baselines and the exact-size overhead accounting. An Encoder is not safe
+// for concurrent use; internal/node serializes writes per connection.
+type Encoder struct {
+	w    *bufio.Writer
+	d    int
+	last map[pair]vector.V
+	buf  []byte
+
+	// Overhead accumulates the exact piggyback cost of every SYN/ACK
+	// encoded: the dense cost it would have paid next to the bytes the
+	// chosen encoding actually paid.
+	Overhead core.Overhead
+}
+
+// NewEncoder returns an Encoder for vectors of length d.
+func NewEncoder(w io.Writer, d int) *Encoder {
+	return &Encoder{w: bufio.NewWriter(w), d: d, last: make(map[pair]vector.V)}
+}
+
+// Encode writes one frame and flushes it to the underlying stream.
+func (e *Encoder) Encode(f *Frame) error {
+	payload, err := e.appendPayload(e.buf[:0], f)
+	if err != nil {
+		return err
+	}
+	e.buf = payload[:0]
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	if _, err := e.w.Write(hdr[:n]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := e.w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write payload: %w", err)
+	}
+	if err := e.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	return nil
+}
+
+func (e *Encoder) appendPayload(dst []byte, f *Frame) ([]byte, error) {
+	dst = append(dst, byte(f.Kind))
+	switch f.Kind {
+	case KindHello:
+		dst = append(dst, f.Role)
+		dst = appendUvarint(dst, uint64(f.Node))
+		dst = appendUvarint(dst, f.Digest)
+		dst = appendUvarint(dst, uint64(len(f.Procs)))
+		for _, p := range f.Procs {
+			dst = appendUvarint(dst, uint64(p))
+		}
+	case KindSyn, KindAck:
+		if len(f.Vec) != e.d {
+			return nil, fmt.Errorf("wire: %v carries a %d-component vector, codec is configured for d=%d", f.Kind, len(f.Vec), e.d)
+		}
+		dst = appendUvarint(dst, uint64(f.From))
+		dst = appendUvarint(dst, uint64(f.To))
+		dst = e.appendVec(dst, f)
+	case KindInternal:
+		if len(f.Note) > MaxNote {
+			return nil, fmt.Errorf("wire: note of %d bytes exceeds limit %d", len(f.Note), MaxNote)
+		}
+		dst = appendUvarint(dst, uint64(f.Proc))
+		dst = appendUvarint(dst, uint64(len(f.Note)))
+		dst = append(dst, f.Note...)
+	case KindBye:
+		// No payload beyond the kind byte.
+	default:
+		return nil, fmt.Errorf("wire: cannot encode kind %v", f.Kind)
+	}
+	if len(dst) > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(dst), MaxFrame)
+	}
+	return dst, nil
+}
+
+// appendVec encodes f.Vec in whichever of dense/delta form is smaller,
+// updates the (From, To) baseline, and charges the overhead account.
+func (e *Encoder) appendVec(dst []byte, f *Frame) []byte {
+	key := pair{f.From, f.To}
+	base, ok := e.last[key]
+	if !ok {
+		base = vector.New(e.d)
+	}
+	delta := f.Vec.DeltaSince(base)
+
+	denseSize := 1 + denseLen(f.Vec)
+	deltaSize := 1 + deltaLen(delta)
+	if deltaSize < denseSize {
+		dst = append(dst, 1)
+		dst = appendUvarint(dst, uint64(len(delta)))
+		for _, ch := range delta {
+			dst = appendUvarint(dst, uint64(ch.Index))
+			dst = appendUvarint(dst, uint64(ch.Value))
+		}
+		e.Overhead.Add(denseSize, deltaSize)
+	} else {
+		dst = append(dst, 0)
+		for _, x := range f.Vec {
+			dst = appendUvarint(dst, uint64(x))
+		}
+		e.Overhead.Add(denseSize, denseSize)
+	}
+	e.last[key] = f.Vec.Clone()
+	return dst
+}
+
+func denseLen(v vector.V) int {
+	n := 0
+	for _, x := range v {
+		n += uvarintLen(uint64(x))
+	}
+	return n
+}
+
+func deltaLen(delta []vector.Change) int {
+	n := uvarintLen(uint64(len(delta)))
+	for _, ch := range delta {
+		n += uvarintLen(uint64(ch.Index)) + uvarintLen(uint64(ch.Value))
+	}
+	return n
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+func appendUvarint(dst []byte, x uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], x)
+	return append(dst, buf[:n]...)
+}
+
+// Decoder reads frames from one stream, mirroring the Encoder's delta
+// baselines. A Decoder is not safe for concurrent use.
+type Decoder struct {
+	r    *bufio.Reader
+	d    int
+	last map[pair]vector.V
+	buf  []byte
+}
+
+// NewDecoder returns a Decoder for vectors of length d.
+func NewDecoder(r io.Reader, d int) *Decoder {
+	return &Decoder{r: bufio.NewReader(r), d: d, last: make(map[pair]vector.V)}
+}
+
+// Decode reads the next frame. It returns io.EOF only at a clean frame
+// boundary; a stream truncated mid-frame is an ErrUnexpectedEOF-wrapping
+// error.
+func (d *Decoder) Decode() (*Frame, error) {
+	size, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	if size == 0 || size > MaxFrame {
+		return nil, fmt.Errorf("wire: implausible frame size %d", size)
+	}
+	if cap(d.buf) < int(size) {
+		d.buf = make([]byte, size)
+	}
+	payload := d.buf[:size]
+	if _, err := io.ReadFull(d.r, payload); err != nil {
+		return nil, fmt.Errorf("wire: read payload: %w", err)
+	}
+	return d.parse(payload)
+}
+
+// reader walks a payload with bounds checking.
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: truncated varint at offset %d", r.off)
+	}
+	r.off += n
+	return x, nil
+}
+
+func (r *reader) intField(name string, limit uint64) (int, error) {
+	x, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if x > limit {
+		return 0, fmt.Errorf("wire: %s %d exceeds limit %d", name, x, limit)
+	}
+	return int(x), nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, fmt.Errorf("wire: truncated frame at offset %d", r.off)
+	}
+	b := r.b[r.off]
+	r.off++
+	return b, nil
+}
+
+func (d *Decoder) parse(payload []byte) (*Frame, error) {
+	r := &reader{b: payload}
+	kb, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	f := &Frame{Kind: Kind(kb)}
+	switch f.Kind {
+	case KindHello:
+		if f.Role, err = r.byte(); err != nil {
+			return nil, err
+		}
+		if f.Node, err = r.intField("node", 1<<31); err != nil {
+			return nil, err
+		}
+		if f.Digest, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		count, err := r.intField("proc count", MaxProcs)
+		if err != nil {
+			return nil, err
+		}
+		f.Procs = make([]int, count)
+		for i := range f.Procs {
+			if f.Procs[i], err = r.intField("proc", 1<<31); err != nil {
+				return nil, err
+			}
+		}
+	case KindSyn, KindAck:
+		if f.From, err = r.intField("from", 1<<31); err != nil {
+			return nil, err
+		}
+		if f.To, err = r.intField("to", 1<<31); err != nil {
+			return nil, err
+		}
+		if f.Vec, err = d.readVec(r, f.From, f.To); err != nil {
+			return nil, err
+		}
+	case KindInternal:
+		if f.Proc, err = r.intField("proc", 1<<31); err != nil {
+			return nil, err
+		}
+		n, err := r.intField("note length", MaxNote)
+		if err != nil {
+			return nil, err
+		}
+		if r.off+n > len(r.b) {
+			return nil, fmt.Errorf("wire: note of %d bytes overruns frame", n)
+		}
+		f.Note = string(r.b[r.off : r.off+n])
+		r.off += n
+	case KindBye:
+		// No payload.
+	default:
+		return nil, fmt.Errorf("wire: unknown frame kind %d", kb)
+	}
+	if r.off != len(r.b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %v frame", len(r.b)-r.off, f.Kind)
+	}
+	return f, nil
+}
+
+// readVec decodes a vector and advances the (from, to) baseline exactly as
+// the encoder did.
+func (d *Decoder) readVec(r *reader, from, to int) (vector.V, error) {
+	mode, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	var v vector.V
+	switch mode {
+	case 0: // dense
+		v = vector.New(d.d)
+		for k := range v {
+			if v[k], err = r.intField("component", 1<<62); err != nil {
+				return nil, err
+			}
+		}
+	case 1: // delta against the pair baseline
+		count, err := r.intField("delta count", uint64(d.d))
+		if err != nil {
+			return nil, err
+		}
+		key := pair{from, to}
+		base, ok := d.last[key]
+		if !ok {
+			base = vector.New(d.d)
+		}
+		v = base.Clone()
+		for i := 0; i < count; i++ {
+			idx, err := r.intField("delta index", uint64(d.d))
+			if err != nil {
+				return nil, err
+			}
+			val, err := r.intField("delta value", 1<<62)
+			if err != nil {
+				return nil, err
+			}
+			if applyErr := v.ApplyDelta([]vector.Change{{Index: idx, Value: val}}); applyErr != nil {
+				return nil, applyErr
+			}
+		}
+	default:
+		return nil, fmt.Errorf("wire: unknown vector mode %d", mode)
+	}
+	d.last[pair{from, to}] = v.Clone()
+	return v, nil
+}

@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"syncstamp/internal/core"
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/trace"
+)
+
+// Digest fingerprints the shared configuration two nodes must agree on
+// before exchanging clock bytes: the edge decomposition (its text encoding
+// is deterministic) and the process placement. HELLO carries it; a mismatch
+// aborts the handshake, because clocks merged under different decompositions
+// silently produce incomparable timestamps.
+func Digest(d *decomp.Decomposition, placement []int) uint64 {
+	h := fnv.New64a()
+	// WriteText cannot fail on a hash.Hash64.
+	_ = decomp.WriteText(h, d)
+	var buf [10]byte
+	for _, n := range placement {
+		b := appendUvarint(buf[:0], uint64(n))
+		_, _ = h.Write(b)
+	}
+	return h.Sum64()
+}
+
+// CountTrace replays tr sequentially through the live codec and returns the
+// exact piggyback accounting a distributed run would pay: one SYN carrying
+// the sender's pre-merge clock and one ACK carrying the merged stamp per
+// message, delta-compressed against the per-pair baselines.
+//
+// The simulation is exact, not an estimate: every vector a synchronous run
+// piggybacks is determined by the sending process's projection alone (the
+// clock before a process's k-th operation equals the stamp of its previous
+// rendezvous), so the byte counts are independent of the runtime
+// interleaving. It assumes every message crosses the wire — i.e. no two
+// communicating processes share a node — which is the paper's distributed
+// setting and the upper bound for any placement.
+func CountTrace(tr *trace.Trace, dec *decomp.Decomposition) (core.Overhead, error) {
+	s := core.NewStamper(dec)
+	enc := NewEncoder(io.Discard, dec.D())
+	for i, op := range tr.Ops {
+		if op.Kind != trace.OpMessage {
+			continue
+		}
+		syn := &Frame{Kind: KindSyn, From: op.From, To: op.To, Vec: s.ClockOf(op.From)}
+		if err := enc.Encode(syn); err != nil {
+			return core.Overhead{}, fmt.Errorf("wire: op %d: %w", i, err)
+		}
+		stamp, err := s.StampMessage(op.From, op.To)
+		if err != nil {
+			return core.Overhead{}, fmt.Errorf("wire: op %d: %w", i, err)
+		}
+		ack := &Frame{Kind: KindAck, From: op.To, To: op.From, Vec: stamp}
+		if err := enc.Encode(ack); err != nil {
+			return core.Overhead{}, fmt.Errorf("wire: op %d: %w", i, err)
+		}
+	}
+	return enc.Overhead, nil
+}

@@ -1,0 +1,219 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+	"syncstamp/internal/trace"
+	"syncstamp/internal/vector"
+)
+
+// pipeRoundTrip encodes the frames into a buffer and decodes them back with
+// a fresh Decoder sharing only the dimension.
+func pipeRoundTrip(t *testing.T, d int, frames []*Frame) []*Frame {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, d)
+	for i, f := range frames {
+		if err := enc.Encode(f); err != nil {
+			t.Fatalf("encode frame %d (%v): %v", i, f.Kind, err)
+		}
+	}
+	dec := NewDecoder(&buf, d)
+	var out []*Frame
+	for {
+		f, err := dec.Decode()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("decode frame %d: %v", len(out), err)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []*Frame{
+		{Kind: KindHello, Role: RoleData, Node: 2, Procs: []int{3, 4, 5}, Digest: 0xdeadbeefcafe},
+		{Kind: KindSyn, From: 3, To: 0, Vec: vector.V{1, 0, 2}},
+		{Kind: KindAck, From: 0, To: 3, Vec: vector.V{1, 1, 2}},
+		{Kind: KindSyn, From: 3, To: 0, Vec: vector.V{1, 1, 3}},
+		{Kind: KindInternal, Proc: 4, Note: "checkpoint #7"},
+		{Kind: KindInternal, Proc: 5, Note: ""},
+		{Kind: KindBye},
+	}
+	got := pipeRoundTrip(t, 3, frames)
+	if len(got) != len(frames) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		want := *frames[i]
+		if want.Kind == KindHello && want.Procs == nil {
+			want.Procs = []int{}
+		}
+		if !reflect.DeepEqual(&want, got[i]) {
+			t.Errorf("frame %d: got %+v, want %+v", i, got[i], &want)
+		}
+	}
+}
+
+// TestDeltaBeatsDenseOnRepeatTraffic drives repeated same-pair exchanges —
+// the differential codec's favorable regime — and requires actual wire
+// bytes strictly below the dense cost, while round-tripping exactly.
+func TestDeltaBeatsDenseOnRepeatTraffic(t *testing.T) {
+	const d = 16
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, d)
+	v := vector.New(d)
+	var sent []vector.V
+	for i := 0; i < 50; i++ {
+		v[3]++ // one component advances per exchange, as under Figure 5
+		sent = append(sent, v.Clone())
+		if err := enc.Encode(&Frame{Kind: KindSyn, From: 1, To: 2, Vec: v.Clone()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if enc.Overhead.WireBytes >= enc.Overhead.DenseBytes {
+		t.Fatalf("delta encoding saved nothing: wire %d, dense %d", enc.Overhead.WireBytes, enc.Overhead.DenseBytes)
+	}
+	dec := NewDecoder(&buf, d)
+	for i, want := range sent {
+		f, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if !vector.Eq(f.Vec, want) {
+			t.Fatalf("frame %d decoded vector %v, want %v", i, f.Vec, want)
+		}
+	}
+}
+
+// TestBaselinesArePerPair interleaves two ordered pairs on one stream and
+// checks neither corrupts the other's delta baseline.
+func TestBaselinesArePerPair(t *testing.T) {
+	const d = 4
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, d)
+	type step struct {
+		from, to int
+		vec      vector.V
+	}
+	steps := []step{
+		{1, 2, vector.V{1, 0, 0, 0}},
+		{3, 2, vector.V{0, 0, 0, 7}},
+		{1, 2, vector.V{2, 0, 0, 0}},
+		{3, 2, vector.V{0, 0, 0, 9}},
+		{2, 1, vector.V{2, 1, 0, 0}},
+	}
+	for _, s := range steps {
+		if err := enc.Encode(&Frame{Kind: KindSyn, From: s.from, To: s.to, Vec: s.vec.Clone()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := NewDecoder(&buf, d)
+	for i, s := range steps {
+		f, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if f.From != s.from || f.To != s.to || !vector.Eq(f.Vec, s.vec) {
+			t.Fatalf("frame %d: got (%d->%d) %v, want (%d->%d) %v", i, f.From, f.To, f.Vec, s.from, s.to, s.vec)
+		}
+	}
+}
+
+func TestEncodeRejectsWrongDimension(t *testing.T) {
+	enc := NewEncoder(io.Discard, 3)
+	if err := enc.Encode(&Frame{Kind: KindSyn, From: 0, To: 1, Vec: vector.V{1, 2}}); err == nil {
+		t.Fatal("encoder accepted a vector of the wrong dimension")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{0x01, 0xff},             // unknown kind
+		{0x05, 0x02, 0x00, 0x00}, // SYN truncated before vector
+		{0x00},                   // zero-length frame
+		{0x03, 0x02, 0x00, 0x00}, // SYN with trailing bytes missing vec mode
+	}
+	for i, c := range cases {
+		dec := NewDecoder(bytes.NewReader(c), 2)
+		if _, err := dec.Decode(); err == nil {
+			t.Errorf("case %d: garbage %v accepted", i, c)
+		}
+	}
+}
+
+func TestDecodeTruncatedMidFrame(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, 2)
+	if err := enc.Encode(&Frame{Kind: KindSyn, From: 0, To: 1, Vec: vector.V{5, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	dec := NewDecoder(bytes.NewReader(whole[:len(whole)-1]), 2)
+	if _, err := dec.Decode(); err == nil || err == io.EOF {
+		t.Fatalf("truncated frame decoded with err=%v", err)
+	}
+}
+
+func TestDigestDetectsMismatch(t *testing.T) {
+	g := graph.Complete(5)
+	d1 := decomp.Best(g)
+	d2 := decomp.TrivialStars(g)
+	place := []int{0, 1, 2, 0, 1}
+	if Digest(d1, place) == Digest(d2, place) {
+		t.Fatal("different decompositions share a digest")
+	}
+	if Digest(d1, place) != Digest(d1, append([]int(nil), place...)) {
+		t.Fatal("digest is not deterministic")
+	}
+	if Digest(d1, place) == Digest(d1, []int{0, 1, 2, 0, 2}) {
+		t.Fatal("different placements share a digest")
+	}
+}
+
+// TestCountTraceMatchesLiveEncoding encodes the same rendezvous sequence by
+// hand and checks CountTrace charges exactly those bytes.
+func TestCountTraceMatchesLiveEncoding(t *testing.T) {
+	g := graph.ClientServer(2, 6, false)
+	dec := decomp.Best(g)
+	rng := rand.New(rand.NewSource(42))
+	tr := trace.Generate(g, trace.GenOptions{Messages: 120, Hotspot: 0.5}, rng)
+
+	got, err := CountTrace(tr, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Frames != 2*tr.NumMessages() {
+		t.Fatalf("charged %d frames for %d messages", got.Frames, tr.NumMessages())
+	}
+	if got.WireBytes <= 0 || got.DenseBytes < got.WireBytes {
+		t.Fatalf("implausible accounting %+v", got)
+	}
+	// Determinism: same trace, same bytes.
+	again, err := CountTrace(tr, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != again {
+		t.Fatalf("CountTrace not deterministic: %+v vs %+v", got, again)
+	}
+}
+
+func TestCountTraceRejectsUncoveredChannel(t *testing.T) {
+	g := graph.Path(3)
+	dec := decomp.Best(g)
+	tr := &trace.Trace{N: 3}
+	tr.MustAppend(trace.Message(0, 2)) // not an edge of the path
+	if _, err := CountTrace(tr, dec); err == nil {
+		t.Fatal("uncovered channel accepted")
+	}
+}
