@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race net-test bench fuzz repro examples clean
+.PHONY: all build vet lint test race net-test obs-test bench fuzz repro examples clean
 
 all: build lint test
 
@@ -33,6 +33,15 @@ race:
 net-test:
 	$(GO) test -race ./internal/wire ./internal/node
 	$(GO) test -race -run 'TestRunInProcessCluster|TestE2E' -v ./cmd/tsnode
+
+# Observability gate: the obs package (including the zero-alloc-when-
+# disabled and byte-stable-export acceptance tests) under the race detector,
+# the runtime hook tests in csp/node, and the trace-report oracle plus the
+# full e2e (obs endpoints + JSONL round trip through tsanalyze).
+obs-test:
+	$(GO) test -race ./internal/obs
+	$(GO) test -race -run 'Obs|Dropped|TraceReport' ./internal/csp ./internal/node ./cmd/tsanalyze
+	$(GO) test -race -run 'TestE2E' -v ./cmd/tsnode
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

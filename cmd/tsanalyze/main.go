@@ -7,6 +7,13 @@
 //
 //	tsgen -topology clientserver:2x6 -messages 40 | tsanalyze
 //	tsanalyze -trace run.trace -lost 3 -diagram
+//
+// The "trace-report" subcommand instead ingests the JSONL event traces the
+// runtimes export (csp.RunObs, tsnode -obs-trace), verifies the recorded
+// spans against a full reconstruction of the computation, and summarizes
+// causal latency and wire traffic:
+//
+//	tsanalyze trace-report -chrome run.chrome.json node0.jsonl node1.jsonl
 package main
 
 import (
@@ -31,6 +38,9 @@ func main() {
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "trace-report" {
+		return runTraceReport(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("tsanalyze", flag.ContinueOnError)
 	traceFile := fs.String("trace", "", "trace file (default stdin)")
 	lost := fs.Int("lost", -1, "message index to treat as rolled back (orphan what-if)")

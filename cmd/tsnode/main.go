@@ -17,6 +17,10 @@
 // mismatches. The program script assigns each process its operations:
 // processes are separated by ';', operations by ',', and each operation is
 // one of "send Q", "recv", "recvfrom Q", or "internal NOTE".
+//
+// Observability: -obs-addr serves /metrics (JSON), /healthz, and net/http/pprof
+// for the duration of the run; -obs-trace writes the node's structured JSONL
+// event trace after the run, ready for "tsanalyze trace-report".
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 	"syncstamp/internal/decomp"
 	"syncstamp/internal/graph"
 	"syncstamp/internal/node"
+	"syncstamp/internal/obs"
 	"syncstamp/internal/topospec"
 	"syncstamp/internal/vector"
 )
@@ -58,6 +63,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	handshake := fs.Duration("handshake-timeout", 10*time.Second, "connection + HELLO deadline")
 	rendezvous := fs.Duration("rendezvous-timeout", 10*time.Second, "per-send ACK deadline")
 	collectWait := fs.Duration("collect-timeout", 30*time.Second, "with -collect: deadline for all reports")
+	obsAddr := fs.String("obs-addr", "", "serve /metrics, /healthz, and pprof on this address (e.g. 127.0.0.1:0)")
+	obsTrace := fs.String("obs-trace", "", "write this node's JSONL trace here after the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -115,12 +122,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	tr.SetPeers(addrs)
+
+	var o *obs.Obs
+	if *obsAddr != "" || *obsTrace != "" {
+		o = obs.New()
+		tr.Retries = o.Registry().Counter(obs.MetricDialRetries)
+	}
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, o)
+		if err != nil {
+			return fail(err)
+		}
+		defer func() {
+			_ = srv.Close() // best-effort teardown on exit
+		}()
+		fmt.Fprintf(stdout, "tsnode: observability on http://%s\n", srv.Addr())
+	}
+
 	n, err := node.New(node.Config{
 		Node:              *nodeIdx,
 		Placement:         placement,
 		Dec:               dec,
 		HandshakeTimeout:  *handshake,
 		RendezvousTimeout: *rendezvous,
+		Obs:               o,
 	}, tr)
 	if err != nil {
 		return fail(err)
@@ -133,6 +158,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "tsnode: node %d hosting %v — run complete\n", *nodeIdx, n.Local())
 	printOverhead(stdout, info.Overhead)
+	if info.Dropped > 0 {
+		fmt.Fprintf(stdout, "tsnode: dropped %d unexpected frames\n", info.Dropped)
+	}
+	if *obsTrace != "" {
+		if err := writeTrace(*obsTrace, *nodeIdx, dec, o, info); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "tsnode: trace written to %s\n", *obsTrace)
+	}
 
 	if !*collect {
 		if err := n.SendReport(*collector, info); err != nil {
@@ -159,6 +193,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, "verified: distributed stamps match the sequential replay and characterize the message order exactly")
 	}
 	return 0
+}
+
+// writeTrace exports the node's structured event trace as deterministic
+// JSONL, with the node's wire accounting in the meta header. Feed the files
+// from every node to "tsanalyze trace-report" to verify and summarize the
+// run.
+func writeTrace(path string, nodeIdx int, dec *decomp.Decomposition, o *obs.Obs, info *node.RunInfo) error {
+	meta, err := obs.NewMeta(nodeIdx, dec)
+	if err != nil {
+		return err
+	}
+	meta.Frames = node.FrameMap(info.Frames)
+	meta.Overhead = &info.Overhead
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteJSONL(f, meta, o.Tracer.Events()); err != nil {
+		_ = f.Close() // the write error is the one to report
+		return err
+	}
+	return f.Close()
 }
 
 // verifyRun checks the distributed run against its two oracles: the

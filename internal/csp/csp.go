@@ -41,6 +41,7 @@ import (
 
 	"syncstamp/internal/core"
 	"syncstamp/internal/decomp"
+	"syncstamp/internal/obs"
 	"syncstamp/internal/trace"
 	"syncstamp/internal/vector"
 )
@@ -101,20 +102,31 @@ func (p *Process) Send(q int, payload any) (vector.V, error) {
 		v:       p.clock.Current(),
 		ack:     make(chan vector.V, 1),
 	}
+	p.sys.obsv.Rendezvous(-1, p.id, q, obs.PhaseSyn, env.v)
+	t0 := p.sys.obsv.Now()
 	select {
 	case p.sys.mailboxes[q] <- env:
 	case <-p.sys.stop:
 		return nil, ErrStopped
 	}
+	t1 := p.sys.obsv.Now()
+	p.sys.ins.SendBlockNS.Observe(t1 - t0)
 	var peerV vector.V
 	select {
 	case peerV = <-env.ack:
 	case <-p.sys.stop:
 		return nil, ErrStopped
 	}
+	p.sys.ins.SynAckNS.Observe(p.sys.obsv.Now() - t1)
 	stamp, err := p.merge(peerV, q)
 	if err != nil {
 		return nil, err
+	}
+	p.sys.obsv.Rendezvous(-1, p.id, q, obs.PhaseAdopt, stamp)
+	p.sys.ins.Rendezvous.Add(1)
+	p.sys.ins.Proc(p.id).Add(1)
+	if p.sys.ins.CausalTicks != nil {
+		p.sys.ins.CausalTicks.Observe(obs.StampSum(stamp) - obs.StampSum(env.v))
 	}
 	p.log = append(p.log, Record{Kind: RecordSend, Peer: q, Stamp: stamp})
 	return stamp, nil
@@ -144,11 +156,13 @@ func (p *Process) Recv() (Message, error) {
 		copy(p.stash, p.stash[1:])
 		p.stash = p.stash[:len(p.stash)-1]
 	} else {
+		t0 := p.sys.obsv.Now()
 		select {
 		case env = <-p.sys.mailboxes[p.id]:
 		case <-p.sys.stop:
 			return Message{}, ErrStopped
 		}
+		p.sys.ins.RecvBlockNS.Observe(p.sys.obsv.Now() - t0)
 	}
 	return p.complete(env)
 }
@@ -165,6 +179,7 @@ func (p *Process) RecvFrom(from int) (Message, error) {
 			return p.complete(env)
 		}
 	}
+	t0 := p.sys.obsv.Now()
 	for {
 		var env envelope
 		select {
@@ -173,6 +188,7 @@ func (p *Process) RecvFrom(from int) (Message, error) {
 			return Message{}, ErrStopped
 		}
 		if env.from == from {
+			p.sys.ins.RecvBlockNS.Observe(p.sys.obsv.Now() - t0)
 			return p.complete(env)
 		}
 		p.stash = append(p.stash, env)
@@ -183,11 +199,16 @@ func (p *Process) RecvFrom(from int) (Message, error) {
 func (p *Process) complete(env envelope) (Message, error) {
 	// Acknowledge with the pre-merge local vector; the buffered ack channel
 	// cannot block (the sender is parked on it).
-	env.ack <- p.clock.Current()
+	cur := p.clock.Current()
+	env.ack <- cur
+	p.sys.obsv.Rendezvous(-1, p.id, env.from, obs.PhaseAck, cur)
 	stamp, err := p.merge(env.v, env.from)
 	if err != nil {
 		return Message{}, err
 	}
+	p.sys.obsv.Rendezvous(-1, p.id, env.from, obs.PhaseMerge, stamp)
+	p.sys.ins.Rendezvous.Add(1)
+	p.sys.ins.Proc(p.id).Add(1)
 	p.log = append(p.log, Record{Kind: RecordRecv, Peer: env.from, Stamp: stamp})
 	return Message{From: env.from, Payload: env.payload, Stamp: stamp}, nil
 }
@@ -197,6 +218,11 @@ func (p *Process) complete(env envelope) (Message, error) {
 // message, if any, is known.
 func (p *Process) Internal(note any) {
 	p.log = append(p.log, Record{Kind: RecordInternal, Note: note})
+	p.sys.ins.InternalEvents.Add(1)
+	// The note rendering allocates, so it only happens when tracing is on.
+	if o := p.sys.obsv; o != nil && o.Tracer != nil {
+		o.Internal(-1, p.id, p.clock.Current(), fmt.Sprint(note))
+	}
 }
 
 // System runs process programs over a shared edge decomposition. Beyond the
@@ -214,6 +240,12 @@ type System struct {
 	// dec is the current decomposition; processes rebase to it lazily when
 	// they touch a channel their snapshot does not cover.
 	dec atomic.Pointer[decomp.Decomposition]
+
+	// obsv and ins are the observability surface and its resolved
+	// instruments (SetObs). Both tolerate their zero/nil disabled state on
+	// every hot path.
+	obsv *obs.Obs
+	ins  obs.Instruments
 
 	mu       sync.Mutex
 	procs    []*Process
@@ -252,6 +284,19 @@ func NewSystemCap(dec *decomp.Decomposition, capacity int) *System {
 
 // Stop aborts the run; blocked Sends and Recvs return ErrStopped.
 func (s *System) Stop() { s.stopOnce.Do(func() { close(s.stop) }) }
+
+// SetObs installs the observability surface. Call before Start: the
+// instruments are resolved once here, so afterwards the rendezvous hot
+// paths touch only atomics (or, with a nil Obs, nothing at all).
+func (s *System) SetObs(o *obs.Obs) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obsv = o
+	s.ins = obs.NewInstruments(o.Registry(), s.capacity)
+}
+
+// Obs returns the installed observability surface (nil when disabled).
+func (s *System) Obs() *obs.Obs { return s.obsv }
 
 // Start launches one program per initial process (nil means "no goroutine;
 // immediately done"). It returns an error if already started or if the
@@ -409,7 +454,15 @@ type Result struct {
 // timeout bounds the whole run; on expiry the system stops and Run returns
 // an error. Program errors abort the run.
 func Run(dec *decomp.Decomposition, programs []func(*Process) error, timeout time.Duration) (*Result, error) {
+	return RunObs(dec, programs, timeout, nil)
+}
+
+// RunObs is Run with an observability surface attached: the run's rendezvous
+// phases and internal events flow into o's tracer and its metrics into o's
+// registry. A nil o is exactly Run.
+func RunObs(dec *decomp.Decomposition, programs []func(*Process) error, timeout time.Duration, o *obs.Obs) (*Result, error) {
 	sys := NewSystem(dec)
+	sys.SetObs(o)
 	if err := sys.Start(programs); err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ func All() []*Analyzer {
 		MapIter,
 		LockCheck,
 		DroppedErr,
+		ObsDet,
 	}
 }
 

@@ -77,11 +77,20 @@ func TestAnalyzersGolden(t *testing.T) {
 		{"mapiter/good", MapIter, "mapiter/good", "syncstamp/internal/core/tdata/mapitergood", ""},
 		// The same violations outside a deterministic path are not findings.
 		{"mapiter/out-of-scope", MapIter, "mapiter/bad", "syncstamp/internal/experiments/tdata/mapiterbad", ""},
-		// lockcheck pairing is scoped to csp, monitor, and node.
+		// internal/obs is a deterministic path too; same violations, same
+		// findings (golden shared with the core-scoped case).
+		{"mapiter/obs-scope", MapIter, "mapiter/bad", "syncstamp/internal/obs/tdata/mapiterbad", "mapiter_bad.golden"},
+		// lockcheck pairing is scoped to csp, monitor, node, and obs.
 		{"lockcheck/bad", LockCheck, "lockcheck/bad", "syncstamp/internal/csp/tdata/lockcheckbad", "lockcheck_bad.golden"},
 		{"lockcheck/good", LockCheck, "lockcheck/good", "syncstamp/internal/csp/tdata/lockcheckgood", ""},
+		{"lockcheck/obs-scope", LockCheck, "lockcheck/bad", "syncstamp/internal/obs/tdata/lockcheckbad", "lockcheck_bad.golden"},
 		{"droppederr/bad", DroppedErr, "droppederr/bad", "syncstamp/internal/tdata/droppederrbad", "droppederr_bad.golden"},
 		{"droppederr/good", DroppedErr, "droppederr/good", "syncstamp/internal/tdata/droppederrgood", ""},
+		// obsdet is scoped to internal/obs: wall-clock reads are findings
+		// there and nowhere else.
+		{"obsdet/bad", ObsDet, "obsdet/bad", "syncstamp/internal/obs/tdata/obsdetbad", "obsdet_bad.golden"},
+		{"obsdet/good", ObsDet, "obsdet/good", "syncstamp/internal/obs/tdata/obsdetgood", ""},
+		{"obsdet/out-of-scope", ObsDet, "obsdet/bad", "syncstamp/internal/node/tdata/obsdetbad", ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

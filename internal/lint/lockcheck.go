@@ -6,13 +6,15 @@ import (
 )
 
 // lockedPaths lists the packages whose mutex discipline lockcheck audits for
-// Lock/Unlock pairing: csp and node host the concurrent rendezvous runtimes
-// and monitor is documented as safe for concurrent readers. (Copying a lock
+// Lock/Unlock pairing: csp and node host the concurrent rendezvous runtimes,
+// monitor is documented as safe for concurrent readers, and obs's registry
+// and tracer are shared by every process goroutine of a run. (Copying a lock
 // by value is checked module-wide.)
 var lockedPaths = []string{
 	"syncstamp/internal/csp",
 	"syncstamp/internal/monitor",
 	"syncstamp/internal/node",
+	"syncstamp/internal/obs",
 }
 
 // LockCheck enforces two mutex rules. Module-wide, a sync.Mutex/RWMutex (or
@@ -24,7 +26,7 @@ var lockedPaths = []string{
 // matching Unlock appears in the same block with no intervening return.
 var LockCheck = &Analyzer{
 	Name: "lockcheck",
-	Doc:  "no mutexes copied by value; Lock() paired with (deferred) Unlock() on every return path in csp, monitor, and node",
+	Doc:  "no mutexes copied by value; Lock() paired with (deferred) Unlock() on every return path in csp, monitor, node, and obs",
 	Run:  runLockCheck,
 }
 

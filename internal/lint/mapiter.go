@@ -13,7 +13,8 @@ import (
 // bare `for range m` in these packages is a latent replay-nondeterminism
 // bug. The wire codec's frame bytes and the node runtime's rendezvous logs
 // feed the same golden and replay machinery, so both are held to the same
-// rule.
+// rule, as is internal/obs, whose JSONL and Chrome exports are contractually
+// byte-identical across runs.
 var deterministicPaths = []string{
 	"syncstamp/internal/core",
 	"syncstamp/internal/decomp",
@@ -22,13 +23,14 @@ var deterministicPaths = []string{
 	"syncstamp/internal/vis",
 	"syncstamp/internal/wire",
 	"syncstamp/internal/node",
+	"syncstamp/internal/obs",
 }
 
 // MapIter flags map iteration in deterministic paths unless the loop merely
 // collects keys for later sorting.
 var MapIter = &Analyzer{
 	Name: "mapiter",
-	Doc:  "no map iteration in deterministic paths (core, decomp, offline, check, vis, wire, node) unless keys are collected and sorted",
+	Doc:  "no map iteration in deterministic paths (core, decomp, offline, check, vis, wire, node, obs) unless keys are collected and sorted",
 	Run:  runMapIter,
 }
 

@@ -1,0 +1,22 @@
+// Package bad seeds obsdet violations: direct wall-clock reads in what is
+// loaded as internal/obs, whose exports must be byte-stable across runs.
+package bad
+
+import "time"
+
+// Stamp records when an event happened — with the wall clock, so two runs of
+// the same computation export different bytes.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want: wall-clock read
+}
+
+// Latency measures elapsed wall time directly instead of through the Clock
+// seam.
+func Latency(start time.Time) time.Duration {
+	return time.Since(start) // want: wall-clock read
+}
+
+// Remaining is the same mistake through time.Until.
+func Remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want: wall-clock read
+}

@@ -1,0 +1,24 @@
+// Package good shows the sanctioned shapes: time reaches the observability
+// layer only through an injected clock, and non-reading uses of package time
+// (types, constants, timers) are fine.
+package good
+
+import "time"
+
+// Clock is the seam wall time must flow through (obs.Clock in the real
+// package); deterministic runs inject a fake.
+type Clock interface {
+	Now() int64
+}
+
+// Latency measures elapsed time against the injected clock.
+func Latency(c Clock, start int64) int64 {
+	return c.Now() - start
+}
+
+// Wait uses package time without reading the wall clock.
+func Wait(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+}

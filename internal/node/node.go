@@ -39,11 +39,13 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"syncstamp/internal/core"
 	"syncstamp/internal/csp"
 	"syncstamp/internal/decomp"
+	"syncstamp/internal/obs"
 	"syncstamp/internal/vector"
 	"syncstamp/internal/wire"
 )
@@ -76,6 +78,9 @@ type Config struct {
 	// reply). Exceeding it aborts the run: a synchronous computation cannot
 	// proceed past a lost rendezvous partner. Zero means the default.
 	RendezvousTimeout time.Duration
+	// Obs is the node's observability surface. Nil disables it; the
+	// rendezvous hot paths then cost nothing extra.
+	Obs *obs.Obs
 }
 
 // inbound is one rendezvous request parked in a process's mailbox: the
@@ -92,6 +97,7 @@ type inbound struct {
 // is shared by every local process sending toward that node, serialized by
 // mu; the decoder is owned by the connection's single reader goroutine.
 type peerConn struct {
+	n    *Node
 	node int
 	c    net.Conn
 	dec  *wire.Decoder
@@ -100,11 +106,24 @@ type peerConn struct {
 	enc *wire.Encoder
 }
 
-// send encodes one frame, serializing concurrent senders.
+// send encodes one frame, serializing concurrent senders, and charges the
+// owning node's live wire-traffic counters (no-ops with obs disabled).
 func (pc *peerConn) send(f *wire.Frame) error {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	return pc.enc.Encode(f)
+	k := int(f.Kind)
+	before := 0
+	if k < len(pc.n.wireBytes) {
+		before = pc.enc.Stats.Bytes[k]
+	}
+	if err := pc.enc.Encode(f); err != nil {
+		return err
+	}
+	if k < len(pc.n.wireBytes) {
+		pc.n.wireFrames[k].Add(1)
+		pc.n.wireBytes[k].Add(int64(pc.enc.Stats.Bytes[k] - before))
+	}
+	return nil
 }
 
 // overhead snapshots the encoder's piggyback accounting.
@@ -112,6 +131,13 @@ func (pc *peerConn) overhead() core.Overhead {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	return pc.enc.Overhead
+}
+
+// stats snapshots the encoder's per-kind frame accounting.
+func (pc *peerConn) stats() wire.Stats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.enc.Stats
 }
 
 // reportConn is an inbound log-report stream awaiting Collect.
@@ -148,6 +174,15 @@ type Node struct {
 	acceptWG  sync.WaitGroup
 	readersWG sync.WaitGroup
 	startOnce sync.Once
+
+	// Observability: the surface, its resolved instruments, the per-kind
+	// wire-traffic counters, and the dropped-frame count (kept even with
+	// obs disabled, so RunInfo can always report it).
+	obsv       *obs.Obs
+	ins        obs.Instruments
+	wireFrames [wire.KindBye + 1]*obs.Counter
+	wireBytes  [wire.KindBye + 1]*obs.Counter
+	dropped    atomic.Int64
 }
 
 // New validates the configuration and returns an idle node. The transport
@@ -195,6 +230,15 @@ func New(cfg Config, tr Transport) (*Node, error) {
 			// One slot per potential sender keeps any valid computation's
 			// senders from blocking on mailbox insertion.
 			n.mailboxes[p] = make(chan inbound, cfg.Dec.N())
+		}
+	}
+	n.obsv = cfg.Obs
+	n.ins = obs.NewInstruments(cfg.Obs.Registry(), cfg.Dec.N())
+	if r := cfg.Obs.Registry(); r != nil {
+		for _, k := range wire.Kinds() {
+			fn, bn := obs.FrameMetrics(k.String())
+			n.wireFrames[k] = r.Counter(fn)
+			n.wireBytes[k] = r.Counter(bn)
 		}
 	}
 	return n, nil
@@ -305,7 +349,7 @@ func (n *Node) handleAccept(c net.Conn) error {
 			return fmt.Errorf("node %d: handshake reply to node %d: %w", n.cfg.Node, f.Node, err)
 		}
 		_ = c.SetDeadline(time.Time{})
-		pc := &peerConn{node: f.Node, c: c, enc: enc, dec: dec}
+		pc := &peerConn{n: n, node: f.Node, c: c, enc: enc, dec: dec}
 		if err := n.register(pc); err != nil {
 			return err
 		}
@@ -370,7 +414,7 @@ func (n *Node) dialPeer(j int) error {
 		return fmt.Errorf("node %d: node %d has topology digest %#x, ours is %#x (mismatched decomposition or placement)", n.cfg.Node, j, f.Digest, n.digest)
 	}
 	_ = c.SetDeadline(time.Time{})
-	return n.register(&peerConn{node: j, c: c, enc: enc, dec: dec})
+	return n.register(&peerConn{n: n, node: j, c: c, enc: enc, dec: dec})
 }
 
 // connect establishes the full data mesh: dial every lower node, await a
@@ -435,18 +479,32 @@ func (n *Node) readLoop(pc *peerConn) {
 			}
 			n.mu.Unlock()
 			if w == nil {
-				n.fail(fmt.Errorf("node %d: ACK from node %d for process %d, which has no send in flight", n.cfg.Node, pc.node, f.To))
-				return
+				// A sender whose rendezvous deadline expired has already
+				// cleared its waiter, so a late ACK is a legitimate race,
+				// not a protocol violation: count it and keep reading.
+				n.noteDropped()
+				continue
 			}
 			w <- f.Vec // buffered; the sender may have timed out, never blocks
 		case wire.KindBye:
 			return
 		default:
-			n.fail(fmt.Errorf("node %d: unexpected %v frame from node %d on a data connection", n.cfg.Node, f.Kind, pc.node))
-			return
+			// HELLO or INTERNAL frames do not belong on an established data
+			// stream; count and drop them rather than killing the run.
+			n.noteDropped()
 		}
 	}
 }
+
+// noteDropped records one discarded frame, both for RunInfo and /metrics.
+func (n *Node) noteDropped() {
+	n.dropped.Add(1)
+	n.ins.DroppedFrames.Add(1)
+}
+
+// DroppedFrames reports how many frames the read loops have discarded so
+// far (late ACKs after a rendezvous timeout, unexpected kinds).
+func (n *Node) DroppedFrames() int64 { return n.dropped.Load() }
 
 // registerWaiter parks a sender: the next ACK addressed to proc lands on
 // the returned channel. Must be called before the SYN is written, or the
@@ -482,6 +540,26 @@ type RunInfo struct {
 	// Overhead is the exact piggyback accounting over this node's data
 	// connections (local rendezvous cost no wire bytes and are excluded).
 	Overhead core.Overhead
+	// Frames is the node's sent wire traffic by frame kind, header bytes
+	// included.
+	Frames wire.Stats
+	// Dropped counts frames the read loops discarded: late ACKs arriving
+	// after a rendezvous timeout and frame kinds unexpected on a data
+	// connection.
+	Dropped int64
+}
+
+// FrameMap renders a wire accounting as the obs.Meta frame table, omitting
+// kinds that never appeared.
+func FrameMap(s wire.Stats) map[string]obs.FrameStats {
+	m := make(map[string]obs.FrameStats)
+	for _, k := range wire.Kinds() {
+		if s.Frames[k] == 0 {
+			continue
+		}
+		m[k.String()] = obs.FrameStats{Frames: s.Frames[k], Bytes: s.Bytes[k]}
+	}
+	return m
 }
 
 // Run connects the data mesh, executes one program per hosted process (a
@@ -540,8 +618,10 @@ func (n *Node) Run(programs map[int]func(*Process) error) (*RunInfo, error) {
 			continue
 		}
 		info.Overhead.Merge(pc.overhead())
+		info.Frames.Merge(pc.stats())
 		_ = pc.c.Close()
 	}
+	info.Dropped = n.dropped.Load()
 	for i, p := range n.local {
 		info.Logs[p] = procs[i].log
 	}

@@ -6,6 +6,7 @@ import (
 
 	"syncstamp/internal/core"
 	"syncstamp/internal/csp"
+	"syncstamp/internal/obs"
 	"syncstamp/internal/vector"
 	"syncstamp/internal/wire"
 )
@@ -52,9 +53,12 @@ func (p *Process) Send(q int) (vector.V, error) {
 	timer := time.NewTimer(n.cfg.RendezvousTimeout)
 	defer timer.Stop()
 
+	pre := p.clock.Current()
+	n.obsv.Rendezvous(n.cfg.Node, p.id, q, obs.PhaseSyn, pre)
+	t0 := n.obsv.Now()
 	var ack chan vector.V
 	if n.cfg.Placement[q] == n.cfg.Node {
-		in := inbound{from: p.id, vec: p.clock.Current(), reply: make(chan vector.V, 1)}
+		in := inbound{from: p.id, vec: pre, reply: make(chan vector.V, 1)}
 		select {
 		case n.mailboxes[q] <- in:
 		case <-n.stop:
@@ -64,6 +68,7 @@ func (p *Process) Send(q int) (vector.V, error) {
 			n.fail(err)
 			return nil, err
 		}
+		n.ins.SendBlockNS.Observe(n.obsv.Now() - t0)
 		ack = in.reply
 	} else {
 		pc, err := n.connTo(n.cfg.Placement[q])
@@ -71,7 +76,7 @@ func (p *Process) Send(q int) (vector.V, error) {
 			return nil, err
 		}
 		ack = n.registerWaiter(p.id)
-		syn := &wire.Frame{Kind: wire.KindSyn, From: p.id, To: q, Vec: p.clock.Current()}
+		syn := &wire.Frame{Kind: wire.KindSyn, From: p.id, To: q, Vec: pre}
 		if err := pc.send(syn); err != nil {
 			n.clearWaiter(p.id)
 			if n.stopped() {
@@ -81,14 +86,23 @@ func (p *Process) Send(q int) (vector.V, error) {
 			n.fail(err)
 			return nil, err
 		}
+		n.ins.SendBlockNS.Observe(n.obsv.Now() - t0)
 	}
 
+	t1 := n.obsv.Now()
 	select {
 	case stamp := <-ack:
+		n.ins.SynAckNS.Observe(n.obsv.Now() - t1)
 		if err := p.clock.Adopt(stamp, q); err != nil {
 			err = fmt.Errorf("node: process %d -> %d: %w", p.id, q, err)
 			p.n.fail(err)
 			return nil, err
+		}
+		n.obsv.Rendezvous(n.cfg.Node, p.id, q, obs.PhaseAdopt, stamp)
+		n.ins.Rendezvous.Add(1)
+		n.ins.Proc(p.id).Add(1)
+		if n.ins.CausalTicks != nil {
+			n.ins.CausalTicks.Observe(obs.StampSum(stamp) - obs.StampSum(pre))
 		}
 		p.log = append(p.log, csp.Record{Kind: csp.RecordSend, Peer: q, Stamp: stamp})
 		return stamp, nil
@@ -113,11 +127,13 @@ func (p *Process) Recv() (Message, error) {
 		copy(p.stash, p.stash[1:])
 		p.stash = p.stash[:len(p.stash)-1]
 	} else {
+		t0 := p.n.obsv.Now()
 		select {
 		case in = <-p.n.mailboxes[p.id]:
 		case <-p.n.stop:
 			return Message{}, ErrStopped
 		}
+		p.n.ins.RecvBlockNS.Observe(p.n.obsv.Now() - t0)
 	}
 	return p.complete(in)
 }
@@ -134,6 +150,7 @@ func (p *Process) RecvFrom(from int) (Message, error) {
 			return p.complete(in)
 		}
 	}
+	t0 := p.n.obsv.Now()
 	for {
 		var in inbound
 		select {
@@ -142,6 +159,7 @@ func (p *Process) RecvFrom(from int) (Message, error) {
 			return Message{}, ErrStopped
 		}
 		if in.from == from {
+			p.n.ins.RecvBlockNS.Observe(p.n.obsv.Now() - t0)
 			return p.complete(in)
 		}
 		p.stash = append(p.stash, in)
@@ -158,6 +176,7 @@ func (p *Process) complete(in inbound) (Message, error) {
 		p.n.fail(err)
 		return Message{}, err
 	}
+	p.n.obsv.Rendezvous(p.n.cfg.Node, p.id, in.from, obs.PhaseMerge, stamp)
 	if in.reply != nil {
 		in.reply <- stamp // buffered; the sender is parked on it
 	} else {
@@ -174,6 +193,9 @@ func (p *Process) complete(in inbound) (Message, error) {
 			return Message{}, err
 		}
 	}
+	p.n.obsv.Rendezvous(p.n.cfg.Node, p.id, in.from, obs.PhaseAck, stamp)
+	p.n.ins.Rendezvous.Add(1)
+	p.n.ins.Proc(p.id).Add(1)
 	p.log = append(p.log, csp.Record{Kind: csp.RecordRecv, Peer: in.from, Stamp: stamp})
 	return Message{From: in.from, Stamp: stamp}, nil
 }
@@ -183,4 +205,9 @@ func (p *Process) complete(in inbound) (Message, error) {
 // message, if any, is known. Note travels the wire as a string.
 func (p *Process) Internal(note string) {
 	p.log = append(p.log, csp.Record{Kind: csp.RecordInternal, Note: note})
+	p.n.ins.InternalEvents.Add(1)
+	// Guarded so the clock snapshot (a clone) only happens when tracing.
+	if o := p.n.obsv; o != nil && o.Tracer != nil {
+		o.Internal(p.n.cfg.Node, p.id, p.clock.Current(), note)
+	}
 }

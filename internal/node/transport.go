@@ -5,6 +5,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"syncstamp/internal/obs"
 )
 
 // Transport establishes the duplex byte streams a Node speaks the wire
@@ -28,6 +30,10 @@ type Transport interface {
 // over TCP, one listener per node, dial with retry and exponential backoff.
 type TCPTransport struct {
 	ln net.Listener
+
+	// Retries, when non-nil, counts failed dial attempts that were retried
+	// (obs.MetricDialRetries). Set it before the node starts connecting.
+	Retries *obs.Counter
 
 	mu    sync.Mutex
 	addrs []string
@@ -81,6 +87,7 @@ func (t *TCPTransport) Dial(node int, deadline time.Time) (net.Conn, error) {
 		if err == nil {
 			return c, nil
 		}
+		t.Retries.Add(1)
 		sleep := backoff
 		if sleep > remaining {
 			sleep = remaining

@@ -1,0 +1,99 @@
+package obs
+
+import "fmt"
+
+// Canonical metric names shared by the two runtimes, so /metrics output and
+// tooling (tsanalyze trace-report, experiments) agree on the vocabulary.
+const (
+	// MetricRendezvous counts completed rendezvous halves: each participant
+	// (sender on adopt, receiver on merge) contributes one.
+	MetricRendezvous = "rendezvous_total"
+	// MetricInternalEvents counts Section 5 internal events.
+	MetricInternalEvents = "internal_events_total"
+	// MetricSynAckNS is the sender-side SYN→ACK wait (LatencyEdges).
+	MetricSynAckNS = "syn_ack_latency_ns"
+	// MetricSendBlockNS is the sender's wait to hand a rendezvous request to
+	// the receiver's mailbox (LatencyEdges).
+	MetricSendBlockNS = "send_blocking_ns"
+	// MetricRecvBlockNS is the receiver's wait for an incoming rendezvous
+	// (LatencyEdges).
+	MetricRecvBlockNS = "recv_blocking_ns"
+	// MetricCausalTicks is the causal latency of completed sends — the stamp
+	// growth sum(v(m)) − sum(v_sender) — bucketed on TickEdges. Unlike the
+	// wall-clock histograms it is deterministic across interleavings.
+	MetricCausalTicks = "causal_latency_ticks"
+	// MetricDialRetries counts failed transport dial attempts that were
+	// retried.
+	MetricDialRetries = "dial_retries_total"
+	// MetricDroppedFrames counts frames a node's read loops discarded (late
+	// ACKs after a rendezvous timeout, unexpected kinds on a data stream).
+	MetricDroppedFrames = "dropped_frames_total"
+)
+
+// ProcMetric derives the per-process variant of a metric name.
+func ProcMetric(name string, proc int) string {
+	return fmt.Sprintf("%s_p%d", name, proc)
+}
+
+// FrameMetrics derives the per-frame-kind wire traffic counter names.
+func FrameMetrics(kind string) (frames, bytes string) {
+	return "wire_frames_" + kind, "wire_bytes_" + kind
+}
+
+// Instruments is a runtime's set of resolved instruments. Resolution
+// (NewInstruments) happens once at startup; afterwards the hot paths touch
+// only the atomic instruments. Resolving against a nil registry yields nil
+// instruments throughout, so a disabled runtime pays nothing.
+type Instruments struct {
+	Rendezvous     *Counter
+	InternalEvents *Counter
+	DialRetries    *Counter
+	DroppedFrames  *Counter
+	SynAckNS       *Histogram
+	SendBlockNS    *Histogram
+	RecvBlockNS    *Histogram
+	CausalTicks    *Histogram
+
+	// procRendezvous is indexed by process id; nil entries no-op.
+	procRendezvous []*Counter
+}
+
+// NewInstruments resolves the canonical instruments against r, registering
+// per-process rendezvous counters for n processes.
+func NewInstruments(r *Registry, n int) Instruments {
+	ins := Instruments{
+		Rendezvous:     r.Counter(MetricRendezvous),
+		InternalEvents: r.Counter(MetricInternalEvents),
+		DialRetries:    r.Counter(MetricDialRetries),
+		DroppedFrames:  r.Counter(MetricDroppedFrames),
+		SynAckNS:       r.Histogram(MetricSynAckNS, LatencyEdges),
+		SendBlockNS:    r.Histogram(MetricSendBlockNS, LatencyEdges),
+		RecvBlockNS:    r.Histogram(MetricRecvBlockNS, LatencyEdges),
+		CausalTicks:    r.Histogram(MetricCausalTicks, TickEdges),
+	}
+	if r != nil {
+		ins.procRendezvous = make([]*Counter, n)
+		for i := range ins.procRendezvous {
+			ins.procRendezvous[i] = r.Counter(ProcMetric(MetricRendezvous, i))
+		}
+	}
+	return ins
+}
+
+// Proc returns process p's rendezvous counter (nil, hence no-op, when
+// disabled or out of range).
+func (i *Instruments) Proc(p int) *Counter {
+	if p < 0 || p >= len(i.procRendezvous) {
+		return nil
+	}
+	return i.procRendezvous[p]
+}
+
+// StampSum is the component sum of a stamp — the causal-latency coordinate.
+func StampSum(v []int) int64 {
+	var s int64
+	for _, x := range v {
+		s += int64(x)
+	}
+	return s
+}

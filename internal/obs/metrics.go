@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. A nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count; 0 when nil.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-to-current-value metric. A nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the last set value; 0 when nil.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a bounded histogram with bucket edges fixed at construction
+// (upper bounds, ascending; one implicit overflow bucket above the last
+// edge). Fixed edges keep two runs of the same computation bucketing
+// identically — a determinism rule of this package. A nil *Histogram is a
+// no-op.
+type Histogram struct {
+	edges      []int64
+	buckets    []atomic.Int64 // len(edges)+1; buckets[i] counts v <= edges[i], last is overflow
+	count, sum atomic.Int64
+}
+
+// NewHistogram returns a histogram with the given ascending upper-bound
+// edges. Typically obtained through Registry.Histogram instead.
+func NewHistogram(edges []int64) *Histogram {
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic(fmt.Sprintf("obs: histogram edges not ascending at %d: %v", i, edges))
+		}
+	}
+	h := &Histogram{edges: append([]int64(nil), edges...)}
+	h.buckets = make([]atomic.Int64, len(edges)+1)
+	return h
+}
+
+// Observe records one value. Allocation-free.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.edges) && v > h.edges[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Edges are the bucket upper bounds; Counts has one extra final entry
+	// for observations above the last edge.
+	Edges  []int64 `json:"edges"`
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Edges:  append([]int64(nil), h.edges...),
+		Counts: make([]int64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]): the edge
+// of the bucket the quantile falls in, or the last edge + 1 for the
+// overflow bucket. Zero observations yield 0.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen int64
+	for i, c := range s.Counts {
+		seen += c
+		if seen > rank {
+			if i < len(s.Edges) {
+				return s.Edges[i]
+			}
+			return s.Edges[len(s.Edges)-1] + 1
+		}
+	}
+	return s.Edges[len(s.Edges)-1] + 1
+}
+
+// Default bucket edges.
+var (
+	// LatencyEdges buckets wall-clock latencies in nanoseconds, 1µs–10s.
+	LatencyEdges = []int64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
+	// TickEdges buckets logical (causal) latencies in ticks.
+	TickEdges = []int64{1, 2, 4, 8, 16, 32, 64, 128}
+)
+
+// Registry holds a run's named metrics. Registration (Counter, Gauge,
+// Histogram) locks and may allocate — runtimes resolve their instruments
+// once at startup; the instruments themselves are then lock- and
+// allocation-free. A nil *Registry returns nil instruments, which no-op.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given edges
+// on first use. Later calls ignore edges (the first registration wins).
+func (r *Registry) Histogram(name string, edges []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(edges)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of a registry, JSON-marshalable with
+// deterministic (sorted) key order.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var names []string
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.Counters[name] = r.counters[name].Value()
+	}
+	names = names[:0]
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.Gauges[name] = r.gauges[name].Value()
+	}
+	names = names[:0]
+	for name := range r.histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.Histograms[name] = r.histograms[name].Snapshot()
+	}
+	return s
+}

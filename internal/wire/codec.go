@@ -35,6 +35,43 @@ type Frame struct {
 // frames carry vectors from from to to.
 type pair struct{ from, to int }
 
+// Stats is per-kind frame accounting, indexed by Kind. Bytes include the
+// length-prefix header, so sums match what the transport actually carried.
+type Stats struct {
+	Frames [KindBye + 1]int
+	Bytes  [KindBye + 1]int
+}
+
+// add charges one encoded frame of n wire bytes to its kind.
+func (s *Stats) add(k Kind, n int) {
+	if int(k) < len(s.Frames) {
+		s.Frames[k]++
+		s.Bytes[k] += n
+	}
+}
+
+// Merge folds another account into s.
+func (s *Stats) Merge(o Stats) {
+	for k := range s.Frames {
+		s.Frames[k] += o.Frames[k]
+		s.Bytes[k] += o.Bytes[k]
+	}
+}
+
+// Total sums the account across kinds.
+func (s Stats) Total() (frames, bytes int) {
+	for k := range s.Frames {
+		frames += s.Frames[k]
+		bytes += s.Bytes[k]
+	}
+	return frames, bytes
+}
+
+// Kinds lists every frame kind, for iterating a Stats deterministically.
+func Kinds() []Kind {
+	return []Kind{KindHello, KindSyn, KindAck, KindInternal, KindBye}
+}
+
 // Encoder writes frames to one stream, maintaining the per-pair delta
 // baselines and the exact-size overhead accounting. An Encoder is not safe
 // for concurrent use; internal/node serializes writes per connection.
@@ -48,6 +85,9 @@ type Encoder struct {
 	// encoded: the dense cost it would have paid next to the bytes the
 	// chosen encoding actually paid.
 	Overhead core.Overhead
+
+	// Stats counts every frame written, by kind, header bytes included.
+	Stats Stats
 }
 
 // NewEncoder returns an Encoder for vectors of length d.
@@ -73,6 +113,7 @@ func (e *Encoder) Encode(f *Frame) error {
 	if err := e.w.Flush(); err != nil {
 		return fmt.Errorf("wire: flush: %w", err)
 	}
+	e.Stats.add(f.Kind, n+len(payload))
 	return nil
 }
 
