@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race net-test obs-test bench fuzz repro examples clean
+.PHONY: all build vet lint test race net-test obs-test chaos-test bench fuzz repro examples clean
 
 all: build lint test
 
@@ -43,6 +43,15 @@ obs-test:
 	$(GO) test -race -run 'Obs|Dropped|TraceReport' ./internal/csp ./internal/node ./cmd/tsanalyze
 	$(GO) test -race -run 'TestE2E' -v ./cmd/tsnode
 
+# Fault-injection gate: the deterministic injector and the loss-tolerant
+# protocol under the race detector (chaos matrix, resets, exclusion,
+# journal restore), plus the chaos e2e runs — fault-plan trace determinism
+# and the kill -9 crash-recovery soak over real OS processes.
+chaos-test:
+	$(GO) test -race ./internal/fault
+	$(GO) test -race -run 'TestJournal|TestRestore|TestLateAck|TestDialClassification' ./internal/node
+	$(GO) test -race -run 'TestE2EFaultPlanDeterministicTraces|TestE2EKillNineRecoverySoak' -v ./cmd/tsnode
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -55,6 +64,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzStampTrace -fuzztime=10s ./internal/core
 	$(GO) test -fuzz=FuzzVectorDelta -fuzztime=10s ./internal/vector
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/wire
+	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/fault
 
 # Regenerate every paper figure/claim table into paperbench_output.txt.
 repro:

@@ -21,6 +21,14 @@
 // Observability: -obs-addr serves /metrics (JSON), /healthz, and net/http/pprof
 // for the duration of the run; -obs-trace writes the node's structured JSONL
 // event trace after the run, ready for "tsanalyze trace-report".
+//
+// Chaos and recovery: -fault-plan wraps the transport with the deterministic
+// internal/fault injector (same plan + seed → same faults); -journal names a
+// crash-recovery journal so a killed node, restarted with identical flags,
+// replays its committed operations and resumes the run; -on-peer-loss picks
+// what survivors do about a peer that stays gone (abort, wait, exclude). Any
+// of these flags enables the loss-tolerant protocol (retransmission, dedup,
+// session-resuming reconnects).
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 	"syncstamp/internal/core"
 	"syncstamp/internal/csp"
 	"syncstamp/internal/decomp"
+	"syncstamp/internal/fault"
 	"syncstamp/internal/graph"
 	"syncstamp/internal/node"
 	"syncstamp/internal/obs"
@@ -65,6 +74,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	collectWait := fs.Duration("collect-timeout", 30*time.Second, "with -collect: deadline for all reports")
 	obsAddr := fs.String("obs-addr", "", "serve /metrics, /healthz, and pprof on this address (e.g. 127.0.0.1:0)")
 	obsTrace := fs.String("obs-trace", "", "write this node's JSONL trace here after the run")
+	faultPlanFlag := fs.String("fault-plan", "", "JSON fault-injection plan; wraps the transport with the deterministic internal/fault injector (implies recovery)")
+	journalFlag := fs.String("journal", "", "crash-recovery journal file; a restarted node replays it and resumes the session (implies recovery)")
+	onPeerLoss := fs.String("on-peer-loss", "abort", "policy for a peer unreachable past -reconnect-window: abort, wait, or exclude")
+	reconnectWindow := fs.Duration("reconnect-window", 10*time.Second, "how long a lost peer may stay unreachable before -on-peer-loss applies")
+	retransmitMin := fs.Duration("retransmit-min", node.DefaultRetransmitMin, "initial SYN retransmission backoff")
+	retransmitMax := fs.Duration("retransmit-max", node.DefaultRetransmitMax, "retransmission backoff cap")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -72,6 +87,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "tsnode:", err)
 		return 1
+	}
+
+	policy, err := node.ParsePeerLossPolicy(*onPeerLoss)
+	if err != nil {
+		return fail(err)
 	}
 
 	addrs := strings.Split(*addrsFlag, ",")
@@ -117,16 +137,58 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 
-	tr, err := node.NewTCPTransport(addrs[*nodeIdx])
+	tcp, err := node.NewTCPTransport(addrs[*nodeIdx])
 	if err != nil {
 		return fail(err)
 	}
-	tr.SetPeers(addrs)
+	tcp.SetPeers(addrs)
 
 	var o *obs.Obs
 	if *obsAddr != "" || *obsTrace != "" {
 		o = obs.New()
-		tr.Retries = o.Registry().Counter(obs.MetricDialRetries)
+		tcp.Retries = o.Registry().Counter(obs.MetricDialRetries)
+	}
+
+	// Chaos mode: wrap the transport with the deterministic fault injector.
+	// A scheduled crash exits hard (the kill -9 idiom) so the journal, not a
+	// clean shutdown path, is what the restarted incarnation recovers from.
+	var tr node.Transport = tcp
+	var ftr *fault.Transport
+	if *faultPlanFlag != "" {
+		plan, err := fault.ReadPlanFile(*faultPlanFlag)
+		if err != nil {
+			return fail(err)
+		}
+		ftr = fault.New(tcp, plan, *nodeIdx)
+		ftr.CrashFn = func() {
+			fmt.Fprintf(stderr, "tsnode: node %d crashing on schedule\n", *nodeIdx)
+			os.Exit(137)
+		}
+		tr = ftr
+	}
+
+	// Any chaos/recovery flag turns on the loss-tolerant protocol; the plain
+	// invocation keeps the original fail-stop semantics.
+	var rec *node.RecoveryConfig
+	if *journalFlag != "" || *faultPlanFlag != "" || policy != node.PeerLossAbort {
+		rec = &node.RecoveryConfig{
+			OnPeerLoss:      policy,
+			RetransmitMin:   *retransmitMin,
+			RetransmitMax:   *retransmitMax,
+			ReconnectWindow: *reconnectWindow,
+		}
+	}
+	var journalRecs []node.JournalRecord
+	if *journalFlag != "" {
+		j, recs, err := node.OpenJournal(*journalFlag)
+		if err != nil {
+			return fail(err)
+		}
+		defer func() {
+			_ = j.Close() // appends already fsynced record by record
+		}()
+		rec.Journal = j
+		journalRecs = recs
 	}
 	if *obsAddr != "" {
 		srv, err := obs.Serve(*obsAddr, o)
@@ -146,13 +208,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		HandshakeTimeout:  *handshake,
 		RendezvousTimeout: *rendezvous,
 		Obs:               o,
+		Recovery:          rec,
 	}, tr)
 	if err != nil {
 		return fail(err)
 	}
 	defer n.Close()
 
-	info, err := n.Run(buildPrograms(programs))
+	var resume map[int]int
+	if rec != nil && rec.Journal != nil {
+		resume, err = n.Restore(journalRecs)
+		if err != nil {
+			return fail(err)
+		}
+		if restarts := rec.Journal.Restarts(); restarts > 0 {
+			fmt.Fprintf(stdout, "tsnode: restart #%d — resumed %d committed operations from the journal\n",
+				restarts, len(journalRecs))
+		}
+	}
+
+	info, err := n.Run(buildPrograms(programs, resume))
 	if err != nil {
 		return fail(err)
 	}
@@ -160,6 +235,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	printOverhead(stdout, info.Overhead)
 	if info.Dropped > 0 {
 		fmt.Fprintf(stdout, "tsnode: dropped %d unexpected frames\n", info.Dropped)
+	}
+	if info.Retransmits+info.Reconnects+info.Deduped > 0 {
+		fmt.Fprintf(stdout, "tsnode: recovery: %d retransmits, %d reconnects, %d duplicates suppressed\n",
+			info.Retransmits, info.Reconnects, info.Deduped)
+	}
+	if len(info.Excluded) > 0 {
+		fmt.Fprintf(stdout, "tsnode: peers excluded from the run: %v\n", info.Excluded)
+	}
+	if ftr != nil {
+		st := ftr.Stats()
+		fmt.Fprintf(stdout, "tsnode: faults injected: %d dropped, %d duplicated, %d reordered, %d delayed, %d resets\n",
+			st.Dropped, st.Duplicated, st.Reordered, st.Delayed, st.Resets)
 	}
 	if *obsTrace != "" {
 		if err := writeTrace(*obsTrace, *nodeIdx, dec, o, info); err != nil {
@@ -359,11 +446,20 @@ func parseProgram(spec string, procs int) (map[int][]progOp, error) {
 	return out, nil
 }
 
-// buildPrograms turns parsed scripts into runnable programs.
-func buildPrograms(scripts map[int][]progOp) map[int]func(*node.Process) error {
+// buildPrograms turns parsed scripts into runnable programs. resume (from a
+// journal Restore) names how many leading operations each process already
+// committed before the crash; those are skipped, and the journal-rebuilt
+// clock carries their effect.
+func buildPrograms(scripts map[int][]progOp, resume map[int]int) map[int]func(*node.Process) error {
 	programs := make(map[int]func(*node.Process) error, len(scripts))
 	for p, ops := range scripts {
 		ops := ops
+		if done := resume[p]; done > 0 {
+			if done > len(ops) {
+				done = len(ops)
+			}
+			ops = ops[done:]
+		}
 		programs[p] = func(proc *node.Process) error {
 			for _, op := range ops {
 				var err error

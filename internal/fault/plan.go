@@ -1,0 +1,162 @@
+// Package fault is the deterministic fault injector for the distributed
+// runtime: a seeded wrapper over a node Transport that drops, delays,
+// duplicates, and reorders vector frames, resets and partitions links, and
+// crashes nodes on schedule — all driven by a declarative Plan, with no
+// wall-clock randomness anywhere. Two runs of the same computation under
+// the same plan and seed inject the same fates into the same frames, which
+// is what makes chaos runs replayable and their traces diffable.
+//
+// The injector sits below the wire codec and above the transport: it sees
+// the length-prefixed frame stream each connection writes, splits it back
+// into frames, and applies per-link fates to SYN/ACK frames only. HELLO,
+// BYE, and report streams pass through untouched — faults model a lossy
+// network during the run, not a corrupted handshake, and the recovery
+// protocol under test (retransmission, dedup, reconnection, journals) is
+// exactly the machinery that must turn this loss back into the fault-free
+// stamps.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// LinkFault describes the fates injected on one directed link (frames sent
+// by node From toward node To; -1 is a wildcard). Frame indices count the
+// SYN/ACK frames sent on the link, starting at 0; handshake and report
+// frames are invisible to the schedule, so indices are stable across runs.
+type LinkFault struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+
+	// Probabilistic fates, drawn from the link's seeded generator: each
+	// frame draws once per fate, in a fixed order, so the fate stream is a
+	// pure function of (seed, link, frame index).
+	Drop    float64 `json:"drop,omitempty"`
+	Dup     float64 `json:"dup,omitempty"`
+	Reorder float64 `json:"reorder,omitempty"`
+
+	// DelayMS stalls a frame (and everything queued behind it on the
+	// connection) when the delay draw fires.
+	DelayMS   int     `json:"delayMs,omitempty"`
+	DelayProb float64 `json:"delayProb,omitempty"`
+
+	// DropFrames drops exactly these frame indices — the deterministic
+	// counterpart of Drop, used where replay must be byte-identical.
+	DropFrames []int `json:"dropFrames,omitempty"`
+
+	// ResetAfter closes the link's connection after that many frames have
+	// been sent on it; each entry is consumed once, in order, so a
+	// reconnected session is not immediately killed again.
+	ResetAfter []int `json:"resetAfter,omitempty"`
+
+	// PartitionAfter/PartitionFrames drop every frame in the index window
+	// [PartitionAfter, PartitionAfter+PartitionFrames) — a temporary
+	// one-way partition measured in traffic, not wall time.
+	PartitionAfter  int `json:"partitionAfter,omitempty"`
+	PartitionFrames int `json:"partitionFrames,omitempty"`
+}
+
+// Crash schedules a node kill: after the node has sent AfterFrames vector
+// frames (across all its links), the transport invokes CrashFn — tsnode
+// wires os.Exit, tests wire a panic or a Stop.
+type Crash struct {
+	Node        int `json:"node"`
+	AfterFrames int `json:"afterFrames"`
+}
+
+// Plan is a declarative fault schedule, JSON-encodable for tsnode
+// -fault-plan. The zero plan injects nothing.
+type Plan struct {
+	// Seed drives every probabilistic fate. Each directed link derives its
+	// own generator from (Seed, from, to), so links are independent and a
+	// run is replayable regardless of connection interleaving.
+	Seed    int64       `json:"seed"`
+	Links   []LinkFault `json:"links,omitempty"`
+	Crashes []Crash     `json:"crashes,omitempty"`
+}
+
+// Validate checks probabilities and indices.
+func (p *Plan) Validate() error {
+	for i, l := range p.Links {
+		for _, pr := range []struct {
+			name string
+			v    float64
+		}{{"drop", l.Drop}, {"dup", l.Dup}, {"reorder", l.Reorder}, {"delayProb", l.DelayProb}} {
+			if pr.v < 0 || pr.v > 1 {
+				return fmt.Errorf("fault: link %d: %s probability %v outside [0,1]", i, pr.name, pr.v)
+			}
+		}
+		if l.From < -1 || l.To < -1 {
+			return fmt.Errorf("fault: link %d: negative endpoint (use -1 for wildcard)", i)
+		}
+		if l.DelayMS < 0 {
+			return fmt.Errorf("fault: link %d: negative delay %dms", i, l.DelayMS)
+		}
+		for _, f := range l.DropFrames {
+			if f < 0 {
+				return fmt.Errorf("fault: link %d: negative drop index %d", i, f)
+			}
+		}
+		prev := -1
+		for _, r := range l.ResetAfter {
+			if r <= prev {
+				return fmt.Errorf("fault: link %d: resetAfter must be positive and ascending", i)
+			}
+			prev = r
+		}
+		if l.PartitionAfter < 0 || l.PartitionFrames < 0 {
+			return fmt.Errorf("fault: link %d: negative partition window", i)
+		}
+	}
+	for i, c := range p.Crashes {
+		if c.Node < 0 || c.AfterFrames <= 0 {
+			return fmt.Errorf("fault: crash %d: want node >= 0 and afterFrames > 0", i)
+		}
+	}
+	return nil
+}
+
+// rule returns the first link fault matching the directed link, or nil.
+func (p *Plan) rule(from, to int) *LinkFault {
+	for i := range p.Links {
+		l := &p.Links[i]
+		if (l.From == -1 || l.From == from) && (l.To == -1 || l.To == to) {
+			return l
+		}
+	}
+	return nil
+}
+
+// crashAfter returns the scheduled crash threshold for a node (0 = none).
+func (p *Plan) crashAfter(node int) int {
+	for _, c := range p.Crashes {
+		if c.Node == node {
+			return c.AfterFrames
+		}
+	}
+	return 0
+}
+
+// ParsePlan decodes and validates a JSON plan.
+func ParsePlan(b []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("fault: parse plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ReadPlanFile loads a plan from a JSON file (the tsnode -fault-plan
+// format).
+func ReadPlanFile(path string) (*Plan, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: read plan: %w", err)
+	}
+	return ParsePlan(b)
+}

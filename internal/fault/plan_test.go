@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	src := `{
+		"seed": 42,
+		"links": [
+			{"from": -1, "to": 2, "drop": 0.25, "dup": 0.1, "reorder": 0.05,
+			 "delayMs": 10, "delayProb": 0.2,
+			 "dropFrames": [0, 3, 7], "resetAfter": [5, 12],
+			 "partitionAfter": 4, "partitionFrames": 3}
+		],
+		"crashes": [{"node": 1, "afterFrames": 9}]
+	}`
+	p, err := ParsePlan([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || len(p.Links) != 1 || len(p.Crashes) != 1 {
+		t.Fatalf("parsed %+v", p)
+	}
+	l := p.Links[0]
+	if l.From != -1 || l.To != 2 || l.Drop != 0.25 || l.DelayMS != 10 {
+		t.Fatalf("parsed link %+v", l)
+	}
+	if got := p.crashAfter(1); got != 9 {
+		t.Fatalf("crashAfter(1) = %d, want 9", got)
+	}
+	if got := p.crashAfter(0); got != 0 {
+		t.Fatalf("crashAfter(0) = %d, want 0 (no schedule)", got)
+	}
+}
+
+func TestParsePlanRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"malformed", `{"seed": `, "parse plan"},
+		{"probability", `{"links": [{"from": 0, "to": 1, "drop": 1.5}]}`, "probability"},
+		{"endpoint", `{"links": [{"from": -2, "to": 1}]}`, "endpoint"},
+		{"delay", `{"links": [{"from": 0, "to": 1, "delayMs": -5}]}`, "delay"},
+		{"dropIndex", `{"links": [{"from": 0, "to": 1, "dropFrames": [-1]}]}`, "drop index"},
+		{"resets", `{"links": [{"from": 0, "to": 1, "resetAfter": [5, 5]}]}`, "ascending"},
+		{"partition", `{"links": [{"from": 0, "to": 1, "partitionFrames": -1}]}`, "partition"},
+		{"crash", `{"crashes": [{"node": 0, "afterFrames": 0}]}`, "afterFrames"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParsePlan([]byte(c.src))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("got %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestRuleFirstMatchWins(t *testing.T) {
+	p := &Plan{Links: []LinkFault{
+		{From: 0, To: 1, Drop: 0.5},
+		{From: -1, To: -1, Drop: 0.1},
+	}}
+	if r := p.rule(0, 1); r == nil || r.Drop != 0.5 {
+		t.Fatalf("rule(0,1) = %+v, want the specific link", r)
+	}
+	if r := p.rule(1, 0); r == nil || r.Drop != 0.1 {
+		t.Fatalf("rule(1,0) = %+v, want the wildcard", r)
+	}
+	empty := &Plan{}
+	if r := empty.rule(0, 1); r != nil {
+		t.Fatalf("empty plan matched %+v", r)
+	}
+}
+
+func TestReadPlanFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.json")
+	if err := os.WriteFile(path, []byte(`{"seed": 7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ReadPlanFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 {
+		t.Fatalf("seed = %d, want 7", p.Seed)
+	}
+	if _, err := ReadPlanFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}

@@ -8,13 +8,15 @@ import (
 // lockedPaths lists the packages whose mutex discipline lockcheck audits for
 // Lock/Unlock pairing: csp and node host the concurrent rendezvous runtimes,
 // monitor is documented as safe for concurrent readers, and obs's registry
-// and tracer are shared by every process goroutine of a run. (Copying a lock
-// by value is checked module-wide.)
+// and tracer are shared by every process goroutine of a run. fault's
+// injector serializes per-link state under the same discipline. (Copying a
+// lock by value is checked module-wide.)
 var lockedPaths = []string{
 	"syncstamp/internal/csp",
 	"syncstamp/internal/monitor",
 	"syncstamp/internal/node",
 	"syncstamp/internal/obs",
+	"syncstamp/internal/fault",
 }
 
 // LockCheck enforces two mutex rules. Module-wide, a sync.Mutex/RWMutex (or

@@ -14,7 +14,8 @@ import (
 // bug. The wire codec's frame bytes and the node runtime's rendezvous logs
 // feed the same golden and replay machinery, so both are held to the same
 // rule, as is internal/obs, whose JSONL and Chrome exports are contractually
-// byte-identical across runs.
+// byte-identical across runs, and internal/fault, whose whole contract is
+// byte-identical fault schedules under a fixed seed.
 var deterministicPaths = []string{
 	"syncstamp/internal/core",
 	"syncstamp/internal/decomp",
@@ -24,6 +25,7 @@ var deterministicPaths = []string{
 	"syncstamp/internal/wire",
 	"syncstamp/internal/node",
 	"syncstamp/internal/obs",
+	"syncstamp/internal/fault",
 }
 
 // MapIter flags map iteration in deterministic paths unless the loop merely

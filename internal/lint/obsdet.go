@@ -12,12 +12,13 @@ import (
 // sanctioned wall implementation carries the one justified suppression.
 var obsDetPaths = []string{
 	"syncstamp/internal/obs",
+	"syncstamp/internal/fault",
 }
 
 // ObsDet forbids direct wall-clock reads in the observability package.
 var ObsDet = &Analyzer{
 	Name: "obsdet",
-	Doc:  "no direct wall-clock reads (time.Now/Since/Until) in internal/obs; take time through obs.Clock so exports stay byte-stable",
+	Doc:  "no direct wall-clock reads (time.Now/Since/Until) in internal/obs or internal/fault; take time through obs.Clock so exports and fault schedules stay byte-stable",
 	Run:  runObsDet,
 }
 

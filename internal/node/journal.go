@@ -1,0 +1,242 @@
+package node
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"syncstamp/internal/core"
+	"syncstamp/internal/csp"
+	"syncstamp/internal/obs"
+	"syncstamp/internal/vector"
+)
+
+// Journal record kinds.
+const (
+	journalSend     = "send"
+	journalRecv     = "recv"
+	journalInternal = "internal"
+	journalRestart  = "restart"
+)
+
+// JournalRecord is one committed operation in the crash-recovery journal:
+// a rendezvous half (send = the sender's adopt, recv = the receiver's
+// merge) or an internal event. The write-ahead discipline — a receiver
+// journals before its ACK leaves the node, a sender after its adopt — plus
+// the idempotent dedup/re-ACK protocol make every crash window safe: an
+// operation is either in the journal (skipped on resume, its ACK
+// re-answered from the dedup cache) or not (replayed from scratch, the
+// peer's retransmission completing it deterministically).
+type JournalRecord struct {
+	Kind  string   `json:"kind"`
+	Proc  int      `json:"proc"`
+	Peer  int      `json:"peer,omitempty"`
+	Seq   uint64   `json:"seq,omitempty"`
+	Stamp vector.V `json:"stamp,omitempty"`
+	Note  string   `json:"note,omitempty"`
+}
+
+// Journal is an append-only, fsync-per-record JSONL file of committed
+// operations. Safe for concurrent use by a node's process goroutines.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	restarts int
+}
+
+// OpenJournal opens (creating if absent) a journal and replays it: it
+// returns the committed operation records in file order, truncates a
+// partial trailing line (a crash mid-append leaves at most one), and — if
+// the file held any prior content — appends a restart marker so Restarts
+// counts this incarnation.
+func OpenJournal(path string) (*Journal, []JournalRecord, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("node: open journal: %w", err)
+	}
+	recs, restarts, good, prior, err := replayJournal(f)
+	if err != nil {
+		_ = f.Close()
+		return nil, nil, err
+	}
+	// Drop the partial trailing line, if any, so appends start at a record
+	// boundary.
+	if err := f.Truncate(good); err != nil {
+		_ = f.Close()
+		return nil, nil, fmt.Errorf("node: truncate journal: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, nil, fmt.Errorf("node: seek journal: %w", err)
+	}
+	j := &Journal{f: f, restarts: restarts}
+	if prior {
+		j.restarts++
+		if err := j.Append(JournalRecord{Kind: journalRestart}); err != nil {
+			_ = f.Close()
+			return nil, nil, err
+		}
+	}
+	return j, recs, nil
+}
+
+// replayJournal scans the file, returning the operation records, the
+// restart-marker count, the offset of the last complete record, and
+// whether the file held any prior content.
+func replayJournal(f *os.File) (recs []JournalRecord, restarts int, good int64, prior bool, err error) {
+	r := bufio.NewReader(f)
+	for {
+		line, rerr := r.ReadBytes('\n')
+		if rerr != nil {
+			// A trailing fragment without '\n' is an interrupted append:
+			// ignore it (it was never committed).
+			if rerr == io.EOF {
+				return recs, restarts, good, prior, nil
+			}
+			return nil, 0, 0, false, fmt.Errorf("node: read journal: %w", rerr)
+		}
+		var rec JournalRecord
+		if json.Unmarshal(line, &rec) != nil {
+			// A corrupt line means everything after it is untrustworthy;
+			// stop replay at the last good record.
+			return recs, restarts, good, prior, nil
+		}
+		good += int64(len(line))
+		prior = true
+		if rec.Kind == journalRestart {
+			restarts++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// Append commits one record: marshal, write, fsync. The record is durable
+// when Append returns.
+func (j *Journal) Append(rec JournalRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("node: journal encode: %w", err)
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("node: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("node: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Restarts counts this journal's restart markers — how many times the node
+// has been restarted over this journal file (0 for a fresh run).
+func (j *Journal) Restarts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.restarts
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// resumeState is a hosted process's state rebuilt from the journal.
+type resumeState struct {
+	clock *core.Clock
+	log   []csp.Record
+	seq   uint64
+	ops   int
+}
+
+// journalCommit appends one record under recovery, failing the run if the
+// journal cannot be made durable (continuing would break the write-ahead
+// guarantee).
+func (n *Node) journalCommit(rec JournalRecord) error {
+	if n.rec == nil || n.rec.Journal == nil {
+		return nil
+	}
+	if err := n.rec.Journal.Append(rec); err != nil {
+		n.fail(err)
+		return err
+	}
+	return nil
+}
+
+// Restore rebuilds hosted-process state from a replayed journal before Run:
+// per-process clocks (each committed stamp re-adopted in order, which also
+// validates the journal's causal integrity), rendezvous logs, send
+// sequence counters, and the receive-side dedup cache (so a peer
+// retransmitting a rendezvous this node committed just before crashing is
+// re-ACKed instead of merged twice). It also re-emits the committed
+// operations' obs trace events, so a post-crash JSONL trace still carries
+// the full per-process history the tsanalyze oracle needs. It returns the
+// number of committed operations per hosted process — the prefix of each
+// program a resuming caller must skip.
+func (n *Node) Restore(recs []JournalRecord) (map[int]int, error) {
+	if n.rec == nil || n.rec.Journal == nil {
+		return nil, errors.New("node: Restore requires Config.Recovery with a Journal")
+	}
+	counts := make(map[int]int)
+	for _, rec := range recs {
+		if rec.Kind == journalRestart {
+			continue
+		}
+		p := rec.Proc
+		if p < 0 || p >= len(n.cfg.Placement) || n.cfg.Placement[p] != n.cfg.Node {
+			return nil, fmt.Errorf("node %d: journal holds process %d, not hosted here", n.cfg.Node, p)
+		}
+		st := n.restored[p]
+		if st == nil {
+			st = &resumeState{clock: core.NewClock(p, n.cfg.Dec)}
+			n.restored[p] = st
+		}
+		switch rec.Kind {
+		case journalSend:
+			if err := st.clock.Adopt(rec.Stamp, rec.Peer); err != nil {
+				return nil, fmt.Errorf("node %d: journal replay, process %d send to %d: %w", n.cfg.Node, p, rec.Peer, err)
+			}
+			st.log = append(st.log, csp.Record{Kind: csp.RecordSend, Peer: rec.Peer, Stamp: rec.Stamp})
+			if rec.Seq > st.seq {
+				st.seq = rec.Seq
+			}
+			n.obsv.Rendezvous(n.cfg.Node, p, rec.Peer, obs.PhaseAdopt, rec.Stamp)
+		case journalRecv:
+			if err := st.clock.Adopt(rec.Stamp, rec.Peer); err != nil {
+				return nil, fmt.Errorf("node %d: journal replay, process %d recv from %d: %w", n.cfg.Node, p, rec.Peer, err)
+			}
+			st.log = append(st.log, csp.Record{Kind: csp.RecordRecv, Peer: rec.Peer, Stamp: rec.Stamp})
+			if rec.Peer >= 0 && rec.Peer < len(n.cfg.Placement) && n.cfg.Placement[rec.Peer] != n.cfg.Node {
+				n.noteMerged(rec.Peer, rec.Seq, p, rec.Stamp)
+			}
+			n.obsv.Rendezvous(n.cfg.Node, p, rec.Peer, obs.PhaseMerge, rec.Stamp)
+		case journalInternal:
+			st.log = append(st.log, csp.Record{Kind: csp.RecordInternal, Note: rec.Note})
+			if o := n.obsv; o != nil && o.Tracer != nil {
+				o.Internal(n.cfg.Node, p, st.clock.Current(), rec.Note)
+			}
+		default:
+			return nil, fmt.Errorf("node %d: journal holds unknown record kind %q", n.cfg.Node, rec.Kind)
+		}
+		st.ops++
+		counts[p] = st.ops
+	}
+	// Session resume: our dial epochs must exceed anything the previous
+	// incarnation used. Each incarnation gets a wide stride so redials
+	// within a life never collide with the next life's base.
+	n.mu.Lock()
+	n.baseEpoch = n.rec.Journal.Restarts() << 16
+	for j := range n.epochs {
+		n.epochs[j] = n.baseEpoch
+	}
+	n.mu.Unlock()
+	return counts, nil
+}

@@ -81,6 +81,11 @@ type Config struct {
 	// Obs is the node's observability surface. Nil disables it; the
 	// rendezvous hot paths then cost nothing extra.
 	Obs *obs.Obs
+	// Recovery, when non-nil, enables the loss-tolerant protocol:
+	// retransmission, dedup, reconnection, degradation policy, and
+	// (optionally) crash-recovery journaling. Nil keeps the original
+	// fail-stop semantics: any connection error aborts the run.
+	Recovery *RecoveryConfig
 }
 
 // inbound is one rendezvous request parked in a process's mailbox: the
@@ -89,6 +94,7 @@ type Config struct {
 // node sends back.
 type inbound struct {
 	from  int
+	seq   uint64
 	vec   vector.V
 	reply chan vector.V // nil for remote senders
 }
@@ -97,10 +103,11 @@ type inbound struct {
 // is shared by every local process sending toward that node, serialized by
 // mu; the decoder is owned by the connection's single reader goroutine.
 type peerConn struct {
-	n    *Node
-	node int
-	c    net.Conn
-	dec  *wire.Decoder
+	n     *Node
+	node  int
+	epoch int // HELLO epoch; reconnects carry strictly larger ones
+	c     net.Conn
+	dec   *wire.Decoder
 
 	mu  sync.Mutex
 	enc *wire.Encoder
@@ -163,14 +170,36 @@ type Node struct {
 	failMu  sync.Mutex
 	failErr error
 
-	mu      sync.Mutex
-	conns   []*peerConn     // indexed by peer node; nil until connected
-	waiters []chan vector.V // indexed by local sender process; nil unless a send is parked
+	mu         sync.Mutex
+	conns      []*peerConn     // indexed by peer node; nil until connected
+	waiters    []chan vector.V // indexed by local sender process; nil unless a send is parked
+	waiterSeq  []uint64        // sequence number each parked sender expects its ACK to echo
+	retired    []*peerConn     // replaced or dead connections, kept for accounting
+	epochs     []int           // highest HELLO epoch used/seen per peer
+	excluded   []bool          // peers removed from the run (PeerLossExclude)
+	byeSeen    []bool          // peers that announced completion
+	byeFailed  []bool          // peers our own BYE provably did not reach
+	recovering []bool          // peers with a recoverPeer goroutine in flight
+	byeSent    bool            // this node announced completion
+	exclCh     chan struct{}   // closed+replaced on each exclusion (broadcast)
 
 	mailboxes []chan inbound // indexed by process; nil for remote processes
 
+	// Recovery state (rec nil means fail-stop).
+	rec        *RecoveryConfig
+	dedup      []dedupEntry // per sender process, guarded by mu
+	restored   map[int]*resumeState
+	baseEpoch  int
+	peerEvent  chan struct{}
+	recoveryWG sync.WaitGroup
+
+	retransmits atomic.Int64
+	reconnects  atomic.Int64
+	deduped     atomic.Int64
+
 	reports   chan *reportConn
-	regCh     chan int // handshake completions from the accept loop
+	regCh     chan int      // handshake completions from the accept loop
+	connDone  chan struct{} // closed once the connect phase stops counting
 	acceptWG  sync.WaitGroup
 	readersWG sync.WaitGroup
 	startOnce sync.Once
@@ -212,17 +241,45 @@ func New(cfg Config, tr Transport) (*Node, error) {
 	if cfg.RendezvousTimeout <= 0 {
 		cfg.RendezvousTimeout = DefaultRendezvousTimeout
 	}
+	if cfg.Recovery != nil {
+		rc := *cfg.Recovery // normalized copy; the caller's struct stays untouched
+		if rc.RetransmitMin <= 0 {
+			rc.RetransmitMin = DefaultRetransmitMin
+		}
+		if rc.RetransmitMax < rc.RetransmitMin {
+			rc.RetransmitMax = DefaultRetransmitMax
+		}
+		if rc.RetransmitMax < rc.RetransmitMin {
+			rc.RetransmitMax = rc.RetransmitMin
+		}
+		if rc.ReconnectWindow <= 0 {
+			rc.ReconnectWindow = cfg.HandshakeTimeout
+		}
+		cfg.Recovery = &rc
+	}
 	n := &Node{
-		cfg:       cfg,
-		nodes:     nodes,
-		digest:    wire.Digest(cfg.Dec, cfg.Placement),
-		tr:        tr,
-		stop:      make(chan struct{}),
-		conns:     make([]*peerConn, nodes),
-		waiters:   make([]chan vector.V, cfg.Dec.N()),
-		mailboxes: make([]chan inbound, cfg.Dec.N()),
-		reports:   make(chan *reportConn, nodes),
-		regCh:     make(chan int, nodes),
+		cfg:        cfg,
+		nodes:      nodes,
+		digest:     wire.Digest(cfg.Dec, cfg.Placement),
+		tr:         tr,
+		stop:       make(chan struct{}),
+		conns:      make([]*peerConn, nodes),
+		waiters:    make([]chan vector.V, cfg.Dec.N()),
+		waiterSeq:  make([]uint64, cfg.Dec.N()),
+		epochs:     make([]int, nodes),
+		excluded:   make([]bool, nodes),
+		byeSeen:    make([]bool, nodes),
+		byeFailed:  make([]bool, nodes),
+		recovering: make([]bool, nodes),
+		exclCh:     make(chan struct{}),
+		mailboxes:  make([]chan inbound, cfg.Dec.N()),
+		reports:    make(chan *reportConn, nodes),
+		regCh:      make(chan int, nodes),
+		connDone:   make(chan struct{}),
+		rec:        cfg.Recovery,
+		dedup:      make([]dedupEntry, cfg.Dec.N()),
+		restored:   make(map[int]*resumeState),
+		peerEvent:  make(chan struct{}, 1),
 	}
 	for p, host := range cfg.Placement {
 		if host == cfg.Node {
@@ -268,6 +325,7 @@ func (n *Node) Stop() {
 func (n *Node) Close() {
 	n.Stop()
 	n.acceptWG.Wait()
+	n.recoveryWG.Wait()
 	n.readersWG.Wait()
 }
 
@@ -344,16 +402,23 @@ func (n *Node) handleAccept(c net.Conn) error {
 	switch f.Role {
 	case wire.RoleData:
 		enc := wire.NewEncoder(c, n.cfg.Dec.D())
-		hello := &wire.Frame{Kind: wire.KindHello, Role: wire.RoleData, Node: n.cfg.Node, Procs: n.local, Digest: n.digest}
+		enc.SelfContained = n.rec != nil
+		hello := &wire.Frame{Kind: wire.KindHello, Role: wire.RoleData, Node: n.cfg.Node, Procs: n.local, Digest: n.digest, Epoch: f.Epoch}
 		if err := enc.Encode(hello); err != nil {
 			return fmt.Errorf("node %d: handshake reply to node %d: %w", n.cfg.Node, f.Node, err)
 		}
 		_ = c.SetDeadline(time.Time{})
-		pc := &peerConn{n: n, node: f.Node, c: c, enc: enc, dec: dec}
+		pc := &peerConn{n: n, node: f.Node, epoch: f.Epoch, c: c, enc: enc, dec: dec}
 		if err := n.register(pc); err != nil {
 			return err
 		}
-		n.regCh <- f.Node
+		// Announce to the connect phase if it is still counting peers; a
+		// reconnect accepted after the mesh is up has no one to tell.
+		select {
+		case n.regCh <- f.Node:
+		case <-n.connDone:
+		case <-n.stop:
+		}
 		return nil
 	case wire.RoleReport:
 		_ = c.SetDeadline(time.Time{})
@@ -368,25 +433,58 @@ func (n *Node) handleAccept(c net.Conn) error {
 	}
 }
 
-// register records an established data connection and starts its reader.
+// register records an established data connection and starts its reader. A
+// connection with a strictly higher HELLO epoch replaces the existing one
+// (session resume after a peer loss this side has not noticed yet); equal
+// or lower epochs are duplicates and refused.
 func (n *Node) register(pc *peerConn) error {
 	n.mu.Lock()
-	dup := n.conns[pc.node] != nil
+	old := n.conns[pc.node]
+	dup := old != nil && pc.epoch <= old.epoch
+	var announce bool
 	if !dup {
 		n.conns[pc.node] = pc
+		if pc.epoch > n.epochs[pc.node] {
+			n.epochs[pc.node] = pc.epoch
+		}
+		if old != nil {
+			n.retired = append(n.retired, old)
+		}
+		announce = n.byeSent
 	}
 	n.mu.Unlock()
 	if dup {
 		return fmt.Errorf("node %d: duplicate connection from node %d", n.cfg.Node, pc.node)
 	}
+	if old != nil {
+		_ = old.c.Close()
+	}
+	if pc.epoch > 0 {
+		n.reconnects.Add(1)
+		n.ins.Reconnects.Add(1)
+	}
 	n.readersWG.Add(1)
 	go n.readLoop(pc)
+	if announce {
+		// Our run already finished; the resumed session must still learn it
+		// (and a BYE the dead session swallowed is re-announced here, which
+		// settles the debt holding our own end-of-run barrier open).
+		if err := pc.send(&wire.Frame{Kind: wire.KindBye}); err == nil {
+			n.mu.Lock()
+			n.byeFailed[pc.node] = false
+			n.mu.Unlock()
+			n.notePeerEvent()
+		} else {
+			n.noteByeFailed(pc.node)
+		}
+	}
 	return nil
 }
 
 // dialPeer completes the client side of the HELLO handshake with a
-// lower-numbered node.
-func (n *Node) dialPeer(j int) error {
+// lower-numbered node. epoch 0 is a first connection; reconnects carry
+// strictly larger epochs so the acceptor can replace a stale session.
+func (n *Node) dialPeer(j, epoch int) error {
 	deadline := time.Now().Add(n.cfg.HandshakeTimeout)
 	c, err := n.tr.Dial(j, deadline)
 	if err != nil {
@@ -394,7 +492,8 @@ func (n *Node) dialPeer(j int) error {
 	}
 	_ = c.SetDeadline(deadline)
 	enc := wire.NewEncoder(c, n.cfg.Dec.D())
-	hello := &wire.Frame{Kind: wire.KindHello, Role: wire.RoleData, Node: n.cfg.Node, Procs: n.local, Digest: n.digest}
+	enc.SelfContained = n.rec != nil
+	hello := &wire.Frame{Kind: wire.KindHello, Role: wire.RoleData, Node: n.cfg.Node, Procs: n.local, Digest: n.digest, Epoch: epoch}
 	if err := enc.Encode(hello); err != nil {
 		_ = c.Close()
 		return fmt.Errorf("node %d: handshake with node %d: %w", n.cfg.Node, j, err)
@@ -414,15 +513,18 @@ func (n *Node) dialPeer(j int) error {
 		return fmt.Errorf("node %d: node %d has topology digest %#x, ours is %#x (mismatched decomposition or placement)", n.cfg.Node, j, f.Digest, n.digest)
 	}
 	_ = c.SetDeadline(time.Time{})
-	return n.register(&peerConn{n: n, node: j, c: c, enc: enc, dec: dec})
+	return n.register(&peerConn{n: n, node: j, epoch: epoch, c: c, enc: enc, dec: dec})
 }
 
 // connect establishes the full data mesh: dial every lower node, await a
 // dial from every higher one.
 func (n *Node) connect() error {
 	n.start()
+	n.mu.Lock()
+	epoch := n.baseEpoch // 0, or the restart stride after a journal Restore
+	n.mu.Unlock()
 	for j := 0; j < n.cfg.Node; j++ {
-		if err := n.dialPeer(j); err != nil {
+		if err := n.dialPeer(j, epoch); err != nil {
 			return err
 		}
 	}
@@ -442,6 +544,7 @@ func (n *Node) connect() error {
 			return fmt.Errorf("node %d: %d of %d higher peers connected within %v", n.cfg.Node, have, want, n.cfg.HandshakeTimeout)
 		}
 	}
+	close(n.connDone)
 	return nil
 }
 
@@ -454,9 +557,15 @@ func (n *Node) readLoop(pc *peerConn) {
 	for {
 		f, err := pc.dec.Decode()
 		if err != nil {
-			if !n.stopped() {
-				n.fail(fmt.Errorf("node %d: connection to node %d: %w", n.cfg.Node, pc.node, err))
+			if n.stopped() {
+				return
 			}
+			if n.rec != nil {
+				// Loss-tolerant mode: the connection died, the run need not.
+				n.peerLost(pc, err)
+				return
+			}
+			n.fail(fmt.Errorf("node %d: connection to node %d: %w", n.cfg.Node, pc.node, err))
 			return
 		}
 		switch f.Kind {
@@ -465,28 +574,57 @@ func (n *Node) readLoop(pc *peerConn) {
 				n.fail(fmt.Errorf("node %d: SYN from node %d targets process %d, not hosted here", n.cfg.Node, pc.node, f.To))
 				return
 			}
+			if n.rec != nil {
+				reack, deliver := n.dedupCheck(f)
+				if !deliver {
+					if reack != nil {
+						// The merge committed but its ACK was lost: answer
+						// the retransmission from the cache, idempotently.
+						// Asynchronously — the read loop is this connection's
+						// only drain, and two nodes re-ACKing each other over
+						// unbuffered streams would deadlock if either blocked
+						// here. The goroutine unblocks when the peer reads or
+						// the connection dies.
+						go func() { _ = pc.send(reack) }()
+					}
+					continue
+				}
+			}
 			select {
-			case n.mailboxes[f.To] <- inbound{from: f.From, vec: f.Vec}:
+			case n.mailboxes[f.To] <- inbound{from: f.From, seq: f.Seq, vec: f.Vec}:
 			case <-n.stop:
 				return
 			}
 		case wire.KindAck:
 			n.mu.Lock()
 			var w chan vector.V
-			if f.To >= 0 && f.To < len(n.waiters) {
+			if f.To >= 0 && f.To < len(n.waiters) && n.waiterSeq[f.To] == f.Seq {
 				w = n.waiters[f.To]
 				n.waiters[f.To] = nil
 			}
 			n.mu.Unlock()
 			if w == nil {
 				// A sender whose rendezvous deadline expired has already
-				// cleared its waiter, so a late ACK is a legitimate race,
-				// not a protocol violation: count it and keep reading.
+				// cleared its waiter, and a duplicate ACK's sender has moved
+				// on to another sequence number — both are legitimate races,
+				// not protocol violations: count and keep reading.
 				n.noteDropped()
 				continue
 			}
 			w <- f.Vec // buffered; the sender may have timed out, never blocks
 		case wire.KindBye:
+			n.mu.Lock()
+			n.byeSeen[pc.node] = true
+			n.mu.Unlock()
+			n.notePeerEvent()
+			if n.rec != nil {
+				// Keep draining: at-least-once delivery means retransmissions,
+				// duplicates, and reorder stragglers can trail the peer's BYE,
+				// and a parked writer on the far side needs them consumed (and
+				// lost-ACK retransmissions still answered from the dedup
+				// cache). The loop ends when the connection is torn down.
+				continue
+			}
 			return
 		default:
 			// HELLO or INTERNAL frames do not belong on an established data
@@ -506,13 +644,14 @@ func (n *Node) noteDropped() {
 // far (late ACKs after a rendezvous timeout, unexpected kinds).
 func (n *Node) DroppedFrames() int64 { return n.dropped.Load() }
 
-// registerWaiter parks a sender: the next ACK addressed to proc lands on
-// the returned channel. Must be called before the SYN is written, or the
-// ACK could race past.
-func (n *Node) registerWaiter(proc int) chan vector.V {
+// registerWaiter parks a sender: the next ACK addressed to proc and
+// echoing seq lands on the returned channel. Must be called before the SYN
+// is written, or the ACK could race past.
+func (n *Node) registerWaiter(proc int, seq uint64) chan vector.V {
 	ch := make(chan vector.V, 1)
 	n.mu.Lock()
 	n.waiters[proc] = ch
+	n.waiterSeq[proc] = seq
 	n.mu.Unlock()
 	return ch
 }
@@ -547,6 +686,16 @@ type RunInfo struct {
 	// after a rendezvous timeout and frame kinds unexpected on a data
 	// connection.
 	Dropped int64
+	// Retransmits counts SYN frames re-sent after a backoff interval
+	// expired without the ACK (recovery mode only).
+	Retransmits int64
+	// Reconnects counts data connections re-established after a peer loss.
+	Reconnects int64
+	// Deduped counts duplicate SYN frames the receive path suppressed.
+	Deduped int64
+	// Excluded lists the peer nodes removed from the run under
+	// PeerLossExclude, ascending. Empty on a fully healthy run.
+	Excluded []int
 }
 
 // FrameMap renders a wire accounting as the obs.Meta frame table, omitting
@@ -576,7 +725,13 @@ func (n *Node) Run(programs map[int]func(*Process) error) (*RunInfo, error) {
 	errs := make([]error, len(n.local))
 	var wg sync.WaitGroup
 	for i, p := range n.local {
-		procs[i] = &Process{id: p, n: n, clock: core.NewClock(p, n.cfg.Dec)}
+		if st := n.restored[p]; st != nil {
+			// Resume from the journal: the clock, log, and send sequence
+			// counter continue where the previous incarnation committed.
+			procs[i] = &Process{id: p, n: n, clock: st.clock, log: st.log, seq: st.seq}
+		} else {
+			procs[i] = &Process{id: p, n: n, clock: core.NewClock(p, n.cfg.Dec)}
+		}
 		prog := programs[p]
 		if prog == nil {
 			continue
@@ -593,25 +748,50 @@ func (n *Node) Run(programs map[int]func(*Process) error) (*RunInfo, error) {
 	wg.Wait()
 
 	// Announce completion; peers' readers exit on our BYE, ours exit on
-	// theirs, so waiting for the readers is the run's global barrier.
+	// theirs. Without recovery, waiting for the readers is the run's global
+	// barrier; with it, readers die and are replaced across reconnects, so
+	// the barrier is instead "every peer said BYE or was excluded" (a
+	// reconnect registered after this point re-announces, see register).
 	if !n.stopped() {
 		n.mu.Lock()
+		n.byeSent = true
 		conns := append([]*peerConn(nil), n.conns...)
 		n.mu.Unlock()
-		for _, pc := range conns {
+		for j, pc := range conns {
+			if j == n.cfg.Node {
+				continue
+			}
 			if pc == nil {
+				if n.rec != nil {
+					// The peer is mid-reconnect: our BYE has no connection to
+					// travel on. Recovery re-announces it on the resumed
+					// session; until then the peer may be parked on our BYE.
+					n.noteByeFailed(j)
+				}
 				continue
 			}
 			if err := pc.send(&wire.Frame{Kind: wire.KindBye}); err != nil && !n.stopped() {
-				n.fail(fmt.Errorf("node %d: closing connection to node %d: %w", n.cfg.Node, pc.node, err))
+				if n.rec == nil {
+					n.fail(fmt.Errorf("node %d: closing connection to node %d: %w", n.cfg.Node, pc.node, err))
+					continue
+				}
+				// The connection died under our BYE; the peer never saw it
+				// and its end-of-run barrier is now waiting on us. Mark the
+				// debt so our own barrier holds until a resumed session
+				// re-announces (register clears the debt).
+				n.noteByeFailed(j)
 			}
 		}
 	}
-	n.readersWG.Wait()
+	if n.rec != nil {
+		n.awaitPeersDone()
+	} else {
+		n.readersWG.Wait()
+	}
 
 	info := &RunInfo{Logs: make(map[int][]csp.Record, len(n.local))}
 	n.mu.Lock()
-	conns := append([]*peerConn(nil), n.conns...)
+	conns := append(append([]*peerConn(nil), n.conns...), n.retired...)
 	n.mu.Unlock()
 	for _, pc := range conns {
 		if pc == nil {
@@ -622,6 +802,10 @@ func (n *Node) Run(programs map[int]func(*Process) error) (*RunInfo, error) {
 		_ = pc.c.Close()
 	}
 	info.Dropped = n.dropped.Load()
+	info.Retransmits = n.retransmits.Load()
+	info.Reconnects = n.reconnects.Load()
+	info.Deduped = n.deduped.Load()
+	info.Excluded = n.excludedList()
 	for i, p := range n.local {
 		info.Logs[p] = procs[i].log
 	}

@@ -27,9 +27,22 @@ type Process struct {
 	n     *Node
 	clock *core.Clock
 	log   []csp.Record
+	// seq numbers this process's sends (local and remote alike), starting
+	// at 1. It is what makes retransmission and receiver-side dedup sound:
+	// Send blocks until its ACK, so at most one sequence number is ever
+	// outstanding per sender. A journal Restore resumes the counter, so a
+	// replayed send reuses its crashed incarnation's number and is answered
+	// idempotently.
+	seq uint64
 	// stash holds rendezvous requests taken off the mailbox while waiting
 	// for a specific sender in RecvFrom; their senders stay parked.
 	stash []inbound
+}
+
+// nextSeq allocates the next send sequence number.
+func (p *Process) nextSeq() uint64 {
+	p.seq++
+	return p.seq
 }
 
 // ID returns the process index.
@@ -56,9 +69,13 @@ func (p *Process) Send(q int) (vector.V, error) {
 	pre := p.clock.Current()
 	n.obsv.Rendezvous(n.cfg.Node, p.id, q, obs.PhaseSyn, pre)
 	t0 := n.obsv.Now()
+	seq := p.nextSeq()
+	target := n.cfg.Placement[q]
+	remote := target != n.cfg.Node
 	var ack chan vector.V
-	if n.cfg.Placement[q] == n.cfg.Node {
-		in := inbound{from: p.id, vec: pre, reply: make(chan vector.V, 1)}
+	var syn *wire.Frame
+	if !remote {
+		in := inbound{from: p.id, seq: seq, vec: pre, reply: make(chan vector.V, 1)}
 		select {
 		case n.mailboxes[q] <- in:
 		case <-n.stop:
@@ -71,49 +88,96 @@ func (p *Process) Send(q int) (vector.V, error) {
 		n.ins.SendBlockNS.Observe(n.obsv.Now() - t0)
 		ack = in.reply
 	} else {
-		pc, err := n.connTo(n.cfg.Placement[q])
-		if err != nil {
-			return nil, err
-		}
-		ack = n.registerWaiter(p.id)
-		syn := &wire.Frame{Kind: wire.KindSyn, From: p.id, To: q, Vec: pre}
-		if err := pc.send(syn); err != nil {
-			n.clearWaiter(p.id)
-			if n.stopped() {
-				return nil, ErrStopped
+		ack = n.registerWaiter(p.id, seq)
+		syn = &wire.Frame{Kind: wire.KindSyn, From: p.id, To: q, Seq: seq, Vec: pre}
+		if err := n.sendToPeer(target, syn); err != nil {
+			if n.rec == nil {
+				n.clearWaiter(p.id)
+				if n.stopped() {
+					return nil, ErrStopped
+				}
+				err = fmt.Errorf("node: process %d -> %d: %w", p.id, q, err)
+				n.fail(err)
+				return nil, err
 			}
-			err = fmt.Errorf("node: process %d -> %d: %w", p.id, q, err)
-			n.fail(err)
-			return nil, err
+			// Recovery mode: the link may be down mid-reconnect; the
+			// retransmission ticks below cover the lost first transmission.
 		}
 		n.ins.SendBlockNS.Observe(n.obsv.Now() - t0)
 	}
 
+	// With recovery on a remote send, two more wake-ups join the wait: the
+	// retransmission backoff (re-send the self-contained SYN; dedup on the
+	// far side makes this idempotent) and the exclusion broadcast (the
+	// partner's node was removed from the run).
+	var retryT *time.Timer
+	var retryC <-chan time.Time
+	var exclC chan struct{}
+	var backoff time.Duration
+	if remote && n.rec != nil {
+		backoff = n.rec.RetransmitMin
+		retryT = time.NewTimer(backoff)
+		defer retryT.Stop()
+		retryC = retryT.C
+		exclC = n.exclusionCh()
+	}
+
 	t1 := n.obsv.Now()
-	select {
-	case stamp := <-ack:
-		n.ins.SynAckNS.Observe(n.obsv.Now() - t1)
-		if err := p.clock.Adopt(stamp, q); err != nil {
-			err = fmt.Errorf("node: process %d -> %d: %w", p.id, q, err)
-			p.n.fail(err)
+	for {
+		select {
+		case stamp := <-ack:
+			n.ins.SynAckNS.Observe(n.obsv.Now() - t1)
+			if err := p.clock.Adopt(stamp, q); err != nil {
+				err = fmt.Errorf("node: process %d -> %d: %w", p.id, q, err)
+				p.n.fail(err)
+				return nil, err
+			}
+			if err := n.journalCommit(JournalRecord{Kind: journalSend, Proc: p.id, Peer: q, Seq: seq, Stamp: stamp}); err != nil {
+				return nil, err
+			}
+			n.obsv.Rendezvous(n.cfg.Node, p.id, q, obs.PhaseAdopt, stamp)
+			n.ins.Rendezvous.Add(1)
+			n.ins.Proc(p.id).Add(1)
+			if n.ins.CausalTicks != nil {
+				n.ins.CausalTicks.Observe(obs.StampSum(stamp) - obs.StampSum(pre))
+			}
+			p.log = append(p.log, csp.Record{Kind: csp.RecordSend, Peer: q, Stamp: stamp})
+			return stamp, nil
+		case <-n.stop:
+			if remote {
+				n.clearWaiter(p.id)
+			}
+			return nil, ErrStopped
+		case <-timer.C:
+			if remote {
+				n.clearWaiter(p.id)
+			}
+			err := fmt.Errorf("node: process %d -> %d: rendezvous deadline %v exceeded", p.id, q, n.cfg.RendezvousTimeout)
+			n.fail(err)
 			return nil, err
+		case <-exclC:
+			if n.isExcluded(target) {
+				n.clearWaiter(p.id)
+				return nil, fmt.Errorf("node: process %d -> %d: %w", p.id, q, ErrPeerLost)
+			}
+			exclC = n.exclusionCh() // some other peer was excluded; re-arm
+		case <-retryC:
+			if n.isExcluded(target) {
+				n.clearWaiter(p.id)
+				return nil, fmt.Errorf("node: process %d -> %d: %w", p.id, q, ErrPeerLost)
+			}
+			// Best effort: during a reconnect there is no connection to
+			// write to; the next tick retries on the restored session.
+			_ = n.sendToPeer(target, syn)
+			n.retransmits.Add(1)
+			n.ins.Retransmits.Add(1)
+			n.ins.BackoffNS.Observe(int64(backoff))
+			backoff *= 2
+			if backoff > n.rec.RetransmitMax {
+				backoff = n.rec.RetransmitMax
+			}
+			retryT.Reset(backoff)
 		}
-		n.obsv.Rendezvous(n.cfg.Node, p.id, q, obs.PhaseAdopt, stamp)
-		n.ins.Rendezvous.Add(1)
-		n.ins.Proc(p.id).Add(1)
-		if n.ins.CausalTicks != nil {
-			n.ins.CausalTicks.Observe(obs.StampSum(stamp) - obs.StampSum(pre))
-		}
-		p.log = append(p.log, csp.Record{Kind: csp.RecordSend, Peer: q, Stamp: stamp})
-		return stamp, nil
-	case <-n.stop:
-		n.clearWaiter(p.id)
-		return nil, ErrStopped
-	case <-timer.C:
-		n.clearWaiter(p.id)
-		err := fmt.Errorf("node: process %d -> %d: rendezvous deadline %v exceeded", p.id, q, n.cfg.RendezvousTimeout)
-		n.fail(err)
-		return nil, err
 	}
 }
 
@@ -150,6 +214,16 @@ func (p *Process) RecvFrom(from int) (Message, error) {
 			return p.complete(in)
 		}
 	}
+	// Under recovery, a wait on a specific remote sender must also wake if
+	// that sender's node gets excluded — otherwise the receiver would park
+	// until the rendezvous deadline for a partner that is never coming.
+	var exclC chan struct{}
+	if p.n.rec != nil && from >= 0 && from < len(p.n.cfg.Placement) && p.n.cfg.Placement[from] != p.n.cfg.Node {
+		if p.n.isExcluded(p.n.cfg.Placement[from]) {
+			return Message{}, fmt.Errorf("node: process %d recvfrom %d: %w", p.id, from, ErrPeerLost)
+		}
+		exclC = p.n.exclusionCh()
+	}
 	t0 := p.n.obsv.Now()
 	for {
 		var in inbound
@@ -157,6 +231,12 @@ func (p *Process) RecvFrom(from int) (Message, error) {
 		case in = <-p.n.mailboxes[p.id]:
 		case <-p.n.stop:
 			return Message{}, ErrStopped
+		case <-exclC:
+			if p.n.isExcluded(p.n.cfg.Placement[from]) {
+				return Message{}, fmt.Errorf("node: process %d recvfrom %d: %w", p.id, from, ErrPeerLost)
+			}
+			exclC = p.n.exclusionCh()
+			continue
 		}
 		if in.from == from {
 			p.n.ins.RecvBlockNS.Observe(p.n.obsv.Now() - t0)
@@ -177,20 +257,33 @@ func (p *Process) complete(in inbound) (Message, error) {
 		return Message{}, err
 	}
 	p.n.obsv.Rendezvous(p.n.cfg.Node, p.id, in.from, obs.PhaseMerge, stamp)
+	// Write-ahead: the merge is journaled (and fsynced) before any ACK can
+	// leave the node, so a crash after this point re-ACKs from the restored
+	// dedup cache instead of merging twice.
+	if err := p.n.journalCommit(JournalRecord{Kind: journalRecv, Proc: p.id, Peer: in.from, Seq: in.seq, Stamp: stamp}); err != nil {
+		return Message{}, err
+	}
 	if in.reply != nil {
 		in.reply <- stamp // buffered; the sender is parked on it
 	} else {
+		if p.n.rec != nil {
+			p.n.noteMerged(in.from, in.seq, p.id, stamp)
+		}
 		pc, err := p.n.connTo(p.n.cfg.Placement[in.from])
 		if err == nil {
-			err = pc.send(&wire.Frame{Kind: wire.KindAck, From: p.id, To: in.from, Vec: stamp})
+			err = pc.send(&wire.Frame{Kind: wire.KindAck, From: p.id, To: in.from, Seq: in.seq, Vec: stamp})
 		}
 		if err != nil {
 			if p.n.stopped() {
 				return Message{}, ErrStopped
 			}
-			err = fmt.Errorf("node: process %d acking %d: %w", p.id, in.from, err)
-			p.n.fail(err)
-			return Message{}, err
+			if p.n.rec == nil {
+				err = fmt.Errorf("node: process %d acking %d: %w", p.id, in.from, err)
+				p.n.fail(err)
+				return Message{}, err
+			}
+			// The ACK died with the connection; the sender's retransmission
+			// will be answered from the dedup cache once the session resumes.
 		}
 	}
 	p.n.obsv.Rendezvous(p.n.cfg.Node, p.id, in.from, obs.PhaseAck, stamp)
@@ -204,6 +297,9 @@ func (p *Process) complete(in inbound) (Message, error) {
 // (prev, succ, c) stamp is resolved at reconstruction time, when the next
 // message, if any, is known. Note travels the wire as a string.
 func (p *Process) Internal(note string) {
+	// Journal failures fail the run via journalCommit; the in-memory record
+	// is still appended so the log stays consistent with the clock.
+	_ = p.n.journalCommit(JournalRecord{Kind: journalInternal, Proc: p.id, Note: note})
 	p.log = append(p.log, csp.Record{Kind: csp.RecordInternal, Note: note})
 	p.n.ins.InternalEvents.Add(1)
 	// Guarded so the clock snapshot (a clone) only happens when tracing.

@@ -1,0 +1,373 @@
+package node
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"syncstamp/internal/core"
+	"syncstamp/internal/csp"
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+	"syncstamp/internal/obs"
+	"syncstamp/internal/vector"
+	"syncstamp/internal/wire"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.journal")
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || j.Restarts() != 0 {
+		t.Fatalf("fresh journal replayed %d records, %d restarts", len(recs), j.Restarts())
+	}
+	want := []JournalRecord{
+		{Kind: journalRecv, Proc: 1, Peer: 0, Seq: 1, Stamp: []int{1, 0}},
+		{Kind: journalSend, Proc: 1, Peer: 0, Seq: 1, Stamp: []int{1, 1}},
+		{Kind: journalInternal, Proc: 1, Note: "checkpoint"},
+	}
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// First reopen: the three records come back and a restart is counted.
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, rec := range recs {
+		if rec.Kind != want[i].Kind || rec.Proc != want[i].Proc || rec.Seq != want[i].Seq {
+			t.Fatalf("record %d: got %+v, want %+v", i, rec, want[i])
+		}
+	}
+	if j2.Restarts() != 1 {
+		t.Fatalf("restarts after first reopen = %d, want 1", j2.Restarts())
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second reopen: restart markers accumulate across incarnations.
+	j3, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Restarts() != 2 {
+		t.Fatalf("restarts after second reopen = %d, want 2", j3.Restarts())
+	}
+}
+
+func TestJournalTruncatedTailIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.journal")
+	full := `{"kind":"recv","proc":0,"peer":1,"seq":1,"stamp":[1,0]}` + "\n"
+	partial := `{"kind":"send","proc":0,"pee` // crash mid-append: no newline
+	if err := os.WriteFile(path, []byte(full+partial), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Kind != journalRecv {
+		t.Fatalf("replayed %+v, want the single complete record", recs)
+	}
+	// The fragment is truncated away, so the next append starts at a record
+	// boundary and survives a further replay.
+	if err := j.Append(JournalRecord{Kind: journalInternal, Proc: 0, Note: "after crash"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Note != "after crash" {
+		t.Fatalf("after truncate+append replayed %+v", recs)
+	}
+}
+
+// TestJournalRestoreResume journals a full run, then rebuilds a fresh node
+// from the replayed records and checks Restore reproduces the per-process
+// clocks, logs, and sequence counters the crashed incarnation held.
+func TestJournalRestoreResume(t *testing.T) {
+	leakCheck(t)
+	g := graph.Path(2)
+	dec := decomp.Best(g)
+	dir := t.TempDir()
+	journals := make([]*Journal, 2)
+	for i := range journals {
+		j, recs, err := OpenJournal(filepath.Join(dir, "n"+string(rune('0'+i))+".journal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 0 {
+			t.Fatalf("fresh journal %d not empty", i)
+		}
+		journals[i] = j
+	}
+	const rounds = 5
+	transports := loopTransports(2)
+	results := make([]clusterResult, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n, err := New(Config{
+				Node: i, Placement: []int{0, 1}, Dec: dec,
+				Recovery: &RecoveryConfig{OnPeerLoss: PeerLossWait, Journal: journals[i]},
+			}, transports[i])
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			defer n.Close()
+			info, err := n.Run(pingPong(rounds))
+			results[i] = clusterResult{info: info, err: err}
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("node %d: %v", i, r.err)
+		}
+		if err := journals[i].Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// "Restart" node 1: replay its journal into a fresh node.
+	j, recs, err := OpenJournal(filepath.Join(dir, "n1.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Restarts() != 1 {
+		t.Fatalf("restarts = %d, want 1", j.Restarts())
+	}
+	wantOps := 2 * rounds // each round is one recv + one send on proc 1
+	if len(recs) != wantOps {
+		t.Fatalf("journal replayed %d records, want %d", len(recs), wantOps)
+	}
+	l := NewLoop(2)
+	n, err := New(Config{
+		Node: 1, Placement: []int{0, 1}, Dec: dec,
+		Recovery: &RecoveryConfig{OnPeerLoss: PeerLossWait, Journal: j},
+	}, l.Transport(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	counts, err := n.Restore(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[1] != wantOps {
+		t.Fatalf("Restore counts = %v, want %d ops for process 1", counts, wantOps)
+	}
+	st := n.restored[1]
+	if st == nil {
+		t.Fatal("no resume state for process 1")
+	}
+	if len(st.log) != wantOps || st.seq != rounds {
+		t.Fatalf("resume state: %d log records (want %d), seq %d (want %d)",
+			len(st.log), wantOps, st.seq, rounds)
+	}
+	// The rebuilt log must equal the live run's, stamp for stamp, and the
+	// rebuilt clock must sit exactly at the last committed stamp.
+	live := results[1].info.Logs[1]
+	if len(live) != len(st.log) {
+		t.Fatalf("restored %d log records, live run had %d", len(st.log), len(live))
+	}
+	for i := range live {
+		if live[i].Kind != st.log[i].Kind || live[i].Peer != st.log[i].Peer {
+			t.Fatalf("log record %d: restored %+v, live %+v", i, st.log[i], live[i])
+		}
+		if live[i].Kind != csp.RecordInternal && !vector.Eq(live[i].Stamp, st.log[i].Stamp) {
+			t.Fatalf("log record %d: restored stamp %v, live %v", i, st.log[i].Stamp, live[i].Stamp)
+		}
+	}
+	// Dial epochs stride past everything the previous incarnation used.
+	n.mu.Lock()
+	base := n.baseEpoch
+	n.mu.Unlock()
+	if base != 1<<16 {
+		t.Fatalf("baseEpoch = %d, want %d", base, 1<<16)
+	}
+}
+
+func TestRestoreRejectsForeignProcess(t *testing.T) {
+	g := graph.Path(2)
+	dec := decomp.Best(g)
+	path := filepath.Join(t.TempDir(), "node.journal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	l := NewLoop(2)
+	n, err := New(Config{
+		Node: 1, Placement: []int{0, 1}, Dec: dec,
+		Recovery: &RecoveryConfig{OnPeerLoss: PeerLossWait, Journal: j},
+	}, l.Transport(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	_, err = n.Restore([]JournalRecord{{Kind: journalRecv, Proc: 0, Peer: 1, Seq: 1, Stamp: []int{1, 0}}})
+	if err == nil || !strings.Contains(err.Error(), "not hosted here") {
+		t.Fatalf("foreign-process journal accepted: %v", err)
+	}
+}
+
+// TestLateAckAndUnexpectedKindsCounted drives node 0 against a hand-rolled
+// wire peer that misbehaves before cooperating: an unsolicited ACK no sender
+// is parked for and an INTERNAL frame on the data stream. Both must be
+// counted and discarded — not kill the run — and the genuine rendezvous that
+// follows must still complete.
+func TestLateAckAndUnexpectedKindsCounted(t *testing.T) {
+	leakCheck(t)
+	g := graph.Path(2)
+	dec := decomp.Best(g)
+	placement := []int{0, 1}
+	l := NewLoop(2)
+	o := obs.New()
+
+	n, err := New(Config{Node: 0, Placement: placement, Dec: dec, Obs: o}, l.Transport(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	peerErr := make(chan error, 1)
+	go func() {
+		peerErr <- func() error {
+			// Fake node 1: dial node 0 (higher dials lower) and speak raw wire.
+			c, err := l.Transport(1).Dial(0, time.Now().Add(5*time.Second))
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			enc := wire.NewEncoder(c, dec.D())
+			wdec := wire.NewDecoder(c, dec.D())
+			digest := wire.Digest(dec, placement)
+			if err := enc.Encode(&wire.Frame{Kind: wire.KindHello, Role: wire.RoleData, Node: 1, Procs: []int{1}, Digest: digest}); err != nil {
+				return err
+			}
+			if _, err := wdec.Decode(); err != nil { // node 0's HELLO reply
+				return err
+			}
+			// Misbehave: a late ACK (no waiter is parked for seq 99) and an
+			// INTERNAL frame, which never belongs on a data stream.
+			if err := enc.Encode(&wire.Frame{Kind: wire.KindAck, From: 1, To: 0, Seq: 99, Vec: core.NewClock(1, dec).Current()}); err != nil {
+				return err
+			}
+			if err := enc.Encode(&wire.Frame{Kind: wire.KindInternal, Node: 1, Vec: core.NewClock(1, dec).Current()}); err != nil {
+				return err
+			}
+			// Now cooperate: answer proc 0's SYN with the Figure 5 merge.
+			clock := core.NewClock(1, dec)
+			f, err := wdec.Decode()
+			if err != nil {
+				return err
+			}
+			if f.Kind != wire.KindSyn {
+				return err
+			}
+			stamp, err := clock.Merge(f.Vec, 0)
+			if err != nil {
+				return err
+			}
+			if err := enc.Encode(&wire.Frame{Kind: wire.KindAck, From: 1, To: 0, Seq: f.Seq, Vec: stamp}); err != nil {
+				return err
+			}
+			if err := enc.Encode(&wire.Frame{Kind: wire.KindBye}); err != nil {
+				return err
+			}
+			_, _ = wdec.Decode() // node 0's BYE
+			return nil
+		}()
+	}()
+
+	info, err := n.Run(map[int]func(*Process) error{
+		0: func(p *Process) error {
+			_, err := p.Send(1)
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-peerErr; err != nil {
+		t.Fatalf("fake peer: %v", err)
+	}
+	if info.Dropped != 2 {
+		t.Fatalf("info.Dropped = %d, want 2 (late ACK + INTERNAL frame)", info.Dropped)
+	}
+	if got := o.Registry().Counter(obs.MetricDroppedFrames).Value(); got != 2 {
+		t.Fatalf("%s = %d, want 2", obs.MetricDroppedFrames, got)
+	}
+}
+
+// TestDialClassification checks TCPTransport.Dial's fatal-vs-transient
+// split: a malformed address fails immediately instead of burning the
+// deadline, while a refused port retries (counting each retry) until the
+// deadline expires.
+func TestDialClassification(t *testing.T) {
+	tr := &TCPTransport{Retries: &obs.Counter{}}
+
+	// Malformed port: net.AddrError, fatal, returns well before the deadline.
+	tr.SetPeers([]string{"127.0.0.1:notaport"})
+	start := time.Now()
+	_, err := tr.Dial(0, time.Now().Add(5*time.Second))
+	if err == nil {
+		t.Fatal("malformed address dialed successfully")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("fatal dial burned %v of the deadline", elapsed)
+	}
+	if got := tr.Retries.Value(); got != 0 {
+		t.Fatalf("fatal dial counted %d retries, want 0", got)
+	}
+
+	// A refused port is transient: retried with backoff until the deadline.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close() // nothing listens here anymore
+	tr.SetPeers([]string{addr})
+	_, err = tr.Dial(0, time.Now().Add(300*time.Millisecond))
+	if err == nil {
+		t.Fatal("dial to a closed port succeeded")
+	}
+	if !strings.Contains(err.Error(), "deadline exceeded") {
+		t.Fatalf("refused dial classified fatal: %v", err)
+	}
+	if got := tr.Retries.Value(); got == 0 {
+		t.Fatal("refused dial counted no retries")
+	}
+
+	// Out-of-range peer index is immediately fatal.
+	if _, err := tr.Dial(7, time.Now().Add(time.Second)); err == nil {
+		t.Fatal("out-of-range dial succeeded")
+	}
+}

@@ -67,9 +67,25 @@ func (n *Node) Collect(info *RunInfo, timeout time.Duration) (*csp.Result, error
 		logs[p] = info.Logs[p]
 		seen[p] = true
 	}
+	// Excluded peers never report: their processes count as reported with
+	// empty logs. (Degraded-run reconstruction is only oracle-complete when
+	// the excluded node committed no rendezvous before it was lost; a node
+	// that committed and then crashed must come back from its journal.)
+	want := n.nodes
+	for _, j := range info.Excluded {
+		if j == n.cfg.Node {
+			continue
+		}
+		want--
+		for p, host := range n.cfg.Placement {
+			if host == j {
+				seen[p] = true
+			}
+		}
+	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
-	for got := 1; got < n.nodes; got++ {
+	for got := 1; got < want; got++ {
 		var rc *reportConn
 		select {
 		case rc = <-n.reports:
@@ -79,7 +95,7 @@ func (n *Node) Collect(info *RunInfo, timeout time.Duration) (*csp.Result, error
 			}
 			return nil, ErrStopped
 		case <-timer.C:
-			return nil, fmt.Errorf("node %d: %d of %d reports within %v", n.cfg.Node, got-1, n.nodes-1, timeout)
+			return nil, fmt.Errorf("node %d: %d of %d reports within %v", n.cfg.Node, got-1, want-1, timeout)
 		}
 		if err := n.readReport(rc, logs, seen); err != nil {
 			_ = rc.c.Close()

@@ -1,9 +1,11 @@
 package node
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 
 	"syncstamp/internal/obs"
@@ -87,6 +89,11 @@ func (t *TCPTransport) Dial(node int, deadline time.Time) (net.Conn, error) {
 		if err == nil {
 			return c, nil
 		}
+		if dialFatal(err) {
+			// Retrying cannot help a malformed address or an exhausted fd
+			// table; surface the cause now instead of burning the deadline.
+			return nil, fmt.Errorf("node: dial node %d (%s): %w", node, addrs[node], err)
+		}
 		t.Retries.Add(1)
 		sleep := backoff
 		if sleep > remaining {
@@ -98,6 +105,32 @@ func (t *TCPTransport) Dial(node int, deadline time.Time) (net.Conn, error) {
 			backoff = dialBackoffMax
 		}
 	}
+}
+
+// dialFatal distinguishes dial errors no retry can fix — a malformed
+// address, a hostname that does not resolve, an exhausted fd table, a
+// permission or address-family problem — from the transient "peer not up
+// yet" class (connection refused/reset, unreachable, timeout). Unknown
+// errors count as transient: peers start in arbitrary order, and the old
+// retry-everything behavior is the safe default for errors this list has
+// never seen.
+func dialFatal(err error) bool {
+	var ae *net.AddrError
+	if errors.As(err, &ae) {
+		return true
+	}
+	var dns *net.DNSError
+	if errors.As(err, &dns) {
+		return dns.IsNotFound
+	}
+	var errno syscall.Errno
+	if errors.As(err, &errno) {
+		switch errno {
+		case syscall.EMFILE, syscall.ENFILE, syscall.EACCES, syscall.EPERM, syscall.EAFNOSUPPORT, syscall.EPROTONOSUPPORT:
+			return true
+		}
+	}
+	return false
 }
 
 // Accept returns the next inbound TCP connection.

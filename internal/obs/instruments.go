@@ -28,6 +28,19 @@ const (
 	// MetricDroppedFrames counts frames a node's read loops discarded (late
 	// ACKs after a rendezvous timeout, unexpected kinds on a data stream).
 	MetricDroppedFrames = "dropped_frames_total"
+	// MetricRetransmits counts SYN frames re-sent by a parked sender whose
+	// ACK had not arrived within the current backoff interval.
+	MetricRetransmits = "retransmits_total"
+	// MetricReconnects counts data connections re-established after a peer
+	// loss (session resume via a higher HELLO epoch).
+	MetricReconnects = "reconnects_total"
+	// MetricDedupFrames counts duplicate SYN frames suppressed by the
+	// receiver's idempotent dedup (re-ACKed from the merge cache or dropped).
+	MetricDedupFrames = "dedup_frames_total"
+	// MetricBackoffNS is the retransmission backoff chosen after each resend
+	// (LatencyEdges). Deterministic: the sequence of values depends only on
+	// how many resends a rendezvous needed, not on wall-clock time.
+	MetricBackoffNS = "retransmit_backoff_ns"
 )
 
 // ProcMetric derives the per-process variant of a metric name.
@@ -49,10 +62,14 @@ type Instruments struct {
 	InternalEvents *Counter
 	DialRetries    *Counter
 	DroppedFrames  *Counter
+	Retransmits    *Counter
+	Reconnects     *Counter
+	DedupFrames    *Counter
 	SynAckNS       *Histogram
 	SendBlockNS    *Histogram
 	RecvBlockNS    *Histogram
 	CausalTicks    *Histogram
+	BackoffNS      *Histogram
 
 	// procRendezvous is indexed by process id; nil entries no-op.
 	procRendezvous []*Counter
@@ -66,10 +83,14 @@ func NewInstruments(r *Registry, n int) Instruments {
 		InternalEvents: r.Counter(MetricInternalEvents),
 		DialRetries:    r.Counter(MetricDialRetries),
 		DroppedFrames:  r.Counter(MetricDroppedFrames),
+		Retransmits:    r.Counter(MetricRetransmits),
+		Reconnects:     r.Counter(MetricReconnects),
+		DedupFrames:    r.Counter(MetricDedupFrames),
 		SynAckNS:       r.Histogram(MetricSynAckNS, LatencyEdges),
 		SendBlockNS:    r.Histogram(MetricSendBlockNS, LatencyEdges),
 		RecvBlockNS:    r.Histogram(MetricRecvBlockNS, LatencyEdges),
 		CausalTicks:    r.Histogram(MetricCausalTicks, TickEdges),
+		BackoffNS:      r.Histogram(MetricBackoffNS, LatencyEdges),
 	}
 	if r != nil {
 		ins.procRendezvous = make([]*Counter, n)

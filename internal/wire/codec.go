@@ -15,15 +15,22 @@ import (
 type Frame struct {
 	Kind Kind
 
-	// HELLO fields.
+	// HELLO fields. Epoch is the connection generation for one (dialer,
+	// acceptor) node pair: 0 on a first connection, strictly larger on every
+	// reconnect, so an acceptor can tell a session resume from a duplicate.
 	Node   int
 	Procs  []int
 	Digest uint64
 	Role   byte
+	Epoch  int
 
 	// SYN/ACK fields. Vec is the full piggybacked vector — delta
-	// compression is codec-internal and never visible to callers.
+	// compression is codec-internal and never visible to callers. Seq is the
+	// sender process's rendezvous sequence number (starting at 1); an ACK
+	// echoes the Seq of the SYN it answers, which is what makes
+	// retransmission and dedup possible under loss.
 	From, To int
+	Seq      uint64
 	Vec      vector.V
 
 	// INTERNAL fields.
@@ -81,6 +88,14 @@ type Encoder struct {
 	last map[pair]vector.V
 	buf  []byte
 
+	// SelfContained forces every vector into dense form. Delta compression
+	// assumes a lossless FIFO stream — encoder and decoder advance their
+	// baselines in lockstep, so one dropped, duplicated, or reordered frame
+	// corrupts every later vector on the pair. Recovery mode (retransmission
+	// over faulty links) therefore trades the Singhal–Kshemkalyani byte
+	// savings for frames that decode correctly in isolation.
+	SelfContained bool
+
 	// Overhead accumulates the exact piggyback cost of every SYN/ACK
 	// encoded: the dense cost it would have paid next to the bytes the
 	// chosen encoding actually paid.
@@ -124,6 +139,7 @@ func (e *Encoder) appendPayload(dst []byte, f *Frame) ([]byte, error) {
 		dst = append(dst, f.Role)
 		dst = appendUvarint(dst, uint64(f.Node))
 		dst = appendUvarint(dst, f.Digest)
+		dst = appendUvarint(dst, uint64(f.Epoch))
 		dst = appendUvarint(dst, uint64(len(f.Procs)))
 		for _, p := range f.Procs {
 			dst = appendUvarint(dst, uint64(p))
@@ -134,6 +150,7 @@ func (e *Encoder) appendPayload(dst []byte, f *Frame) ([]byte, error) {
 		}
 		dst = appendUvarint(dst, uint64(f.From))
 		dst = appendUvarint(dst, uint64(f.To))
+		dst = appendUvarint(dst, f.Seq)
 		dst = e.appendVec(dst, f)
 	case KindInternal:
 		if len(f.Note) > MaxNote {
@@ -156,6 +173,15 @@ func (e *Encoder) appendPayload(dst []byte, f *Frame) ([]byte, error) {
 // appendVec encodes f.Vec in whichever of dense/delta form is smaller,
 // updates the (From, To) baseline, and charges the overhead account.
 func (e *Encoder) appendVec(dst []byte, f *Frame) []byte {
+	if e.SelfContained {
+		dst = append(dst, 0)
+		for _, x := range f.Vec {
+			dst = appendUvarint(dst, uint64(x))
+		}
+		size := 1 + denseLen(f.Vec)
+		e.Overhead.Add(size, size)
+		return dst
+	}
 	key := pair{f.From, f.To}
 	base, ok := e.last[key]
 	if !ok {
@@ -306,6 +332,9 @@ func (d *Decoder) parse(payload []byte) (*Frame, error) {
 		if f.Digest, err = r.uvarint(); err != nil {
 			return nil, err
 		}
+		if f.Epoch, err = r.intField("epoch", 1<<31); err != nil {
+			return nil, err
+		}
 		count, err := r.intField("proc count", MaxProcs)
 		if err != nil {
 			return nil, err
@@ -321,6 +350,9 @@ func (d *Decoder) parse(payload []byte) (*Frame, error) {
 			return nil, err
 		}
 		if f.To, err = r.intField("to", 1<<31); err != nil {
+			return nil, err
+		}
+		if f.Seq, err = r.uvarint(); err != nil {
 			return nil, err
 		}
 		if f.Vec, err = d.readVec(r, f.From, f.To); err != nil {

@@ -26,9 +26,9 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{}, 3)
 	f.Add([]byte{0x01, 0x05}, 3)
 	f.Add(seed([]*Frame{
-		{Kind: KindHello, Role: RoleReport, Node: 1, Procs: []int{0, 2}, Digest: 99},
-		{Kind: KindSyn, From: 0, To: 2, Vec: vector.V{1, 0, 4}},
-		{Kind: KindAck, From: 2, To: 0, Vec: vector.V{1, 1, 4}},
+		{Kind: KindHello, Role: RoleReport, Node: 1, Procs: []int{0, 2}, Digest: 99, Epoch: 2},
+		{Kind: KindSyn, From: 0, To: 2, Seq: 1, Vec: vector.V{1, 0, 4}},
+		{Kind: KindAck, From: 2, To: 0, Seq: 1, Vec: vector.V{1, 1, 4}},
 		{Kind: KindInternal, Proc: 2, Note: "n"},
 		{Kind: KindBye},
 	}, 3), 3)
@@ -67,6 +67,7 @@ func FuzzDecodeFrame(f *testing.F) {
 			}
 			if got.Kind != want.Kind || got.From != want.From || got.To != want.To ||
 				got.Node != want.Node || got.Digest != want.Digest || got.Role != want.Role ||
+				got.Epoch != want.Epoch || got.Seq != want.Seq ||
 				got.Proc != want.Proc || got.Note != want.Note || len(got.Procs) != len(want.Procs) {
 				t.Fatalf("frame %d changed: got %+v, want %+v", i, got, want)
 			}

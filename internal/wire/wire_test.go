@@ -41,10 +41,10 @@ func pipeRoundTrip(t *testing.T, d int, frames []*Frame) []*Frame {
 
 func TestFrameRoundTrip(t *testing.T) {
 	frames := []*Frame{
-		{Kind: KindHello, Role: RoleData, Node: 2, Procs: []int{3, 4, 5}, Digest: 0xdeadbeefcafe},
-		{Kind: KindSyn, From: 3, To: 0, Vec: vector.V{1, 0, 2}},
-		{Kind: KindAck, From: 0, To: 3, Vec: vector.V{1, 1, 2}},
-		{Kind: KindSyn, From: 3, To: 0, Vec: vector.V{1, 1, 3}},
+		{Kind: KindHello, Role: RoleData, Node: 2, Procs: []int{3, 4, 5}, Digest: 0xdeadbeefcafe, Epoch: 3},
+		{Kind: KindSyn, From: 3, To: 0, Seq: 1, Vec: vector.V{1, 0, 2}},
+		{Kind: KindAck, From: 0, To: 3, Seq: 1, Vec: vector.V{1, 1, 2}},
+		{Kind: KindSyn, From: 3, To: 0, Seq: 2, Vec: vector.V{1, 1, 3}},
 		{Kind: KindInternal, Proc: 4, Note: "checkpoint #7"},
 		{Kind: KindInternal, Proc: 5, Note: ""},
 		{Kind: KindBye},
@@ -125,6 +125,36 @@ func TestBaselinesArePerPair(t *testing.T) {
 		}
 		if f.From != s.from || f.To != s.to || !vector.Eq(f.Vec, s.vec) {
 			t.Fatalf("frame %d: got (%d->%d) %v, want (%d->%d) %v", i, f.From, f.To, f.Vec, s.from, s.to, s.vec)
+		}
+	}
+}
+
+// TestSelfContainedFramesDecodeInIsolation drives repeated same-pair traffic
+// through a SelfContained encoder and decodes each frame with a FRESH decoder
+// (zero baselines): every frame must decode to its full vector on its own.
+// This is the property recovery mode relies on — a retransmitted, duplicated,
+// or reordered frame must not need any earlier frame to be interpretable.
+func TestSelfContainedFramesDecodeInIsolation(t *testing.T) {
+	const d = 8
+	v := vector.New(d)
+	for i := 0; i < 20; i++ {
+		v[2]++
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf, d)
+		enc.SelfContained = true
+		want := v.Clone()
+		if err := enc.Encode(&Frame{Kind: KindSyn, From: 1, To: 2, Seq: uint64(i + 1), Vec: want}); err != nil {
+			t.Fatal(err)
+		}
+		if enc.Overhead.WireBytes != enc.Overhead.DenseBytes {
+			t.Fatalf("self-contained encoding charged wire %d != dense %d", enc.Overhead.WireBytes, enc.Overhead.DenseBytes)
+		}
+		f, err := NewDecoder(&buf, d).Decode()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !vector.Eq(f.Vec, want) || f.Seq != uint64(i+1) {
+			t.Fatalf("frame %d decoded (seq %d) %v, want (seq %d) %v", i, f.Seq, f.Vec, i+1, want)
 		}
 	}
 }
