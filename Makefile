@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race net-test obs-test chaos-test bench fuzz repro examples clean
+.PHONY: all build vet lint test race net-test obs-test chaos-test bench microbench fuzz repro examples clean
 
 all: build lint test
 
@@ -52,7 +52,14 @@ chaos-test:
 	$(GO) test -race -run 'TestJournal|TestRestore|TestLateAck|TestDialClassification' ./internal/node
 	$(GO) test -race -run 'TestE2EFaultPlanDeterministicTraces|TestE2EKillNineRecoverySoak' -v ./cmd/tsnode
 
+# Throughput gate: cmd/tsbench runs every scenario (loop, tcp, journal)
+# with a fixed seed, writes BENCH_<name>.json, and fails if any report is
+# malformed or either arm recorded zero throughput. Committed BENCH files
+# at the repo root are refreshed by running this and checking in the result.
 bench:
+	$(GO) run ./cmd/tsbench -seed 42 -out .
+
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Short fuzz pass over every fuzz target (seeds always run under `make test`).

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestQuickRunEmitsValidReports runs the full harness in-process on a tiny
+// workload and checks every scenario writes a BENCH_*.json that Validate
+// accepts and that carries both arms. Speedup is deliberately not asserted:
+// a loaded CI box can flip a marginal ratio, and the committed numbers are
+// produced by `make bench` runs, not by this smoke test.
+func TestQuickRunEmitsValidReports(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-quick", "-pairs", "2", "-rounds", "10", "-out", dir}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	for _, sc := range scenarios {
+		path := filepath.Join(dir, "BENCH_"+sc.name+".json")
+		if err := Validate(path); err != nil {
+			t.Errorf("scenario %s: %v", sc.name, err)
+			continue
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		var rep Report
+		if err := json.Unmarshal(b, &rep); err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		if rep.Name != sc.name {
+			t.Errorf("scenario %s: report name %q", sc.name, rep.Name)
+		}
+		if sc.journal {
+			m := rep.Modes["batched"]
+			if m.JournalAppends == 0 {
+				t.Errorf("scenario %s: batched arm recorded no journal appends", sc.name)
+			}
+			if m.JournalSyncs > m.JournalAppends {
+				t.Errorf("scenario %s: %d syncs for %d appends", sc.name, m.JournalSyncs, m.JournalAppends)
+			}
+		}
+	}
+}
+
+// TestScenarioSelection covers the -bench flag parser.
+func TestScenarioSelection(t *testing.T) {
+	all, err := selectScenarios("all")
+	if err != nil || len(all) != len(scenarios) {
+		t.Fatalf("all: %v, %d scenarios", err, len(all))
+	}
+	two, err := selectScenarios("tcp, journal")
+	if err != nil || len(two) != 2 || two[0].name != "tcp" || two[1].name != "journal" {
+		t.Fatalf("tcp,journal: %v, %+v", err, two)
+	}
+	if _, err := selectScenarios("nope"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestValidateRejectsBrokenReports checks the contract make bench relies on.
+func TestValidateRejectsBrokenReports(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep Report) string {
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := Report{
+		Schema: Schema, Name: "x", Messages: 10,
+		Modes: map[string]ModeResult{
+			"baseline": {MsgsPerSec: 1},
+			"batched":  {MsgsPerSec: 2},
+		},
+	}
+	if err := Validate(write("good.json", good)); err != nil {
+		t.Fatalf("good report rejected: %v", err)
+	}
+	bad := good
+	bad.Schema = Schema + 1
+	if err := Validate(write("schema.json", bad)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	bad = good
+	bad.Modes = map[string]ModeResult{"baseline": {MsgsPerSec: 1}}
+	if err := Validate(write("missing.json", bad)); err == nil {
+		t.Error("missing batched arm accepted")
+	}
+	bad = good
+	bad.Modes = map[string]ModeResult{"baseline": {MsgsPerSec: 1}, "batched": {}}
+	if err := Validate(write("zero.json", bad)); err == nil {
+		t.Error("zero throughput accepted")
+	}
+}

@@ -193,6 +193,12 @@ func TestE2EFaultPlanDeterministicTraces(t *testing.T) {
 // of the stitched-together run against the sequential replay. The traces
 // then go through "tsanalyze trace-report" as an independent oracle.
 //
+// The two seeds also split the journal commit mode: seed 1 runs the default
+// group commit (one fsync covers a batch of records, so the SIGKILL lands
+// between batch commits and may tear a multi-record batch mid-line), seed 2
+// runs -journal-sync each (the fsync-per-record baseline). Recovery must
+// stitch the run back together identically in both modes.
+//
 // Skipped under -short: it compiles binaries, opens sockets, and kills
 // processes.
 func TestE2EKillNineRecoverySoak(t *testing.T) {
@@ -207,9 +213,12 @@ func TestE2EKillNineRecoverySoak(t *testing.T) {
 	bin := buildBinary(t, goTool, binDir, "syncstamp/cmd/tsnode")
 	tsanalyze := buildBinary(t, goTool, binDir, "syncstamp/cmd/tsanalyze")
 
-	for _, seed := range []int64{1, 2} {
-		seed := seed
-		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+	for _, tc := range []struct {
+		seed int64
+		sync string
+	}{{1, "group"}, {2, "each"}} {
+		seed, syncMode := tc.seed, tc.sync
+		t.Run(fmt.Sprintf("seed%d-%s", seed, syncMode), func(t *testing.T) {
 			dir := t.TempDir()
 			addrs := freeAddrs(t, 3)
 			traces := make([]string, 3)
@@ -228,9 +237,14 @@ func TestE2EKillNineRecoverySoak(t *testing.T) {
 				t.Fatal(err)
 			}
 
+			// Journal-bearing nodes carry this subtest's commit mode.
+			journalArgs := func(i int) []string {
+				return append(chaosArgs(i, addrs, traces[i], journals[i], planPath, "250ms"),
+					"-journal-sync", syncMode)
+			}
 			n0 := startChaosNode(t, bin, chaosArgs(0, addrs, traces[0], "", planPath, "250ms"))
-			n1 := startChaosNode(t, bin, chaosArgs(1, addrs, traces[1], journals[1], planPath, "250ms"))
-			n2 := startChaosNode(t, bin, chaosArgs(2, addrs, traces[2], journals[2], planPath, "250ms"))
+			n1 := startChaosNode(t, bin, journalArgs(1))
+			n2 := startChaosNode(t, bin, journalArgs(2))
 
 			// Kill node 1 the hard way once the mesh is busy, then restart it
 			// from its journal.
@@ -252,7 +266,7 @@ func TestE2EKillNineRecoverySoak(t *testing.T) {
 				<-done
 				for {
 					n1restarts++
-					cn := startChaosNode(t, bin, chaosArgs(1, addrs, traces[1], journals[1], planPath, "250ms"))
+					cn := startChaosNode(t, bin, journalArgs(1))
 					code := cn.wait(t, 120*time.Second)
 					n1 = cn
 					if code == 0 {
@@ -288,7 +302,7 @@ func TestE2EKillNineRecoverySoak(t *testing.T) {
 							n2restarts, code, cn.out.String(), cn.err.String())
 						return
 					}
-					cn = startChaosNode(t, bin, chaosArgs(2, addrs, traces[2], journals[2], planPath, "250ms"))
+					cn = startChaosNode(t, bin, journalArgs(2))
 				}
 			}()
 

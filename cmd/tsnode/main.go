@@ -80,6 +80,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	reconnectWindow := fs.Duration("reconnect-window", 10*time.Second, "how long a lost peer may stay unreachable before -on-peer-loss applies")
 	retransmitMin := fs.Duration("retransmit-min", node.DefaultRetransmitMin, "initial SYN retransmission backoff")
 	retransmitMax := fs.Duration("retransmit-max", node.DefaultRetransmitMax, "retransmission backoff cap")
+	noCoalesce := fs.Bool("no-coalesce", false, "flush every frame to the transport individually instead of coalescing bursts")
+	journalSync := fs.String("journal-sync", "group", "journal commit mode: group (one fsync per batch) or each (one fsync per record)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -184,8 +186,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
+		switch *journalSync {
+		case "group":
+			// Default: group commit, one fsync covers a batch of records.
+		case "each":
+			j.SetSyncEach(true)
+		default:
+			_ = j.Close()
+			return fail(fmt.Errorf("-journal-sync %q: want group or each", *journalSync))
+		}
 		defer func() {
-			_ = j.Close() // appends already fsynced record by record
+			_ = j.Close() // every Append returned durable; nothing to flush
 		}()
 		rec.Journal = j
 		journalRecs = recs
@@ -208,6 +219,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		HandshakeTimeout:  *handshake,
 		RendezvousTimeout: *rendezvous,
 		Obs:               o,
+		NoCoalesce:        *noCoalesce,
 		Recovery:          rec,
 	}, tr)
 	if err != nil {
@@ -242,6 +254,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if len(info.Excluded) > 0 {
 		fmt.Fprintf(stdout, "tsnode: peers excluded from the run: %v\n", info.Excluded)
+	}
+	if info.JournalAppends > 0 {
+		fmt.Fprintf(stdout, "tsnode: journal: %d records committed in %d fsync batches\n",
+			info.JournalAppends, info.JournalSyncs)
 	}
 	if ftr != nil {
 		st := ftr.Stats()

@@ -223,6 +223,7 @@ type faultConn struct {
 	wbuf      []byte
 	role      byte
 	roleKnown bool
+	exempt    bool // egress stopped parsing as frames; bytes pass through raw
 
 	rmu       sync.Mutex
 	rbuf      []byte
@@ -277,17 +278,43 @@ func (c *faultConn) sniff(b []byte) {
 }
 
 // Write reassembles the egress byte stream into frames and applies the
-// link schedule to each complete one. It always reports the full input as
-// written — a dropped frame is "sent" as far as the caller can tell, which
-// is exactly the loss model the recovery protocol is built for.
+// link schedule to each complete one. One Write may carry many frames — the
+// coalescing writer batches a burst of SYNs/ACKs into a single transport
+// write — and each gets its own fate draw, so fault semantics stay
+// per-frame, not per-write. A Write may equally end mid-frame (a bufio
+// buffer spilling); the fragment waits in wbuf for the rest. It always
+// reports the full input as written — a dropped frame is "sent" as far as
+// the caller can tell, which is exactly the loss model the recovery
+// protocol is built for.
 func (c *faultConn) Write(p []byte) (int, error) {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.exempt {
+		if _, err := c.Conn.Write(p); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
 	c.wbuf = append(c.wbuf, p...)
-	for {
+	for len(c.wbuf) > 0 {
 		size, n := binary.Uvarint(c.wbuf)
-		if n <= 0 || uint64(len(c.wbuf)-n) < size {
-			break // incomplete header or payload; wait for more bytes
+		if n == 0 {
+			break // incomplete header; wait for more bytes
+		}
+		if n < 0 || size == 0 || size > wire.MaxFrame {
+			// An implausible header can never resolve into a frame: parsing
+			// would otherwise stall (and buffer) this stream forever. Stop
+			// injecting and pass everything through raw.
+			c.exempt = true
+			buffered := c.wbuf
+			c.wbuf = nil
+			if _, err := c.Conn.Write(buffered); err != nil {
+				return 0, err
+			}
+			return len(p), nil
+		}
+		if uint64(len(c.wbuf)-n) < size {
+			break // incomplete payload; wait for more bytes
 		}
 		total := n + int(size)
 		frame := append([]byte(nil), c.wbuf[:total]...)

@@ -1,0 +1,207 @@
+package node
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+)
+
+// benchMatching builds a P-pair matching topology split across two nodes:
+// even processes (the senders) on node 0, odd (the receivers) on node 1.
+func benchMatching(pairs int) (*decomp.Decomposition, []int) {
+	g := graph.New(2 * pairs)
+	for i := 0; i < pairs; i++ {
+		g.AddEdge(2*i, 2*i+1)
+	}
+	placement := make([]int, 2*pairs)
+	for p := range placement {
+		placement[p] = p % 2
+	}
+	return decomp.Best(g), placement
+}
+
+// runBenchCluster drives one 2-node Loop run and reports errors on b.
+func runBenchCluster(b *testing.B, dec *decomp.Decomposition, placement []int,
+	programs map[int]func(*Process) error, coalesce bool) {
+	b.Helper()
+	ts := loopTransports(2)
+	nodes := make([]*Node, 2)
+	for i := range nodes {
+		n, err := New(Config{Node: i, Placement: placement, Dec: dec, NoCoalesce: !coalesce}, ts[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer n.Close()
+		nodes[i] = n
+	}
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := range nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = nodes[i].Run(programs)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			b.Fatalf("node %d: %v", i, err)
+		}
+	}
+}
+
+// benchPrograms is the tsbench workload shape: every pair ping-pongs rounds
+// times concurrently over the single inter-node connection.
+func benchPrograms(pairs, rounds int) map[int]func(*Process) error {
+	programs := make(map[int]func(*Process) error, 2*pairs)
+	for i := 0; i < pairs; i++ {
+		sender, receiver := 2*i, 2*i+1
+		programs[sender] = func(p *Process) error {
+			for k := 0; k < rounds; k++ {
+				if _, err := p.Send(receiver); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		programs[receiver] = func(p *Process) error {
+			for k := 0; k < rounds; k++ {
+				if _, err := p.RecvFrom(sender); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return programs
+}
+
+// BenchmarkLoopRendezvous measures the full remote rendezvous round trip —
+// SYN encode, pipe, merge, ACK, adopt — over the in-memory Loop transport
+// with the coalescing writer on; ns/op is per message.
+func BenchmarkLoopRendezvous(b *testing.B) {
+	const pairs = 8
+	dec, placement := benchMatching(pairs)
+	rounds := b.N/pairs + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	runBenchCluster(b, dec, placement, benchPrograms(pairs, rounds), true)
+	b.StopTimer()
+}
+
+// BenchmarkLoopRendezvousNoCoalesce is the flush-per-frame baseline arm.
+func BenchmarkLoopRendezvousNoCoalesce(b *testing.B) {
+	const pairs = 8
+	dec, placement := benchMatching(pairs)
+	rounds := b.N/pairs + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	runBenchCluster(b, dec, placement, benchPrograms(pairs, rounds), false)
+	b.StopTimer()
+}
+
+// benchJournalAppend drives b.N appends through a journal from workers
+// concurrent goroutines; ns/op is per committed record.
+func benchJournalAppend(b *testing.B, each bool, workers int) {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "bench.journal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	j.SetSyncEach(each)
+	rec := JournalRecord{Kind: journalInternal, Proc: 1, Note: "bench"}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		n := b.N / workers
+		if w < b.N%workers {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := j.Append(rec); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	st := j.Stats()
+	b.ReportMetric(float64(st.Appends)/float64(st.Syncs), "records/fsync")
+	if err := os.Remove(path); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkJournalAppendGroupCommit(b *testing.B) { benchJournalAppend(b, false, 8) }
+
+func BenchmarkJournalAppendSyncEach(b *testing.B) { benchJournalAppend(b, true, 8) }
+
+// TestNodeHotPathAllocBudget pins the per-message allocation count of the
+// full distributed rendezvous path. The budget is deliberately loose — the
+// path spans goroutine handoffs, journal-free protocol work, and log
+// growth — but tight enough that an accidental per-frame buffer or
+// per-vector scratch slipping into the hot path (tens of allocations per
+// message) fails the test rather than silently regressing throughput.
+func TestNodeHotPathAllocBudget(t *testing.T) {
+	const (
+		pairs    = 4
+		rounds   = 200
+		budget   = 100.0
+		messages = pairs * rounds
+	)
+	dec, placement := benchMatching(pairs)
+	programs := benchPrograms(pairs, rounds)
+
+	// Warm run to populate connection state, then measure.
+	run := func() {
+		ts := loopTransports(2)
+		nodes := make([]*Node, 2)
+		for i := range nodes {
+			n, err := New(Config{Node: i, Placement: placement, Dec: dec}, ts[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer n.Close()
+			nodes[i] = n
+		}
+		errs := make([]error, 2)
+		var wg sync.WaitGroup
+		for i := range nodes {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, errs[i] = nodes[i].Run(programs)
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("node %d: %v", i, err)
+			}
+		}
+	}
+	run()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	run()
+	runtime.ReadMemStats(&after)
+	perMsg := float64(after.Mallocs-before.Mallocs) / float64(messages)
+	if perMsg > budget {
+		t.Fatalf("distributed rendezvous allocates %.1f objects per message, budget %.0f", perMsg, budget)
+	}
+	t.Logf("distributed rendezvous: %.1f allocs per message (budget %.0f)", perMsg, budget)
+}

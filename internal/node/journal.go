@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 
 	"syncstamp/internal/core"
@@ -40,12 +41,67 @@ type JournalRecord struct {
 	Note  string   `json:"note,omitempty"`
 }
 
-// Journal is an append-only, fsync-per-record JSONL file of committed
-// operations. Safe for concurrent use by a node's process goroutines.
+// Journal is an append-only JSONL file of committed operations, safe for
+// concurrent use by a node's process goroutines.
+//
+// Commits are group-committed by default: concurrent Appends pool their
+// records and a single leader writes and fsyncs the whole batch, so one
+// fsync covers every rendezvous that reached the journal while the previous
+// fsync was in flight. The durability contract is unchanged — Append
+// returns only after the fsync covering its record has completed — which is
+// what preserves the write-ahead invariant (a merge's journal entry is
+// durable before its ACK leaves the node). SetSyncEach(true) restores
+// fsync-per-record commits, the baseline arm of cmd/tsbench.
 type Journal struct {
 	mu       sync.Mutex
 	f        *os.File
 	restarts int
+	each     bool // fsync per record instead of per batch
+
+	// Group-commit state, guarded by mu. Records queue as complete
+	// newline-terminated JSONL lines in buf; a crash mid-batch therefore
+	// tears at most the batch's last line, which replay already truncates.
+	buf       []byte
+	spare     []byte        // recycled batch buffer
+	leader    bool          // a goroutine is mid write+fsync
+	batch     int64         // batch number queued records will join
+	committed int64         // highest batch number made durable
+	done      chan struct{} // closed and remade after every commit
+	err       error         // sticky commit failure; the journal is dead
+
+	appends int64
+	syncs   int64
+}
+
+// commitYields is how many times a group-commit leader yields the scheduler
+// before taking its batch. A blocking fsync freezes the calling OS thread —
+// and on a single-CPU GOMAXPROCS=1 runtime that freezes every goroutine in
+// the process until the runtime's monitor rescues the P, so appends that
+// would have queued behind the leader never get to run and every batch
+// degenerates to size 1. Yielding first lets every runnable goroutine
+// advance (senders park on ACKs, receivers merge and append), so the work
+// in flight joins the batch before the world stops for the fsync. On an
+// idle system Gosched returns immediately, so an uncontended Append pays
+// nanoseconds, not a latency window.
+const commitYields = 8
+
+// JournalStats counts a journal's committed records and the fsyncs that
+// made them durable.
+type JournalStats struct {
+	Appends int64 `json:"appends"`
+	Syncs   int64 `json:"syncs"`
+}
+
+// SetSyncEach switches the journal to fsync-per-record commits (true) or
+// back to group commit (false, the default). Call before the run starts;
+// it is not synchronized against in-flight Appends.
+func (j *Journal) SetSyncEach(each bool) { j.each = each }
+
+// Stats snapshots the journal's commit accounting.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JournalStats{Appends: j.appends, Syncs: j.syncs}
 }
 
 // OpenJournal opens (creating if absent) a journal and replays it: it
@@ -73,7 +129,9 @@ func OpenJournal(path string) (*Journal, []JournalRecord, error) {
 		_ = f.Close()
 		return nil, nil, fmt.Errorf("node: seek journal: %w", err)
 	}
-	j := &Journal{f: f, restarts: restarts}
+	// Batch numbering starts at 1 so the zero value of committed means
+	// "nothing durable yet".
+	j := &Journal{f: f, restarts: restarts, batch: 1, done: make(chan struct{})}
 	if prior {
 		j.restarts++
 		if err := j.Append(JournalRecord{Kind: journalRestart}); err != nil {
@@ -115,8 +173,9 @@ func replayJournal(f *os.File) (recs []JournalRecord, restarts int, good int64, 
 	}
 }
 
-// Append commits one record: marshal, write, fsync. The record is durable
-// when Append returns.
+// Append commits one record. The record is durable when Append returns:
+// either this goroutine wrote and fsynced it (fsync-per-record mode, or as
+// the batch leader), or it waited for the leader whose batch carried it.
 func (j *Journal) Append(rec JournalRecord) error {
 	b, err := json.Marshal(rec)
 	if err != nil {
@@ -125,13 +184,70 @@ func (j *Journal) Append(rec JournalRecord) error {
 	b = append(b, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if _, err := j.f.Write(b); err != nil {
-		return fmt.Errorf("node: journal append: %w", err)
+	if j.err != nil {
+		return j.err
 	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("node: journal sync: %w", err)
+	j.appends++
+	if j.each {
+		j.syncs++
+		if _, err := j.f.Write(b); err != nil {
+			return fmt.Errorf("node: journal append: %w", err)
+		}
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("node: journal sync: %w", err)
+		}
+		return nil
 	}
-	return nil
+
+	j.buf = append(j.buf, b...)
+	mine := j.batch
+	for j.committed < mine && j.err == nil {
+		if !j.leader {
+			// Become the leader: let the in-flight work land (see
+			// commitYields), then take everything queued — our record
+			// included, possibly many more — and commit it with one fsync.
+			// Records arriving during the Write/Sync queue for the next batch.
+			j.leader = true
+			j.mu.Unlock()
+			for y := 0; y < commitYields; y++ {
+				runtime.Gosched()
+			}
+			j.mu.Lock()
+			taking := j.batch
+			out := j.buf
+			j.buf = j.spare[:0]
+			j.spare = nil
+			j.batch++
+			j.syncs++
+			j.mu.Unlock()
+			_, werr := j.f.Write(out)
+			if werr == nil {
+				werr = j.f.Sync()
+			}
+			//nolint:lockcheck hand-over-hand re-lock after the off-lock commit; released by the deferred Unlock at the top of Append
+			j.mu.Lock()
+			j.leader = false
+			j.committed = taking
+			j.spare = out[:0]
+			if werr != nil && j.err == nil {
+				j.err = fmt.Errorf("node: journal commit: %w", werr)
+			}
+			close(j.done)
+			j.done = make(chan struct{})
+			continue
+		}
+		// A leader is mid-commit; wait for it, then re-check whether its
+		// batch (or a successor's) covered us.
+		ch := j.done
+		j.mu.Unlock()
+		<-ch
+		//nolint:lockcheck hand-over-hand re-lock after waiting out a leader; released by the deferred Unlock at the top of Append
+		j.mu.Lock()
+	}
+	// A sticky error is returned even to appenders whose own batch committed
+	// just before the journal died: over-reporting failure only aborts the
+	// run early, never violates the durability contract.
+	return j.err
 }
 
 // Restarts counts this journal's restart markers — how many times the node

@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +82,12 @@ type Config struct {
 	// Obs is the node's observability surface. Nil disables it; the
 	// rendezvous hot paths then cost nothing extra.
 	Obs *obs.Obs
+	// NoCoalesce disables frame coalescing on data connections: every frame
+	// is flushed to the transport individually, one write per frame, as the
+	// pre-batching runtime did. It is the baseline arm of cmd/tsbench and a
+	// debugging aid; the default (false) lets concurrent senders share
+	// transport writes via the flush-on-idle writer.
+	NoCoalesce bool
 	// Recovery, when non-nil, enables the loss-tolerant protocol:
 	// retransmission, dedup, reconnection, degradation policy, and
 	// (optionally) crash-recovery journaling. Nil keeps the original
@@ -109,28 +116,76 @@ type peerConn struct {
 	c     net.Conn
 	dec   *wire.Decoder
 
+	// pending counts senders that have committed to encoding a frame but
+	// not yet finished: the one that decrements it to zero flushes the
+	// write buffer. That is the whole flush-on-idle discipline — a burst of
+	// concurrent SYNs/ACKs from independent channel pairs shares one
+	// transport write, while a lone frame still reaches the wire before its
+	// send returns (the final decrement happens under mu, after the last
+	// encode, so no frame is ever stranded unflushed).
+	pending atomic.Int64
+
 	mu  sync.Mutex
 	enc *wire.Encoder
 }
 
+// flushYields is how many times the would-be flusher yields the scheduler
+// before writing the batch to the transport. Transport writes on a socket
+// never block (the kernel buffers them), so on a single CPU a sender runs
+// its whole send without ever handing the processor to a concurrent sender —
+// pending would stay at 1 and every frame would get its own transport
+// write. Yielding first lets other runnable senders encode into the batch;
+// whoever decrements pending to zero last inherits the flush. With nothing
+// else runnable a yield returns immediately, so a lone send pays
+// nanoseconds.
+const flushYields = 4
+
 // send encodes one frame, serializing concurrent senders, and charges the
 // owning node's live wire-traffic counters (no-ops with obs disabled).
+// With coalescing enabled the encoder runs in batch mode and the last
+// concurrent sender out flushes for everyone; send may return with its
+// frame still in the write buffer only when a later sender has already
+// committed to encoding — that sender (or its successor) flushes it.
 func (pc *peerConn) send(f *wire.Frame) error {
+	pc.pending.Add(1)
+	//nolint:lockcheck released early on every branch below: the flush-on-idle protocol must drop the lock before yielding so later senders can encode
 	pc.mu.Lock()
-	defer pc.mu.Unlock()
 	k := int(f.Kind)
 	before := 0
 	if k < len(pc.n.wireBytes) {
 		before = pc.enc.Stats.Bytes[k]
 	}
-	if err := pc.enc.Encode(f); err != nil {
-		return err
-	}
-	if k < len(pc.n.wireBytes) {
+	err := pc.enc.Encode(f)
+	if err == nil && k < len(pc.n.wireBytes) {
 		pc.n.wireFrames[k].Add(1)
 		pc.n.wireBytes[k].Add(int64(pc.enc.Stats.Bytes[k] - before))
 	}
-	return nil
+	if pc.pending.Add(-1) > 0 {
+		// A later sender is already committed to encoding; the flush is its
+		// (or its successor's) responsibility.
+		pc.mu.Unlock()
+		return err
+	}
+	pc.mu.Unlock()
+	if pc.n.cfg.NoCoalesce {
+		return err // Encode flushed itself
+	}
+	for y := 0; y < flushYields; y++ {
+		runtime.Gosched()
+		if pc.pending.Load() > 0 {
+			return err // a new sender arrived; it inherits the flush
+		}
+	}
+	pc.mu.Lock()
+	// Recheck under the lock: a sender that slipped in after the last yield
+	// holds or awaits mu, and pending covers it either way.
+	if pc.pending.Load() == 0 {
+		if ferr := pc.enc.Flush(); err == nil {
+			err = ferr
+		}
+	}
+	pc.mu.Unlock()
+	return err
 }
 
 // overhead snapshots the encoder's piggyback accounting.
@@ -408,6 +463,9 @@ func (n *Node) handleAccept(c net.Conn) error {
 			return fmt.Errorf("node %d: handshake reply to node %d: %w", n.cfg.Node, f.Node, err)
 		}
 		_ = c.SetDeadline(time.Time{})
+		// The HELLO above flushed itself; from here the stream carries data
+		// frames, which coalesce under the flush-on-idle writer.
+		enc.SetBatch(!n.cfg.NoCoalesce)
 		pc := &peerConn{n: n, node: f.Node, epoch: f.Epoch, c: c, enc: enc, dec: dec}
 		if err := n.register(pc); err != nil {
 			return err
@@ -513,6 +571,7 @@ func (n *Node) dialPeer(j, epoch int) error {
 		return fmt.Errorf("node %d: node %d has topology digest %#x, ours is %#x (mismatched decomposition or placement)", n.cfg.Node, j, f.Digest, n.digest)
 	}
 	_ = c.SetDeadline(time.Time{})
+	enc.SetBatch(!n.cfg.NoCoalesce)
 	return n.register(&peerConn{n: n, node: j, epoch: epoch, c: c, enc: enc, dec: dec})
 }
 
@@ -696,6 +755,12 @@ type RunInfo struct {
 	// Excluded lists the peer nodes removed from the run under
 	// PeerLossExclude, ascending. Empty on a fully healthy run.
 	Excluded []int
+	// JournalAppends and JournalSyncs count committed journal records and
+	// the fsync batches that made them durable (recovery mode with a
+	// journal only; both zero otherwise). Syncs well below Appends is group
+	// commit doing its job.
+	JournalAppends int64
+	JournalSyncs   int64
 }
 
 // FrameMap renders a wire accounting as the obs.Meta frame table, omitting
@@ -806,6 +871,15 @@ func (n *Node) Run(programs map[int]func(*Process) error) (*RunInfo, error) {
 	info.Reconnects = n.reconnects.Load()
 	info.Deduped = n.deduped.Load()
 	info.Excluded = n.excludedList()
+	if n.rec != nil && n.rec.Journal != nil {
+		js := n.rec.Journal.Stats()
+		info.JournalAppends = js.Appends
+		info.JournalSyncs = js.Syncs
+		if r := n.cfg.Obs.Registry(); r != nil {
+			r.Gauge(obs.MetricJournalAppends).Set(js.Appends)
+			r.Gauge(obs.MetricJournalSyncs).Set(js.Syncs)
+		}
+	}
 	for i, p := range n.local {
 		info.Logs[p] = procs[i].log
 	}

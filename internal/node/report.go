@@ -30,6 +30,10 @@ func (n *Node) SendReport(collector int, info *RunInfo) error {
 	if err := enc.Encode(hello); err != nil {
 		return fmt.Errorf("node %d: report handshake: %w", n.cfg.Node, err)
 	}
+	// The HELLO flushed itself (the collector's handshake read is on a
+	// deadline); the log frames batch in the write buffer and go out in
+	// large writes, with the final flush below covering the tail.
+	enc.SetBatch(true)
 	for _, p := range n.local {
 		for _, rec := range info.Logs[p] {
 			var f *wire.Frame
@@ -49,6 +53,9 @@ func (n *Node) SendReport(collector int, info *RunInfo) error {
 		}
 	}
 	if err := enc.Encode(&wire.Frame{Kind: wire.KindBye}); err != nil {
+		return fmt.Errorf("node %d: report: %w", n.cfg.Node, err)
+	}
+	if err := enc.Flush(); err != nil {
 		return fmt.Errorf("node %d: report: %w", n.cfg.Node, err)
 	}
 	return nil

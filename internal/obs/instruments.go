@@ -41,6 +41,13 @@ const (
 	// (LatencyEdges). Deterministic: the sequence of values depends only on
 	// how many resends a rendezvous needed, not on wall-clock time.
 	MetricBackoffNS = "retransmit_backoff_ns"
+	// MetricJournalAppends gauges the crash-recovery journal's committed
+	// record count at end of run (recovery mode with a journal only).
+	MetricJournalAppends = "journal_appends_total"
+	// MetricJournalSyncs gauges the fsync batches that made those records
+	// durable. Syncs well below appends is group commit at work; equal
+	// counts mean fsync-per-record (the -journal-sync=each baseline).
+	MetricJournalSyncs = "journal_syncs_total"
 )
 
 // ProcMetric derives the per-process variant of a metric name.

@@ -82,11 +82,15 @@ func Kinds() []Kind {
 // Encoder writes frames to one stream, maintaining the per-pair delta
 // baselines and the exact-size overhead accounting. An Encoder is not safe
 // for concurrent use; internal/node serializes writes per connection.
+//
+// The steady-state encode path (SYN/ACK on an already-seen pair) performs
+// zero allocations; bench_test.go pins that with AllocsPerRun.
 type Encoder struct {
-	w    *bufio.Writer
-	d    int
-	last map[pair]vector.V
-	buf  []byte
+	w     *bufio.Writer
+	d     int
+	last  map[pair]vector.V
+	buf   []byte
+	batch bool
 
 	// SelfContained forces every vector into dense form. Delta compression
 	// assumes a lossless FIFO stream — encoder and decoder advance their
@@ -110,25 +114,57 @@ func NewEncoder(w io.Writer, d int) *Encoder {
 	return &Encoder{w: bufio.NewWriter(w), d: d, last: make(map[pair]vector.V)}
 }
 
-// Encode writes one frame and flushes it to the underlying stream.
-func (e *Encoder) Encode(f *Frame) error {
-	payload, err := e.appendPayload(e.buf[:0], f)
-	if err != nil {
-		return err
-	}
-	e.buf = payload[:0]
-	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
-	if _, err := e.w.Write(hdr[:n]); err != nil {
-		return fmt.Errorf("wire: write header: %w", err)
-	}
-	if _, err := e.w.Write(payload); err != nil {
-		return fmt.Errorf("wire: write payload: %w", err)
-	}
+// SetBatch switches the encoder between flush-per-frame (the default, every
+// Encode reaches the transport before returning) and batch mode, where
+// frames accumulate in the write buffer until Flush — the coalescing mode
+// internal/node drives with its flush-on-idle writer, trading one transport
+// write per frame for one per burst.
+func (e *Encoder) SetBatch(batch bool) { e.batch = batch }
+
+// Flush forces every encoded frame onto the underlying stream. It is a
+// cheap no-op when the buffer is empty.
+func (e *Encoder) Flush() error {
 	if err := e.w.Flush(); err != nil {
 		return fmt.Errorf("wire: flush: %w", err)
 	}
-	e.Stats.add(f.Kind, n+len(payload))
+	return nil
+}
+
+// Encode writes one frame; unless the encoder is in batch mode, the frame
+// is flushed to the underlying stream before Encode returns.
+//
+// The payload is built into the recycled buffer after a reserved header
+// gap, the length varint is placed right-aligned against the payload, and
+// header plus payload go out in one contiguous Write — a stack-local header
+// buffer handed to an io.Writer would escape and cost an allocation per
+// frame.
+func (e *Encoder) Encode(f *Frame) error {
+	const maxHdr = binary.MaxVarintLen64
+	if cap(e.buf) < maxHdr {
+		e.buf = make([]byte, maxHdr)
+	}
+	full, err := e.appendPayload(e.buf[:maxHdr], f)
+	if err != nil {
+		return err
+	}
+	e.buf = full[:0]
+	plen := len(full) - maxHdr
+	if plen > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", plen, MaxFrame)
+	}
+	var hdr [maxHdr]byte
+	n := binary.PutUvarint(hdr[:], uint64(plen))
+	start := maxHdr - n
+	copy(full[start:maxHdr], hdr[:n])
+	if _, err := e.w.Write(full[start:]); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	if !e.batch {
+		if err := e.Flush(); err != nil {
+			return err
+		}
+	}
+	e.Stats.add(f.Kind, n+plen)
 	return nil
 }
 
@@ -164,14 +200,14 @@ func (e *Encoder) appendPayload(dst []byte, f *Frame) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("wire: cannot encode kind %v", f.Kind)
 	}
-	if len(dst) > MaxFrame {
-		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(dst), MaxFrame)
-	}
 	return dst, nil
 }
 
 // appendVec encodes f.Vec in whichever of dense/delta form is smaller,
-// updates the (From, To) baseline, and charges the overhead account.
+// updates the (From, To) baseline, and charges the overhead account. The
+// delta is computed against the baseline inline — no []Change materializes
+// and the baseline is overwritten in place — so a warm pair costs no
+// allocations.
 func (e *Encoder) appendVec(dst []byte, f *Frame) []byte {
 	if e.SelfContained {
 		dst = append(dst, 0)
@@ -186,17 +222,26 @@ func (e *Encoder) appendVec(dst []byte, f *Frame) []byte {
 	base, ok := e.last[key]
 	if !ok {
 		base = vector.New(e.d)
+		e.last[key] = base
 	}
-	delta := f.Vec.DeltaSince(base)
+	changed, deltaBody := 0, 0
+	for i, x := range f.Vec {
+		if x != base[i] {
+			changed++
+			deltaBody += uvarintLen(uint64(i)) + uvarintLen(uint64(x))
+		}
+	}
 
 	denseSize := 1 + denseLen(f.Vec)
-	deltaSize := 1 + deltaLen(delta)
+	deltaSize := 1 + uvarintLen(uint64(changed)) + deltaBody
 	if deltaSize < denseSize {
 		dst = append(dst, 1)
-		dst = appendUvarint(dst, uint64(len(delta)))
-		for _, ch := range delta {
-			dst = appendUvarint(dst, uint64(ch.Index))
-			dst = appendUvarint(dst, uint64(ch.Value))
+		dst = appendUvarint(dst, uint64(changed))
+		for i, x := range f.Vec {
+			if x != base[i] {
+				dst = appendUvarint(dst, uint64(i))
+				dst = appendUvarint(dst, uint64(x))
+			}
 		}
 		e.Overhead.Add(denseSize, deltaSize)
 	} else {
@@ -206,7 +251,7 @@ func (e *Encoder) appendVec(dst []byte, f *Frame) []byte {
 		}
 		e.Overhead.Add(denseSize, denseSize)
 	}
-	e.last[key] = f.Vec.Clone()
+	copy(base, f.Vec)
 	return dst
 }
 
@@ -214,14 +259,6 @@ func denseLen(v vector.V) int {
 	n := 0
 	for _, x := range v {
 		n += uvarintLen(uint64(x))
-	}
-	return n
-}
-
-func deltaLen(delta []vector.Change) int {
-	n := uvarintLen(uint64(len(delta)))
-	for _, ch := range delta {
-		n += uvarintLen(uint64(ch.Index)) + uvarintLen(uint64(ch.Value))
 	}
 	return n
 }
@@ -383,16 +420,24 @@ func (d *Decoder) parse(payload []byte) (*Frame, error) {
 }
 
 // readVec decodes a vector and advances the (from, to) baseline exactly as
-// the encoder did.
+// the encoder did. The returned vector is a fresh allocation (internal/node
+// retains it past the next Decode); the baseline is a separate array
+// updated in place, so a warm SYN/ACK decode costs exactly the Frame and
+// the vector — bench_test.go pins it.
 func (d *Decoder) readVec(r *reader, from, to int) (vector.V, error) {
 	mode, err := r.byte()
 	if err != nil {
 		return nil, err
 	}
-	var v vector.V
+	key := pair{from, to}
+	base, ok := d.last[key]
+	if !ok {
+		base = vector.New(d.d)
+		d.last[key] = base
+	}
+	v := vector.New(d.d)
 	switch mode {
 	case 0: // dense
-		v = vector.New(d.d)
 		for k := range v {
 			if v[k], err = r.intField("component", 1<<62); err != nil {
 				return nil, err
@@ -403,12 +448,7 @@ func (d *Decoder) readVec(r *reader, from, to int) (vector.V, error) {
 		if err != nil {
 			return nil, err
 		}
-		key := pair{from, to}
-		base, ok := d.last[key]
-		if !ok {
-			base = vector.New(d.d)
-		}
-		v = base.Clone()
+		copy(v, base)
 		for i := 0; i < count; i++ {
 			idx, err := r.intField("delta index", uint64(d.d))
 			if err != nil {
@@ -418,13 +458,14 @@ func (d *Decoder) readVec(r *reader, from, to int) (vector.V, error) {
 			if err != nil {
 				return nil, err
 			}
-			if applyErr := v.ApplyDelta([]vector.Change{{Index: idx, Value: val}}); applyErr != nil {
-				return nil, applyErr
+			if idx >= len(v) {
+				return nil, fmt.Errorf("wire: delta index %d out of range [0,%d)", idx, len(v))
 			}
+			v[idx] = val
 		}
 	default:
 		return nil, fmt.Errorf("wire: unknown vector mode %d", mode)
 	}
-	d.last[pair{from, to}] = v.Clone()
+	copy(base, v)
 	return v, nil
 }
