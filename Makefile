@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race net-test obs-test chaos-test bench microbench fuzz repro examples clean
+.PHONY: all build vet lint lint-baseline test race net-test obs-test chaos-test bench microbench fuzz repro examples clean
 
 all: build lint test
 
@@ -16,11 +16,22 @@ vet:
 
 # Static analysis gate: the repo-specific analyzers (cmd/tslint enforces the
 # clock & determinism invariants of DESIGN.md "Enforced invariants") plus
-# go vet and gofmt, so the local gate matches the CI lint job. The final
-# step proves the linter bites: the seeded-violation testdata must fail.
+# go vet and gofmt, so the local gate matches the CI lint job. The analyzer
+# self-tests then prove every analyzer bites: the golden tests pin the exact
+# diagnostics each seeded-violation package must produce and require each
+# clean twin to stay silent, and the two spot checks below keep the
+# end-to-end driver honest (a concurrency seed must fail, across module and
+# per-package analyzers alike).
 lint: vet
-	$(GO) run ./cmd/tslint ./...
+	$(GO) run ./cmd/tslint -baseline lint.baseline ./...
+	$(GO) test -run 'TestAnalyzersGolden|TestNolintPolicy' ./internal/lint
 	! $(GO) run ./cmd/tslint internal/lint/testdata/src/vectoralias/bad >/dev/null 2>&1
+	! $(GO) run ./cmd/tslint internal/lint/testdata/src/spinbound/bad >/dev/null 2>&1
+
+# Refresh the accepted-findings baseline (see lint.baseline header). The
+# committed file is empty: the module is clean, and CI fails on anything new.
+lint-baseline:
+	$(GO) run ./cmd/tslint -write-baseline lint.baseline ./...
 
 test:
 	$(GO) test ./...
@@ -72,6 +83,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzVectorDelta -fuzztime=10s ./internal/vector
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/wire
 	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/fault
+	$(GO) test -fuzz=FuzzNolint -fuzztime=10s ./internal/lint
 
 # Regenerate every paper figure/claim table into paperbench_output.txt.
 repro:

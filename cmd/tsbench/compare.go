@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Compare mode diffs the current BENCH_*.json reports against a previous
+// run's set (CI downloads the last successful run's bench-reports artifact
+// into the previous directory). The gate is the batched arm's msgs/sec —
+// the number the coalescing writer and group-commit journal exist to
+// protect: a drop beyond the threshold fails the run. Scenarios present on
+// only one side are reported but never fail, so adding a benchmark (or
+// comparing against a run from before one existed) stays green.
+
+// compareDirs reports per-scenario throughput deltas and returns an error
+// listing every scenario whose batched msgs/sec regressed by more than
+// threshold percent.
+func compareDirs(prevDir, curDir string, threshold float64, stdout io.Writer) error {
+	prev, err := readReports(prevDir)
+	if err != nil {
+		return err
+	}
+	cur, err := readReports(curDir)
+	if err != nil {
+		return err
+	}
+	if len(cur) == 0 {
+		return fmt.Errorf("no BENCH_*.json in %s", curDir)
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressed []string
+	for _, name := range names {
+		c := cur[name]
+		p, ok := prev[name]
+		if !ok {
+			fmt.Fprintf(stdout, "tsbench compare %-8s batched %9.0f msgs/s  (no previous report)\n",
+				name, c.Modes["batched"].MsgsPerSec)
+			continue
+		}
+		was, now := p.Modes["batched"].MsgsPerSec, c.Modes["batched"].MsgsPerSec
+		if was <= 0 {
+			fmt.Fprintf(stdout, "tsbench compare %-8s batched %9.0f msgs/s  (previous report unusable)\n", name, now)
+			continue
+		}
+		deltaPct := (now - was) / was * 100
+		fmt.Fprintf(stdout, "tsbench compare %-8s batched %9.0f -> %9.0f msgs/s  (%+.1f%%)\n",
+			name, was, now, deltaPct)
+		if deltaPct < -threshold {
+			regressed = append(regressed,
+				fmt.Sprintf("%s: batched %.0f -> %.0f msgs/s (%.1f%% drop > %.0f%% threshold)",
+					name, was, now, -deltaPct, threshold))
+		}
+	}
+	for name := range prev {
+		if _, ok := cur[name]; !ok {
+			fmt.Fprintf(stdout, "tsbench compare %-8s dropped (previous report has no current counterpart)\n", name)
+		}
+	}
+	if len(regressed) > 0 {
+		msg := "throughput regression:"
+		for _, r := range regressed {
+			msg += "\n  " + r
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}
+
+// readReports loads every valid BENCH_*.json in dir, keyed by scenario name.
+// A missing directory is an empty set, not an error: the first CI run has no
+// previous artifact to download.
+func readReports(dir string) (map[string]*Report, error) {
+	out := make(map[string]*Report)
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	for _, path := range paths {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rep Report
+		if err := json.Unmarshal(b, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if rep.Schema != Schema || rep.Name == "" {
+			// A report from a different schema era can't be compared
+			// meaningfully; skip it rather than fail the gate.
+			continue
+		}
+		out[rep.Name] = &rep
+	}
+	return out, nil
+}

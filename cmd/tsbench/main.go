@@ -111,12 +111,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	trials := fs.Int("trials", 3, "trials per arm; the best throughput is reported")
 	outDir := fs.String("out", ".", "directory BENCH_<name>.json files are written to")
 	quick := fs.Bool("quick", false, "shrink the workload for smoke runs")
+	compareDir := fs.String("compare", "", "compare BENCH_*.json in -out against this directory's instead of benchmarking")
+	regressPct := fs.Float64("regress", 10, "with -compare: max tolerated batched msgs/sec drop, percent")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "tsbench:", err)
 		return 1
+	}
+	if *compareDir != "" {
+		if err := compareDirs(*compareDir, *outDir, *regressPct, stdout); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 	if *pairs < 1 || *rounds < 1 || *trials < 1 {
 		return fail(fmt.Errorf("-pairs, -rounds, and -trials must be positive"))

@@ -64,6 +64,71 @@ func TestScenarioSelection(t *testing.T) {
 	}
 }
 
+// TestCompareMode covers the CI regression gate: within-threshold drift and
+// one-sided scenarios pass, a batched-arm drop beyond -regress fails, and a
+// missing previous directory (first run, no artifact) is tolerated.
+func TestCompareMode(t *testing.T) {
+	mkReport := func(name string, batched float64) Report {
+		return Report{
+			Schema: Schema, Name: name, Messages: 10,
+			Modes: map[string]ModeResult{
+				"baseline": {MsgsPerSec: batched / 2},
+				"batched":  {MsgsPerSec: batched},
+			},
+		}
+	}
+	writeDir := func(reports ...Report) string {
+		dir := t.TempDir()
+		for _, rep := range reports {
+			b, err := json.Marshal(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, "BENCH_"+rep.Name+".json"), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir
+	}
+	runCompare := func(prev, cur string) (int, string, string) {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-compare", prev, "-out", cur}, &stdout, &stderr)
+		return code, stdout.String(), stderr.String()
+	}
+
+	// 5% drop on loop, new scenario on the current side, one dropped on the
+	// previous side: all within the 10% default.
+	prev := writeDir(mkReport("loop", 1000), mkReport("gone", 500))
+	cur := writeDir(mkReport("loop", 950), mkReport("tcp", 2000))
+	if code, out, errOut := runCompare(prev, cur); code != 0 {
+		t.Fatalf("5%% drift failed (exit %d)\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+
+	// 20% drop must fail and name the scenario.
+	cur = writeDir(mkReport("loop", 800))
+	if code, _, errOut := runCompare(prev, cur); code != 1 {
+		t.Fatalf("20%% regression passed (exit %d)", code)
+	} else if !bytes.Contains([]byte(errOut), []byte("loop")) {
+		t.Fatalf("regression message does not name the scenario: %s", errOut)
+	}
+
+	// A custom threshold widens the gate.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-compare", prev, "-out", cur, "-regress", "30"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-regress 30 still failed on a 20%% drop: %s", stderr.String())
+	}
+
+	// No previous artifact: everything is new, nothing fails.
+	if code, _, errOut := runCompare(filepath.Join(t.TempDir(), "never-downloaded"), cur); code != 0 {
+		t.Fatalf("missing previous dir failed (exit %d): %s", code, errOut)
+	}
+
+	// No current reports is an error: the bench step upstream must have run.
+	if code, _, _ := runCompare(prev, t.TempDir()); code != 1 {
+		t.Fatalf("empty current dir passed (exit %d)", code)
+	}
+}
+
 // TestValidateRejectsBrokenReports checks the contract make bench relies on.
 func TestValidateRejectsBrokenReports(t *testing.T) {
 	dir := t.TempDir()

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"strings"
+
+	"syncstamp/internal/lint"
+)
+
+// The baseline is a checked-in list of accepted diagnostics, one canonical
+// "file:line:col analyzer: message" line per finding, paths relative to the
+// module root. With -baseline, only diagnostics NOT in the file fail the
+// run: CI gates on new findings without forcing a big-bang cleanup when an
+// analyzer tightens. Lines starting with '#' and blank lines are ignored, so
+// the file can carry a header explaining itself. An empty baseline (the
+// committed state of a clean module) makes -baseline equivalent to the
+// default strict mode.
+
+// loadBaseline reads the accepted-diagnostic set from path.
+func loadBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	accepted := make(map[string]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		accepted[line] = true
+	}
+	return accepted, nil
+}
+
+// filterBaseline splits diags into new findings and accepted ones, matching
+// on the canonical line rendered relative to root.
+func filterBaseline(diags []lint.Diagnostic, accepted map[string]bool, root string) (fresh, old []lint.Diagnostic) {
+	for _, d := range diags {
+		if accepted[d.Rel(root)] {
+			old = append(old, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	return fresh, old
+}
+
+// writeBaseline records the current diagnostics as the accepted set.
+func writeBaseline(path, root string, diags []lint.Diagnostic) error {
+	var b strings.Builder
+	b.WriteString("# tslint baseline: accepted diagnostics, one per line, paths relative to\n")
+	b.WriteString("# the module root. Regenerate with `make lint-baseline`. CI fails only on\n")
+	b.WriteString("# findings not listed here.\n")
+	for _, d := range diags {
+		b.WriteString(d.Rel(root))
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

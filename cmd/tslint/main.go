@@ -11,12 +11,17 @@
 //	tslint ./...            # same
 //	tslint <dir> [<dir>...] # analyze specific package directories
 //	tslint -list            # list analyzers and the invariant each enforces
-//	tslint -run mapiter,ordercmp ./...
+//	tslint -only mapiter,ordercmp ./...
+//	tslint -sarif out.sarif ./...        # also write SARIF 2.1.0
+//	tslint -baseline lint.baseline ./... # fail only on findings not baselined
+//	tslint -write-baseline lint.baseline ./...
 //
 // Diagnostics print as "file:line:col analyzer: message". A finding is
 // suppressed by a trailing or preceding "//nolint:<analyzer> reason"
 // comment; the reason is mandatory (an unjustified suppression is itself a
-// finding). Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// finding). Exit status: 0 clean, 1 findings, 2 usage or load failure. With
+// -baseline, findings listed in the baseline file are reported as accepted
+// and do not fail the run.
 package main
 
 import (
@@ -37,8 +42,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tslint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list analyzers and exit")
-	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	runNames := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	onlyNames := fs.String("only", "", "alias of -run: restrict to the named analyzers")
 	dir := fs.String("C", ".", "directory inside the module to analyze")
+	sarifOut := fs.String("sarif", "", "also write diagnostics as SARIF 2.1.0 to this file")
+	baselinePath := fs.String("baseline", "", "fail only on diagnostics not listed in this baseline file")
+	writeBaselinePath := fs.String("write-baseline", "", "write current diagnostics to this baseline file and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -59,10 +68,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dirs = append(dirs, arg)
 	}
 
+	selected := *runNames
+	if *onlyNames != "" {
+		if selected != "" && selected != *onlyNames {
+			fmt.Fprintln(stderr, "tslint: -run and -only are aliases; pass one of them")
+			return 2
+		}
+		selected = *onlyNames
+	}
 	analyzers := lint.All()
-	if *only != "" {
+	if selected != "" {
 		analyzers = analyzers[:0:0]
-		for _, name := range strings.Split(*only, ",") {
+		for _, name := range strings.Split(selected, ",") {
 			a := lint.ByName(strings.TrimSpace(name))
 			if a == nil {
 				fmt.Fprintf(stderr, "tslint: unknown analyzer %q (try -list)\n", name)
@@ -95,12 +112,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	diags := lint.Run(pkgs, analyzers)
+	root := loader.ModuleDir()
+
+	if *sarifOut != "" {
+		if err := writeSARIF(*sarifOut, root, analyzers, diags); err != nil {
+			fmt.Fprintln(stderr, "tslint: writing SARIF:", err)
+			return 2
+		}
+	}
+	if *writeBaselinePath != "" {
+		if err := writeBaseline(*writeBaselinePath, root, diags); err != nil {
+			fmt.Fprintln(stderr, "tslint: writing baseline:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "tslint: wrote %d finding(s) to %s\n", len(diags), *writeBaselinePath)
+		return 0
+	}
+
+	failing := diags
+	if *baselinePath != "" {
+		accepted, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "tslint: reading baseline:", err)
+			return 2
+		}
+		var old []lint.Diagnostic
+		failing, old = filterBaseline(diags, accepted, root)
+		if len(old) > 0 {
+			fmt.Fprintf(stderr, "tslint: %d baselined finding(s) suppressed\n", len(old))
+		}
+	}
+
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
+	for _, d := range failing {
 		fmt.Fprintln(stdout, d.Rel(cwd))
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "tslint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+	if len(failing) > 0 {
+		fmt.Fprintf(stderr, "tslint: %d finding(s) in %d package(s)\n", len(failing), len(pkgs))
 		return 1
 	}
 	return 0

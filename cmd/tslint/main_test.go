@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -41,6 +44,134 @@ func TestSeededViolationsFail(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "vectoralias:") {
 		t.Fatalf("expected vectoralias findings, got:\n%s", out.String())
+	}
+}
+
+// TestOnlyFlag exercises -only as the documented alias of -run, including
+// the conflicting-flags rejection.
+func TestOnlyFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-only", "vectoralias", "../../internal/lint/testdata/src/vectoralias/bad"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("-only vectoralias on seeded package: got exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "vectoralias:") {
+		t.Fatalf("expected vectoralias findings, got:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	// A different analyzer selected: the same seeded package is clean for it.
+	code = run([]string{"-only", "droppederr", "../../internal/lint/testdata/src/vectoralias/bad"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("-only droppederr: got exit %d, want 0 (out: %s)", code, out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-only", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("-only with unknown analyzer: got exit %d, want 2", code)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-run", "mapiter", "-only", "droppederr"}, &out, &errOut); code != 2 {
+		t.Fatalf("conflicting -run and -only: got exit %d, want 2", code)
+	}
+}
+
+// TestSARIFOutput checks the -sarif file is valid SARIF 2.1.0 with one
+// result per printed diagnostic and rule metadata for the analyzers run.
+func TestSARIFOutput(t *testing.T) {
+	sarifPath := filepath.Join(t.TempDir(), "out.sarif")
+	var out, errOut strings.Builder
+	code := run([]string{"-only", "vectoralias", "-sarif", sarifPath,
+		"../../internal/lint/testdata/src/vectoralias/bad"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("seeded run: got exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	data, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatalf("reading SARIF: %v", err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("SARIF version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "tslint" {
+		t.Errorf("driver name = %q, want tslint", r.Tool.Driver.Name)
+	}
+	if len(r.Tool.Driver.Rules) != 1 || r.Tool.Driver.Rules[0].ID != "vectoralias" {
+		t.Errorf("rules = %+v, want the single vectoralias rule", r.Tool.Driver.Rules)
+	}
+	printed := strings.Count(strings.TrimSpace(out.String()), "\n") + 1
+	if len(r.Results) != printed {
+		t.Errorf("SARIF has %d results, stdout printed %d diagnostics", len(r.Results), printed)
+	}
+	for _, res := range r.Results {
+		if res.RuleID != "vectoralias" || len(res.Locations) != 1 {
+			t.Errorf("malformed result: %+v", res)
+		}
+		if strings.Contains(res.Locations[0].PhysicalLocation.ArtifactLocation.URI, "\\") {
+			t.Errorf("artifact URI not forward-slashed: %q", res.Locations[0].PhysicalLocation.ArtifactLocation.URI)
+		}
+	}
+}
+
+// TestBaseline checks the write/read cycle: baselining the current findings
+// turns the run green, and a finding not in the baseline still fails.
+func TestBaseline(t *testing.T) {
+	basePath := filepath.Join(t.TempDir(), "lint.baseline")
+	target := "../../internal/lint/testdata/src/vectoralias/bad"
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-only", "vectoralias", "-write-baseline", basePath, target}, &out, &errOut); code != 0 {
+		t.Fatalf("-write-baseline: got exit %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+
+	// Everything baselined: clean.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-only", "vectoralias", "-baseline", basePath, target}, &out, &errOut); code != 0 {
+		t.Fatalf("fully baselined run: got exit %d, want 0\nstdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(errOut.String(), "baselined finding(s) suppressed") {
+		t.Errorf("expected suppression note on stderr, got: %s", errOut.String())
+	}
+
+	// Truncate the baseline to its comment header: the same findings are new
+	// again and must fail.
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var header []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "#") {
+			header = append(header, line)
+		}
+	}
+	if err := os.WriteFile(basePath, []byte(strings.Join(header, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-only", "vectoralias", "-baseline", basePath, target}, &out, &errOut); code != 1 {
+		t.Fatalf("empty baseline: got exit %d, want 1", code)
+	}
+
+	// A missing baseline file is a usage error, not a silent pass.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", filepath.Join(t.TempDir(), "nope"), target}, &out, &errOut); code != 2 {
+		t.Fatalf("missing baseline file: got exit %d, want 2", code)
 	}
 }
 

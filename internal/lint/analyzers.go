@@ -10,6 +10,10 @@ func All() []*Analyzer {
 		OrderCmp,
 		MapIter,
 		LockCheck,
+		LockOrder,
+		AtomicCheck,
+		SpinBound,
+		GoroExit,
 		DroppedErr,
 		ObsDet,
 	}

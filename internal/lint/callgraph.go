@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// FuncInfo is one module function or method the call graph knows about: its
+// type object, the package it lives in, and its declaration (Body may be
+// nil for a declared-but-bodyless function, e.g. assembly stubs).
+type FuncInfo struct {
+	Obj  *types.Func
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// CallSite is one static call from inside a module function to another
+// module function. Calls through interfaces or function values have no
+// static callee and carry no edge; the analyzers built on the graph are
+// explicitly "may" analyses over the statically visible structure.
+type CallSite struct {
+	Caller *types.Func
+	Callee *types.Func
+	Pos    ast.Node // the call expression, for diagnostics
+	// Async marks a call that does not run synchronously in the caller's
+	// control flow: the target of a go statement, or any call inside a
+	// function literal that is go-launched, passed as a callback argument,
+	// or stored (it may run later, on another goroutine, with different
+	// locks held). Synchronous-context analyses (lock ordering) skip async
+	// edges; pure reachability analyses may keep them.
+	Async bool
+}
+
+// CallGraph is a lightweight, intra-module static call graph built from
+// go/types resolution alone (no x/tools, matching the module's empty
+// dependency set). Function literals are attributed to their enclosing
+// declared function: a call made inside a closure is an edge from the
+// function that contains the closure, which over-approximates "may call"
+// exactly the way the interprocedural analyzers need.
+type CallGraph struct {
+	funcs map[*types.Func]*FuncInfo
+	calls map[*types.Func][]CallSite
+}
+
+// BuildCallGraph indexes every declared function and method of pkgs and
+// records the statically resolvable calls between them.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		funcs: make(map[*types.Func]*FuncInfo),
+		calls: make(map[*types.Func][]CallSite),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.funcs[obj] = &FuncInfo{Obj: obj, Pkg: pkg, Decl: fd}
+			}
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				caller, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.collectCalls(pkg, caller, fd.Body, false)
+			}
+		}
+	}
+	return g
+}
+
+// collectCalls records every static call inside n as edges from caller,
+// tracking whether the call runs synchronously in caller's control flow.
+// Async contexts are: the call of a go statement, the body of a go-launched
+// function literal, and the body of any function literal that escapes the
+// current flow (passed as a call argument — a callback — or stored). A
+// literal that is invoked on the spot (func(){...}(), including deferred
+// ones) stays synchronous.
+func (g *CallGraph) collectCalls(pkg *Package, caller *types.Func, n ast.Node, async bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch mm := m.(type) {
+		case *ast.GoStmt:
+			if lit, ok := unparen(mm.Call.Fun).(*ast.FuncLit); ok {
+				g.collectCalls(pkg, caller, lit.Body, true)
+			} else {
+				g.addCall(pkg, caller, mm.Call, true)
+				g.collectCalls(pkg, caller, mm.Call.Fun, async)
+			}
+			// Arguments of the go call are evaluated synchronously at the
+			// spawn site.
+			for _, a := range mm.Call.Args {
+				g.collectCalls(pkg, caller, a, async)
+			}
+			return false
+		case *ast.CallExpr:
+			g.addCall(pkg, caller, mm, async)
+			if lit, ok := unparen(mm.Fun).(*ast.FuncLit); ok {
+				// Immediate invocation: the body runs here and now.
+				g.collectCalls(pkg, caller, lit.Body, async)
+			} else {
+				g.collectCalls(pkg, caller, mm.Fun, async)
+			}
+			for _, a := range mm.Args {
+				if lit, ok := unparen(a).(*ast.FuncLit); ok {
+					// Callback: when (and under which locks) it runs is the
+					// callee's business, not this flow's.
+					g.collectCalls(pkg, caller, lit.Body, true)
+				} else {
+					g.collectCalls(pkg, caller, a, async)
+				}
+			}
+			return false
+		case *ast.FuncLit:
+			// A literal reached outside any call context is stored or
+			// returned; it escapes the current flow.
+			g.collectCalls(pkg, caller, mm.Body, true)
+			return false
+		}
+		return true
+	})
+}
+
+func (g *CallGraph) addCall(pkg *Package, caller *types.Func, call *ast.CallExpr, async bool) {
+	callee := staticCallee(pkg, call)
+	if callee == nil {
+		return
+	}
+	if _, inModule := g.funcs[callee]; !inModule {
+		return
+	}
+	g.calls[caller] = append(g.calls[caller], CallSite{
+		Caller: caller,
+		Callee: callee,
+		Pos:    call,
+		Async:  async,
+	})
+}
+
+// staticCallee resolves the called *types.Func of a call expression when the
+// callee is a named function or a method on a concrete receiver; interface
+// method calls and calls of function values resolve to nil.
+func staticCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := funcObject(pkg, fun); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		// Interface dispatch has no static body to follow.
+		if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+		}
+		if fn, ok := funcObject(pkg, fun.Sel); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+func funcObject(pkg *Package, id *ast.Ident) (*types.Func, bool) {
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	fn, ok := obj.(*types.Func)
+	return fn, ok
+}
+
+// Func returns the module function info for obj, or nil when obj is not a
+// module function (stdlib, interface method, nil).
+func (g *CallGraph) Func(obj *types.Func) *FuncInfo {
+	if obj == nil {
+		return nil
+	}
+	return g.funcs[obj]
+}
+
+// CallsFrom returns the static call sites inside fn, in source order.
+func (g *CallGraph) CallsFrom(fn *types.Func) []CallSite { return g.calls[fn] }
+
+// Funcs returns every module function in deterministic order (package path,
+// then position), so analyses iterating the graph report deterministically.
+func (g *CallGraph) Funcs() []*FuncInfo {
+	out := make([]*FuncInfo, 0, len(g.funcs))
+	for _, fi := range g.funcs {
+		out = append(out, fi)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkg.Path != out[j].Pkg.Path {
+			return out[i].Pkg.Path < out[j].Pkg.Path
+		}
+		return out[i].Decl.Pos() < out[j].Decl.Pos()
+	})
+	return out
+}
+
+// PropagateBool computes the transitive closure of a boolean per-function
+// fact over the call graph: the result holds true for every function whose
+// own seed is true or that may (transitively) synchronously call a function
+// whose seed is true. Async edges are skipped — a fact that holds in a
+// spawned goroutine or a stored callback does not hold in the caller's own
+// flow. The propagation runs to a fixpoint, so recursion and mutual
+// recursion are handled.
+func PropagateBool(g *CallGraph, seed map[*types.Func]bool) map[*types.Func]bool {
+	out := make(map[*types.Func]bool, len(seed))
+	for fn, v := range seed {
+		if v {
+			out[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range g.Funcs() {
+			if out[fi.Obj] {
+				continue
+			}
+			for _, cs := range g.calls[fi.Obj] {
+				if !cs.Async && out[cs.Callee] {
+					out[fi.Obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}

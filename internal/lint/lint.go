@@ -42,7 +42,10 @@ func (d Diagnostic) Rel(dir string) string {
 }
 
 // Analyzer is one invariant checker. Run inspects a single package through
-// its Pass and reports findings with Pass.Reportf.
+// its Pass and reports findings with Pass.Reportf; RunModule (either may be
+// nil) sees every loaded package at once, plus the static call graph, and is
+// how the interprocedural analyzers (lock order, atomics discipline,
+// goroutine joinability) reason across package boundaries.
 type Analyzer struct {
 	// Name is the identifier used in diagnostics and //nolint directives.
 	Name string
@@ -50,6 +53,8 @@ type Analyzer struct {
 	Doc string
 	// Run analyzes one package.
 	Run func(*Pass)
+	// RunModule analyzes the whole loaded package set with its call graph.
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one analyzer's view of one package.
@@ -91,6 +96,37 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	return p.Pkg.Info.Defs[id]
 }
 
+// ModulePass carries one analyzer's view of the entire loaded package set.
+// Every package shares the loader's FileSet, so positions from any package
+// resolve through Fset.
+type ModulePass struct {
+	// Pkgs are the packages under analysis, in load (import path) order.
+	Pkgs []*Package
+	// Graph is the static intra-module call graph over Pkgs.
+	Graph *CallGraph
+	// Analyzer is the analyzer this pass runs.
+	Analyzer *Analyzer
+	// Fset positions every node of every package.
+	Fset   *token.FileSet
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// PassFor returns a per-package Pass view of pkg for this module analyzer,
+// sharing the module pass's reporter — the helper per-package utilities
+// (TypeOf, ObjectOf) then work unchanged in module analyzers.
+func (p *ModulePass) PassFor(pkg *Package) *Pass {
+	return &Pass{Pkg: pkg, Analyzer: p.Analyzer, report: p.report}
+}
+
 // Run applies every analyzer to every package and returns the surviving
 // diagnostics sorted by position. //nolint:<name> suppressions are applied
 // here; a suppression without a justification is itself reported under the
@@ -98,19 +134,43 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 // why the invariant is safe to break at that site).
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	// Suppressions are collected module-wide up front: module-level
+	// analyzers report across package boundaries, and a //nolint in any
+	// package must cover diagnostics landing on its lines regardless of
+	// which pass produced them.
+	sup := &suppressions{byLine: make(map[string]map[int][]string)}
 	for _, pkg := range pkgs {
-		sup := collectNolint(pkg)
+		collectNolint(pkg, sup)
+	}
+	report := func(d Diagnostic) {
+		if !sup.suppresses(d.Pos.Filename, d.Pos.Line, d.Analyzer) {
+			diags = append(diags, d)
+		}
+	}
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{Pkg: pkg, Analyzer: a}
-			pass.report = func(d Diagnostic) {
-				if !sup.suppresses(d.Pos.Filename, d.Pos.Line, d.Analyzer) {
-					diags = append(diags, d)
-				}
+			if a.Run == nil {
+				continue
 			}
+			pass := &Pass{Pkg: pkg, Analyzer: a, report: report}
 			a.Run(pass)
 		}
-		diags = append(diags, sup.policyDiags...)
 	}
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if graph == nil {
+			graph = BuildCallGraph(pkgs)
+		}
+		mp := &ModulePass{Pkgs: pkgs, Graph: graph, Analyzer: a, report: report}
+		if len(pkgs) > 0 {
+			mp.Fset = pkgs[0].Fset
+		}
+		a.RunModule(mp)
+	}
+	diags = append(diags, sup.policyDiags...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -147,8 +207,7 @@ func (s *suppressions) suppresses(file string, line int, analyzer string) bool {
 	return false
 }
 
-func collectNolint(pkg *Package) *suppressions {
-	s := &suppressions{byLine: make(map[string]map[int][]string)}
+func collectNolint(pkg *Package, s *suppressions) {
 	for _, f := range pkg.Files {
 		tokFile := pkg.Fset.File(f.Pos())
 		if tokFile == nil {
@@ -157,12 +216,10 @@ func collectNolint(pkg *Package) *suppressions {
 		file := tokFile.Name()
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := nolintRe.FindStringSubmatch(c.Text)
-				if m == nil {
+				names, reason, ok := ParseNolint(c.Text)
+				if !ok {
 					continue
 				}
-				names := strings.Split(m[1], ",")
-				reason := strings.TrimSpace(m[2])
 				pos := pkg.Fset.Position(c.Pos())
 				if reason == "" {
 					s.policyDiags = append(s.policyDiags, Diagnostic{
@@ -185,7 +242,25 @@ func collectNolint(pkg *Package) *suppressions {
 			}
 		}
 	}
-	return s
+}
+
+// ParseNolint parses one comment's text as a //nolint directive, returning
+// the suppressed analyzer names and the (possibly empty) justification.
+// ok is false when the comment is not a nolint directive at all.
+func ParseNolint(text string) (names []string, reason string, ok bool) {
+	m := nolintRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil, "", false
+	}
+	for _, n := range strings.Split(m[1], ",") {
+		if n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, "", false
+	}
+	return names, strings.TrimSpace(m[2]), true
 }
 
 // onlyCommentOnLine reports whether c is the only token on its line, i.e.

@@ -84,6 +84,23 @@ func TestAnalyzersGolden(t *testing.T) {
 		{"lockcheck/bad", LockCheck, "lockcheck/bad", "syncstamp/internal/csp/tdata/lockcheckbad", "lockcheck_bad.golden"},
 		{"lockcheck/good", LockCheck, "lockcheck/good", "syncstamp/internal/csp/tdata/lockcheckgood", ""},
 		{"lockcheck/obs-scope", LockCheck, "lockcheck/bad", "syncstamp/internal/obs/tdata/lockcheckbad", "lockcheck_bad.golden"},
+		// lockorder shares lockcheck's audited scope (csp, monitor, node,
+		// obs, fault); outside it the same inversions are silent.
+		{"lockorder/bad", LockOrder, "lockorder/bad", "syncstamp/internal/csp/tdata/lockorderbad", "lockorder_bad.golden"},
+		{"lockorder/good", LockOrder, "lockorder/good", "syncstamp/internal/csp/tdata/lockordergood", ""},
+		{"lockorder/node-scope", LockOrder, "lockorder/bad", "syncstamp/internal/node/tdata/lockorderbad", "lockorder_bad.golden"},
+		{"lockorder/out-of-scope", LockOrder, "lockorder/bad", "syncstamp/internal/tdata/lockorderbad", ""},
+		// atomiccheck is module-wide: mixed access is a race wherever it is.
+		{"atomiccheck/bad", AtomicCheck, "atomiccheck/bad", "syncstamp/internal/tdata/atomiccheckbad", "atomiccheck_bad.golden"},
+		{"atomiccheck/good", AtomicCheck, "atomiccheck/good", "syncstamp/internal/tdata/atomiccheckgood", ""},
+		// spinbound is module-wide too.
+		{"spinbound/bad", SpinBound, "spinbound/bad", "syncstamp/internal/tdata/spinboundbad", "spinbound_bad.golden"},
+		{"spinbound/good", SpinBound, "spinbound/good", "syncstamp/internal/tdata/spinboundgood", ""},
+		// goroexit audits node and csp only.
+		{"goroexit/bad", GoroExit, "goroexit/bad", "syncstamp/internal/node/tdata/goroexitbad", "goroexit_bad.golden"},
+		{"goroexit/good", GoroExit, "goroexit/good", "syncstamp/internal/node/tdata/goroexitgood", ""},
+		{"goroexit/csp-scope", GoroExit, "goroexit/bad", "syncstamp/internal/csp/tdata/goroexitbad", "goroexit_bad.golden"},
+		{"goroexit/out-of-scope", GoroExit, "goroexit/bad", "syncstamp/internal/tdata/goroexitbad", ""},
 		{"droppederr/bad", DroppedErr, "droppederr/bad", "syncstamp/internal/tdata/droppederrbad", "droppederr_bad.golden"},
 		{"droppederr/good", DroppedErr, "droppederr/good", "syncstamp/internal/tdata/droppederrgood", ""},
 		// obsdet is scoped to internal/obs: wall-clock reads are findings

@@ -1,0 +1,700 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LockOrder is the interprocedural upgrade of lockcheck: it computes a
+// global lock-acquisition-order graph across the concurrent packages (csp,
+// monitor, node, obs, fault) and reports every cycle as a potential
+// deadlock, with the acquisition path of each leg in the diagnostic. A lock
+// is a sync.Mutex/RWMutex struct field or package-level variable; an edge
+// A -> B means some goroutine may acquire B (directly, or transitively
+// through the static call graph) while holding A. Two goroutines taking the
+// same pair of locks in opposite orders deadlock under the rendezvous
+// protocol exactly like a lost ACK — except no timeout fires.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "global lock-acquisition order across csp, monitor, node, obs, and fault must be acyclic (interprocedural, call-graph based)",
+	RunModule: runLockOrder,
+}
+
+// heldLock is one lock in a function's held set, with where it was taken.
+type heldLock struct {
+	v   *types.Var
+	pos token.Pos
+}
+
+// orderEdge is one direct A-held -> B-acquired observation.
+type orderEdge struct {
+	from, to       *types.Var
+	fromPos, toPos token.Pos
+	fn             *types.Func
+}
+
+// lockSite is one static call made while holding locks.
+type lockSite struct {
+	callee *types.Func
+	held   []heldLock
+	pos    token.Pos
+}
+
+// funcLockSummary is the per-function result of the flow walk.
+type funcLockSummary struct {
+	edges    []orderEdge
+	sites    []lockSite
+	acquires map[*types.Var]token.Pos // direct acquisitions, first position
+}
+
+// acqHop reconstructs interprocedural acquisition paths: a lock reachable
+// from a function either is acquired directly there (next == nil, at pos)
+// or through a call to next.
+type acqHop struct {
+	next *types.Func
+	pos  token.Pos
+}
+
+type lockOrderState struct {
+	mp        *ModulePass
+	labels    map[*types.Var]string
+	summaries map[*types.Func]*funcLockSummary
+}
+
+func runLockOrder(mp *ModulePass) {
+	st := &lockOrderState{
+		mp:        mp,
+		labels:    make(map[*types.Var]string),
+		summaries: make(map[*types.Func]*funcLockSummary),
+	}
+	st.indexLockLabels()
+
+	// Phase 1: per-function flow walk over the audited packages. Function
+	// literals that leave the synchronous flow — go-launched bodies, callback
+	// arguments, stored closures — are walked too (their internal ordering
+	// and call sites matter), but into separate async summaries, starting
+	// from an empty held set: locks held at the spawn site are the parent's,
+	// not theirs, and their acquisitions must not enter the parent's
+	// synchronous may-acquire set.
+	var asyncSums []*funcLockSummary
+	for _, fi := range mp.Graph.Funcs() {
+		if !lockAudited(fi.Pkg.Path) || fi.Decl.Body == nil {
+			continue
+		}
+		sum := &funcLockSummary{acquires: make(map[*types.Var]token.Pos)}
+		var queue []*ast.BlockStmt
+		w := &lockWalker{pkg: fi.Pkg, graph: mp.Graph, fn: fi.Obj, sum: sum, asyncQueue: &queue}
+		w.walkStmts(fi.Decl.Body.List, map[*types.Var]token.Pos{})
+		st.summaries[fi.Obj] = sum
+		for len(queue) > 0 {
+			body := queue[0]
+			queue = queue[1:]
+			as := &funcLockSummary{acquires: make(map[*types.Var]token.Pos)}
+			aw := &lockWalker{pkg: fi.Pkg, graph: mp.Graph, fn: fi.Obj, sum: as, asyncQueue: &queue}
+			aw.walkStmts(body.List, map[*types.Var]token.Pos{})
+			asyncSums = append(asyncSums, as)
+		}
+	}
+
+	// Phase 2: propagate "may acquire" through the call graph so a lock
+	// taken three calls deep still orders against the locks held at the
+	// outermost call site.
+	seed := make(map[*types.Func]map[*types.Var]acqHop, len(st.summaries))
+	for fn, sum := range st.summaries {
+		m := make(map[*types.Var]acqHop, len(sum.acquires))
+		for v, pos := range sum.acquires {
+			m[v] = acqHop{pos: pos}
+		}
+		seed[fn] = m
+	}
+	trans := lockOrderFixpoint(mp.Graph, seed)
+
+	// Phase 3: assemble the global edge set.
+	type edgeKey struct{ from, to *types.Var }
+	type edgeWitness struct {
+		fromPos token.Pos
+		detail  string // human-readable acquisition path of the B leg
+	}
+	edges := make(map[edgeKey]edgeWitness)
+	addEdge := func(from, to *types.Var, fromPos token.Pos, detail string) {
+		k := edgeKey{from, to}
+		if _, ok := edges[k]; !ok {
+			edges[k] = edgeWitness{fromPos: fromPos, detail: detail}
+		}
+	}
+	addSummary := func(sum *funcLockSummary) {
+		for _, e := range sum.edges {
+			addEdge(e.from, e.to, e.fromPos, fmt.Sprintf("%s acquired at %s in %s",
+				st.label(e.to), st.pos(e.toPos), e.fn.Name()))
+		}
+		for _, site := range sum.sites {
+			if len(site.held) == 0 {
+				continue
+			}
+			acq := trans[site.callee]
+			for _, to := range sortedLockVars(acq, st) {
+				hop := acq[to]
+				chain := st.chain(site.callee, to, trans)
+				for _, h := range site.held {
+					if h.v == to {
+						// Self-deadlock: re-acquiring a held (non-reentrant)
+						// mutex through a call chain.
+						addEdge(h.v, to, h.pos, fmt.Sprintf("%s re-acquired via %s (call at %s)",
+							st.label(to), chain, st.pos(site.pos)))
+						continue
+					}
+					addEdge(h.v, to, h.pos, fmt.Sprintf("%s acquired via %s (call at %s, locked at %s)",
+						st.label(to), chain, st.pos(site.pos), st.pos(hop.pos)))
+				}
+			}
+		}
+	}
+	for _, fi := range mp.Graph.Funcs() {
+		if sum := st.summaries[fi.Obj]; sum != nil {
+			addSummary(sum)
+		}
+	}
+	for _, sum := range asyncSums {
+		addSummary(sum)
+	}
+
+	// Phase 4: report every cycle (including self-loops) once, smallest
+	// label first, with each leg's acquisition path.
+	adj := make(map[*types.Var][]*types.Var)
+	for k := range edges {
+		adj[k.from] = append(adj[k.from], k.to)
+	}
+	for v := range adj {
+		vs := adj[v]
+		sort.Slice(vs, func(i, j int) bool { return st.label(vs[i]) < st.label(vs[j]) })
+	}
+	var nodes []*types.Var
+	for v := range adj {
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return st.label(nodes[i]) < st.label(nodes[j]) })
+
+	reported := make(map[string]bool)
+	for _, start := range nodes {
+		cycle := findCycleFrom(start, adj)
+		if cycle == nil {
+			continue
+		}
+		// Canonical form: rotate so the smallest label leads, so the same
+		// cycle discovered from different starts reports once.
+		cycle = rotateMin(cycle, st)
+		key := ""
+		for _, v := range cycle {
+			key += st.label(v) + "->"
+		}
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		var legs []string
+		for i, v := range cycle {
+			next := cycle[(i+1)%len(cycle)]
+			w := edges[edgeKey{v, next}]
+			legs = append(legs, fmt.Sprintf("%s (held at %s) -> %s", st.label(v), st.pos(w.fromPos), w.detail))
+		}
+		first := edges[edgeKey{cycle[0], cycle[(1)%len(cycle)]}]
+		mp.Reportf(first.fromPos, "lock-order cycle (potential deadlock): %s", strings.Join(legs, "; "))
+	}
+}
+
+// lockOrderFixpoint propagates may-acquire facts caller-ward, recording for
+// each newly learned lock which callee it was learned from (the next hop of
+// the acquisition path). Async call sites do not propagate: what a spawned
+// goroutine or stored callback acquires is not acquired in the caller's own
+// synchronous flow, so it does not order against locks the caller holds.
+func lockOrderFixpoint(g *CallGraph, seed map[*types.Func]map[*types.Var]acqHop) map[*types.Func]map[*types.Var]acqHop {
+	out := make(map[*types.Func]map[*types.Var]acqHop, len(seed))
+	for fn, m := range seed {
+		c := make(map[*types.Var]acqHop, len(m))
+		for v, h := range m {
+			c[v] = h
+		}
+		out[fn] = c
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range g.Funcs() {
+			for _, cs := range g.CallsFrom(fi.Obj) {
+				if cs.Async {
+					continue
+				}
+				src := out[cs.Callee]
+				if len(src) == 0 {
+					continue
+				}
+				dst := out[fi.Obj]
+				if dst == nil {
+					dst = make(map[*types.Var]acqHop)
+					out[fi.Obj] = dst
+				}
+				for v := range src {
+					if _, ok := dst[v]; !ok {
+						dst[v] = acqHop{next: cs.Callee}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// chain renders the call chain from fn to the direct acquisition of v.
+func (st *lockOrderState) chain(fn *types.Func, v *types.Var, trans map[*types.Func]map[*types.Var]acqHop) string {
+	var parts []string
+	for fn != nil {
+		parts = append(parts, fn.Name())
+		if len(parts) > 16 { // defensive bound; chains are short in practice
+			break
+		}
+		hop, ok := trans[fn][v]
+		if !ok || hop.next == nil {
+			break
+		}
+		fn = hop.next
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// pos renders a position as base-file:line, stable across checkouts.
+func (st *lockOrderState) pos(p token.Pos) string {
+	position := st.mp.Fset.Position(p)
+	return fmt.Sprintf("%s:%d", filepath.Base(position.Filename), position.Line)
+}
+
+// label names a lock variable: Pkg.Type.field for struct fields,
+// Pkg.var for package-level mutexes.
+func (st *lockOrderState) label(v *types.Var) string {
+	if l, ok := st.labels[v]; ok {
+		return l
+	}
+	l := v.Name()
+	if v.Pkg() != nil {
+		l = v.Pkg().Name() + "." + l
+	}
+	st.labels[v] = l
+	return l
+}
+
+// indexLockLabels maps every mutex-typed struct field of the module to its
+// Pkg.Type.field label.
+func (st *lockOrderState) indexLockLabels() {
+	for _, pkg := range st.mp.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			s, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < s.NumFields(); i++ {
+				f := s.Field(i)
+				if isSyncLocker(f.Type()) {
+					st.labels[f] = pkg.Types.Name() + "." + tn.Name() + "." + f.Name()
+				}
+			}
+		}
+	}
+}
+
+func sortedLockVars(m map[*types.Var]acqHop, st *lockOrderState) []*types.Var {
+	out := make([]*types.Var, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return st.label(out[i]) < st.label(out[j]) })
+	return out
+}
+
+// findCycleFrom returns a cycle reachable from start ([a b c] meaning
+// a->b->c->a), or nil.
+func findCycleFrom(start *types.Var, adj map[*types.Var][]*types.Var) []*types.Var {
+	var path []*types.Var
+	onPath := make(map[*types.Var]int)
+	done := make(map[*types.Var]bool)
+	var dfs func(v *types.Var) []*types.Var
+	dfs = func(v *types.Var) []*types.Var {
+		if i, ok := onPath[v]; ok {
+			return append([]*types.Var(nil), path[i:]...)
+		}
+		if done[v] {
+			return nil
+		}
+		onPath[v] = len(path)
+		path = append(path, v)
+		for _, w := range adj[v] {
+			if c := dfs(w); c != nil {
+				return c
+			}
+		}
+		path = path[:len(path)-1]
+		delete(onPath, v)
+		done[v] = true
+		return nil
+	}
+	return dfs(start)
+}
+
+// rotateMin rotates the cycle so its lexicographically smallest label leads.
+func rotateMin(cycle []*types.Var, st *lockOrderState) []*types.Var {
+	min := 0
+	for i := range cycle {
+		if st.label(cycle[i]) < st.label(cycle[min]) {
+			min = i
+		}
+	}
+	return append(append([]*types.Var(nil), cycle[min:]...), cycle[:min]...)
+}
+
+// lockAudited reports whether pkgPath is one of the concurrency-audited
+// packages (shared with lockcheck's pairing scope).
+func lockAudited(pkgPath string) bool {
+	for _, p := range lockedPaths {
+		if pathWithin(pkgPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// lockWalker performs the per-function flow walk: a source-order traversal
+// tracking the set of locks held, recording direct ordering edges, direct
+// acquisitions, and the held set at every static call site. Function
+// literals that escape the synchronous flow are pushed on asyncQueue for the
+// driver to walk into separate summaries.
+type lockWalker struct {
+	pkg        *Package
+	graph      *CallGraph
+	fn         *types.Func
+	sum        *funcLockSummary
+	asyncQueue *[]*ast.BlockStmt
+}
+
+func (w *lockWalker) enqueueAsync(body *ast.BlockStmt) {
+	*w.asyncQueue = append(*w.asyncQueue, body)
+}
+
+// walkStmts traverses stmts in order, mutating held.
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held map[*types.Var]token.Pos) {
+	for _, st := range stmts {
+		w.walkStmt(st, held)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held map[*types.Var]token.Pos) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if v, method, ok := w.lockMethod(st.X); ok {
+			switch method {
+			case "Lock", "RLock":
+				for hv, hpos := range held {
+					w.sum.edges = append(w.sum.edges, orderEdge{from: hv, to: v, fromPos: hpos, toPos: st.Pos(), fn: w.fn})
+				}
+				if _, ok := w.sum.acquires[v]; !ok {
+					w.sum.acquires[v] = st.Pos()
+				}
+				held[v] = st.Pos()
+			case "Unlock", "RUnlock":
+				delete(held, v)
+			}
+			return
+		}
+		w.scanExprs(st.X, held)
+	case *ast.DeferStmt:
+		if _, method, ok := w.lockMethod(st.Call); ok && (method == "Unlock" || method == "RUnlock") {
+			// Deferred release: the lock stays held for the remainder of the
+			// walk, which is exactly the ordering-relevant window.
+			return
+		}
+		w.scanExprs(st.Call, held)
+	case *ast.GoStmt:
+		// A spawned goroutine starts with an empty held set: locks held at
+		// the spawn site are the parent's, not the child's, and what it
+		// acquires is not part of the parent's synchronous flow.
+		if lit, ok := unparen(st.Call.Fun).(*ast.FuncLit); ok {
+			w.enqueueAsync(lit.Body)
+		}
+		// The go call's arguments are evaluated synchronously at the spawn
+		// site; for a named callee the call itself is not (the async call-
+		// graph edge covers reachability, ordering-wise it contributes
+		// nothing to the parent).
+		for _, arg := range st.Call.Args {
+			w.scanExprs(arg, held)
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		w.scanExprs(st.Cond, held)
+		w.walkBranch(st.Body.List, held)
+		if st.Else != nil {
+			w.walkBranch([]ast.Stmt{st.Else}, held)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			w.scanExprs(st.Cond, held)
+		}
+		w.walkStmts(st.Body.List, held)
+		if st.Post != nil {
+			w.walkStmt(st.Post, held)
+		}
+	case *ast.RangeStmt:
+		w.scanExprs(st.X, held)
+		w.walkStmts(st.Body.List, held)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			w.scanExprs(st.Tag, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkBranch(cc.Body, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkBranch(cc.Body, held)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.walkStmt(cc.Comm, held)
+				}
+				w.walkBranch(cc.Body, held)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt, held)
+	case nil:
+	default:
+		// Assignments, declarations, returns, sends, increments: no lock
+		// structure of their own, but their expressions may call.
+		w.scanNode(s, held)
+	}
+}
+
+// walkBranch walks a conditional branch on a copy of held. When the branch
+// falls through (does not end in return/branch), its effects are merged
+// back: locks it acquired may be held afterward, locks it released on a
+// terminating path are not un-held for the fall-through code.
+func (w *lockWalker) walkBranch(stmts []ast.Stmt, held map[*types.Var]token.Pos) {
+	branch := copyHeld(held)
+	w.walkStmts(stmts, branch)
+	if terminates(stmts) {
+		return // effects confined to the exiting path
+	}
+	for v, pos := range branch {
+		if _, ok := held[v]; !ok {
+			held[v] = pos
+		}
+	}
+	for v := range held {
+		if _, ok := branch[v]; !ok {
+			delete(held, v)
+		}
+	}
+}
+
+// terminates reports whether the statement list ends by leaving the
+// enclosing flow (return, break, continue, goto, panic).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := unparen(last.X).(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func copyHeld(held map[*types.Var]token.Pos) map[*types.Var]token.Pos {
+	c := make(map[*types.Var]token.Pos, len(held))
+	for v, p := range held {
+		c[v] = p
+	}
+	return c
+}
+
+// scanExprs records call sites (with the current held set) and dispatches
+// function literals found inside an expression: an immediately invoked
+// literal runs here, under the current held set; a literal passed as a call
+// argument (a callback) or stored escapes the flow and is queued for an
+// async walk with an empty held set — time.AfterFunc(d, func(){...}) runs
+// on the timer goroutine, not under the locks held at registration.
+func (w *lockWalker) scanExprs(e ast.Expr, held map[*types.Var]token.Pos) {
+	if e == nil {
+		return
+	}
+	w.scanNode(e, held)
+}
+
+func (w *lockWalker) scanNode(root ast.Node, held map[*types.Var]token.Pos) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			// Reached outside a call context: stored or returned.
+			w.enqueueAsync(nn.Body)
+			return false
+		case *ast.CallExpr:
+			w.recordCall(nn, held)
+			if lit, ok := unparen(nn.Fun).(*ast.FuncLit); ok {
+				// Immediate invocation: the body runs now, under held.
+				w.walkStmts(lit.Body.List, copyHeld(held))
+			} else {
+				w.scanNode(nn.Fun, held)
+			}
+			for _, a := range nn.Args {
+				if lit, ok := unparen(a).(*ast.FuncLit); ok {
+					w.enqueueAsync(lit.Body)
+				} else {
+					w.scanNode(a, held)
+				}
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// recordCall notes a static call to a module function together with the
+// locks held around it.
+func (w *lockWalker) recordCall(call *ast.CallExpr, held map[*types.Var]token.Pos) {
+	callee := staticCallee(w.pkg, call)
+	if callee == nil || w.graph.Func(callee) == nil {
+		return
+	}
+	var hs []heldLock
+	for v, pos := range held {
+		hs = append(hs, heldLock{v: v, pos: pos})
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i].pos < hs[j].pos })
+	w.sum.sites = append(w.sum.sites, lockSite{callee: callee, held: hs, pos: call.Pos()})
+}
+
+// lockMethod matches e as a Lock/RLock/Unlock/RUnlock call on a resolvable
+// lock variable (struct field or package-level sync.Mutex/RWMutex).
+func (w *lockWalker) lockMethod(e ast.Expr) (*types.Var, string, bool) {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil, "", false
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	fn, ok := w.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	v := w.lockVarOf(sel.X)
+	if v == nil {
+		// Embedded mutex: the method selection path identifies the field.
+		if s, ok := w.pkg.Info.Selections[sel]; ok {
+			v = embeddedLockField(s)
+		}
+	}
+	if v == nil {
+		return nil, "", false
+	}
+	return v, sel.Sel.Name, true
+}
+
+// lockVarOf resolves the mutex expression to its lock variable.
+func (w *lockWalker) lockVarOf(e ast.Expr) *types.Var {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		v, ok := w.pkg.Info.Uses[x].(*types.Var)
+		if ok && isSyncLocker(derefType(v.Type())) && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if s, ok := w.pkg.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			v := s.Obj().(*types.Var)
+			if isSyncLocker(derefType(v.Type())) {
+				return v
+			}
+			return nil
+		}
+		// Qualified package-level var: pkg.Mu.
+		if v, ok := w.pkg.Info.Uses[x.Sel].(*types.Var); ok &&
+			isSyncLocker(derefType(v.Type())) && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return w.lockVarOf(x.X)
+		}
+	case *ast.StarExpr:
+		return w.lockVarOf(x.X)
+	}
+	return nil
+}
+
+// embeddedLockField walks a method selection's embedding path and returns
+// the mutex-typed embedded field it traverses, if any.
+func embeddedLockField(s *types.Selection) *types.Var {
+	idx := s.Index()
+	if len(idx) < 2 {
+		return nil
+	}
+	t := derefType(s.Recv())
+	for _, i := range idx[:len(idx)-1] {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			return nil
+		}
+		f := st.Field(i)
+		if isSyncLocker(f.Type()) {
+			return f
+		}
+		t = derefType(f.Type())
+	}
+	return nil
+}
+
+// derefType strips one level of pointer.
+func derefType(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

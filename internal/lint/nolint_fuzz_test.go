@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// TestParseNolint pins the parser's contract on the shapes that matter: the
+// directive must name at least one analyzer, the justification is whatever
+// trails the name list, and near-miss comments are not directives at all.
+func TestParseNolint(t *testing.T) {
+	cases := []struct {
+		in     string
+		names  []string
+		reason string
+		ok     bool
+	}{
+		{"//nolint:mapiter sorted upstream", []string{"mapiter"}, "sorted upstream", true},
+		{"//nolint:mapiter,lockcheck why", []string{"mapiter", "lockcheck"}, "why", true},
+		{"//nolint:mapiter", []string{"mapiter"}, "", true},
+		{"//nolint:mapiter   padded   ", []string{"mapiter"}, "padded", true},
+		{"//nolint:a,,b skip empties", []string{"a", "b"}, "skip empties", true},
+		{"//nolint:", nil, "", false},
+		{"//nolint:,", nil, "", false},
+		{"// nolint:mapiter spaced marker is not a directive", nil, "", false},
+		{"//nolint mapiter missing colon", nil, "", false},
+		{"plain comment", nil, "", false},
+	}
+	for _, tc := range cases {
+		names, reason, ok := ParseNolint(tc.in)
+		if ok != tc.ok || reason != tc.reason || strings.Join(names, ",") != strings.Join(tc.names, ",") {
+			t.Errorf("ParseNolint(%q) = (%v, %q, %v), want (%v, %q, %v)",
+				tc.in, names, reason, ok, tc.names, tc.reason, tc.ok)
+		}
+	}
+}
+
+// FuzzNolint fuzzes the //nolint directive parser. The suppression machinery
+// is itself part of the trusted base — a parser that panics on a weird
+// comment takes the whole lint gate down with it, and one that mis-splits
+// names silently widens a suppression to analyzers the author never named.
+func FuzzNolint(f *testing.F) {
+	for _, seed := range []string{
+		"//nolint:mapiter sorted upstream",
+		"//nolint:mapiter,lockcheck hand-over-hand handoff",
+		"//nolint:a,,b reason",
+		"//nolint:",
+		"//nolint:,,,",
+		"//nolint:spinbound",
+		"// nolint:mapiter",
+		"//nolint:mapiter\ttab reason",
+		"//nolint:UPPER_case_09 mixed",
+		"//not a directive",
+		"//nolint:名前 unicode name",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		names, reason, ok := ParseNolint(text)
+		if !ok {
+			if len(names) != 0 || reason != "" {
+				t.Fatalf("not-ok parse leaked values: (%v, %q)", names, reason)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, "//nolint:") {
+			t.Fatalf("parsed a directive out of %q", text)
+		}
+		if len(names) == 0 {
+			t.Fatal("ok parse with zero names")
+		}
+		for _, n := range names {
+			if n == "" {
+				t.Fatal("ok parse with an empty name")
+			}
+			for _, r := range n {
+				if r != '_' && !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("name %q contains separator or space %q", n, r)
+				}
+				if r > unicode.MaxASCII {
+					t.Fatalf("name %q contains non-ASCII %q (regex class is ASCII)", n, r)
+				}
+			}
+		}
+		if reason != strings.TrimSpace(reason) {
+			t.Fatalf("reason %q not trimmed", reason)
+		}
+		// Canonicalization is a fixpoint: re-rendering the parse must parse
+		// back to exactly the same directive.
+		canon := "//nolint:" + strings.Join(names, ",")
+		if reason != "" {
+			canon += " " + reason
+		}
+		names2, reason2, ok2 := ParseNolint(canon)
+		if !ok2 || strings.Join(names2, ",") != strings.Join(names, ",") || reason2 != reason {
+			t.Fatalf("canonical form %q re-parsed to (%v, %q, %v)", canon, names2, reason2, ok2)
+		}
+	})
+}

@@ -1,0 +1,25 @@
+// Package bad seeds atomiccheck violations: a field accessed through
+// sync/atomic in one place and read or written plainly in another — the
+// mixed-access data race the analyzer exists to catch.
+package bad
+
+import "sync/atomic"
+
+// Counter mixes access modes on hits.
+type Counter struct {
+	hits  int64
+	drops int64
+}
+
+// Inc is the sanctioned atomic access that marks hits as an atomic field.
+func (c *Counter) Inc() { atomic.AddInt64(&c.hits, 1) }
+
+// Read loads hits plainly: a data race with Inc.
+func (c *Counter) Read() int64 { return c.hits } // want: plain access to hits
+
+// Reset writes hits plainly: the write half of the same race.
+func (c *Counter) Reset() { c.hits = 0 } // want: plain access to hits
+
+// Drop touches drops, which is never accessed atomically: consistent plain
+// access is not a finding.
+func (c *Counter) Drop() { c.drops++ }

@@ -1,0 +1,36 @@
+// Package good is the clean twin of atomiccheck/bad: every access mode is
+// consistent — fields touched through sync/atomic are touched that way
+// everywhere, typed atomics are safe by construction, and mutex-guarded
+// plain fields never mix in an atomic call.
+package good
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter keeps each field in exactly one access discipline.
+type Counter struct {
+	hits  int64        // always through sync/atomic
+	typed atomic.Int64 // methods only: safe by construction
+	mu    sync.Mutex
+	n     int // guarded by mu, never atomic
+}
+
+func (c *Counter) Inc() { atomic.AddInt64(&c.hits, 1) }
+
+func (c *Counter) Read() int64 { return atomic.LoadInt64(&c.hits) }
+
+func (c *Counter) Swap(v int64) int64 { return atomic.SwapInt64(&c.hits, v) }
+
+func (c *Counter) Typed() int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+func (c *Counter) Guarded() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}

@@ -1,0 +1,31 @@
+// Package bad seeds goroexit violations: goroutines spawned with no visible
+// join — no WaitGroup, no completion channel — that outlive Close/Wait with
+// live references to runtime state.
+package bad
+
+// Worker spawns drains nobody can wait for.
+type Worker struct {
+	jobs chan int
+	sum  int
+}
+
+// Leak spawns a literal that signals nothing.
+func (w *Worker) Leak() {
+	go func() { // want: not joinable
+		for v := range w.jobs {
+			w.sum += v
+		}
+	}()
+}
+
+// drain neither touches a WaitGroup nor signals a channel.
+func (w *Worker) drain() {
+	for v := range w.jobs {
+		w.sum += v
+	}
+}
+
+// LeakNamed spawns a named function that signals nothing either.
+func (w *Worker) LeakNamed() {
+	go w.drain() // want: not joinable
+}

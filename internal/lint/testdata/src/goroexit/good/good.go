@@ -1,0 +1,65 @@
+// Package good is the clean twin of goroexit/bad: every spawned goroutine
+// is joinable — it signals a WaitGroup, closes or sends on a completion
+// channel, or delegates the signal to a helper it statically calls.
+package good
+
+import "sync"
+
+type Worker struct {
+	wg   sync.WaitGroup
+	jobs chan int
+	done chan struct{}
+}
+
+// Tracked joins through the WaitGroup.
+func (w *Worker) Tracked() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for range w.jobs {
+		}
+	}()
+}
+
+// Signalled closes the completion channel on exit.
+func (w *Worker) Signalled() {
+	go func() {
+		defer close(w.done)
+		for range w.jobs {
+		}
+	}()
+}
+
+// drain carries the signal itself, so spawning it directly is joinable.
+func (w *Worker) drain() {
+	defer w.wg.Done()
+	for range w.jobs {
+	}
+}
+
+func (w *Worker) Delegated() {
+	w.wg.Add(1)
+	go w.drain()
+}
+
+// DelegatedLit spawns a literal whose body hands off to the signalling
+// helper: the static-call scan finds the join through drain.
+func (w *Worker) DelegatedLit() {
+	w.wg.Add(1)
+	go func() {
+		w.drain()
+	}()
+}
+
+// Result reports completion by sending the answer on a shared channel.
+func (w *Worker) Result(out chan int) {
+	go func() {
+		n := 0
+		for v := range w.jobs {
+			n += v
+		}
+		out <- n
+	}()
+}
+
+func (w *Worker) Wait() { w.wg.Wait() }

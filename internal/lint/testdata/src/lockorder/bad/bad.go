@@ -1,0 +1,79 @@
+// Package bad seeds lockorder violations: two mutexes acquired in opposite
+// orders by different functions, an interprocedural inversion where one leg
+// is hidden behind a call, and a self-deadlock re-acquiring a held mutex
+// through a helper.
+package bad
+
+import "sync"
+
+// Pair holds two locks with no consistent order.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+// AB acquires a then b.
+func (p *Pair) AB() {
+	p.a.Lock() // want: cycle a -> b -> a
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.n++
+}
+
+// BA acquires b then a: the opposite order, a deadlock with AB.
+func (p *Pair) BA() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.n--
+}
+
+// Deep hides one leg of the inversion behind a call.
+type Deep struct {
+	outer sync.Mutex
+	inner sync.Mutex
+	state int
+}
+
+func (d *Deep) step() {
+	d.inner.Lock()
+	defer d.inner.Unlock()
+	d.state++
+}
+
+// Hold orders outer before inner through the call to step.
+func (d *Deep) Hold() {
+	d.outer.Lock() // want: cycle inner -> outer via step
+	defer d.outer.Unlock()
+	d.step()
+}
+
+// Inverse orders inner before outer directly.
+func (d *Deep) Inverse() {
+	d.inner.Lock()
+	defer d.inner.Unlock()
+	d.outer.Lock()
+	defer d.outer.Unlock()
+}
+
+// Re deadlocks on its own (non-reentrant) mutex through a call chain.
+type Re struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (r *Re) locked() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+}
+
+// Reacquire calls locked while already holding mu.
+func (r *Re) Reacquire() {
+	r.mu.Lock() // want: mu re-acquired via locked
+	defer r.mu.Unlock()
+	r.locked()
+}

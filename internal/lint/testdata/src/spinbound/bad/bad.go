@@ -1,0 +1,39 @@
+// Package bad seeds spinbound violations: runtime.Gosched inside loops with
+// no compile-time-visible iteration bound — the spins that livelock a
+// GOMAXPROCS=1 run when only the spinning goroutine can advance the
+// condition being polled.
+package bad
+
+import "runtime"
+
+// Spin polls a condition with no bound.
+func Spin(done func() bool) {
+	for !done() {
+		runtime.Gosched() // want: unbounded spin
+	}
+}
+
+// SpinBare yields forever.
+func SpinBare() {
+	for {
+		runtime.Gosched() // want: unbounded spin
+	}
+}
+
+// NestedInner has a bounded outer loop, but the innermost loop enclosing the
+// yield is unbounded — the innermost one governs.
+func NestedInner(done func() bool) {
+	for i := 0; i < 8; i++ {
+		for !done() {
+			runtime.Gosched() // want: innermost loop unbounded
+		}
+	}
+}
+
+// VariableBound compares against a runtime value, not a constant: the bound
+// is not compile-time visible.
+func VariableBound(n int) {
+	for i := 0; i < n; i++ {
+		runtime.Gosched() // want: bound not constant
+	}
+}

@@ -1,0 +1,48 @@
+// Package good is the clean twin of spinbound/bad: every Gosched loop
+// carries a compile-time constant bound (the flushYields pattern), ranges
+// over a finite collection, or is not a spin at all.
+package good
+
+import "runtime"
+
+const flushYields = 4
+
+// Bounded spins at most flushYields times before giving up: the sanctioned
+// pattern.
+func Bounded(idle func() bool) bool {
+	for i := 0; i < flushYields; i++ {
+		if idle() {
+			return true
+		}
+		runtime.Gosched()
+	}
+	return false
+}
+
+// ConstExpr bounds with constant arithmetic; the type checker still sees a
+// constant.
+func ConstExpr() {
+	for i := 0; i < flushYields*2; i++ {
+		runtime.Gosched()
+	}
+}
+
+// Ranged loops are bounded by the finite collection.
+func Ranged(xs []int) {
+	for range xs {
+		runtime.Gosched()
+	}
+}
+
+// LoneYield is not a spin: no enclosing loop.
+func LoneYield() { runtime.Gosched() }
+
+// Blocking parks on the channel, not the scheduler: an unbounded loop
+// without Gosched is fine.
+func Blocking(ch chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}

@@ -643,8 +643,14 @@ func (n *Node) readLoop(pc *peerConn) {
 						// only drain, and two nodes re-ACKing each other over
 						// unbuffered streams would deadlock if either blocked
 						// here. The goroutine unblocks when the peer reads or
-						// the connection dies.
-						go func() { _ = pc.send(reack) }()
+						// the connection dies; readersWG makes it joinable at
+						// Close, which closes the conn first so send cannot
+						// block forever.
+						n.readersWG.Add(1)
+						go func() {
+							defer n.readersWG.Done()
+							_ = pc.send(reack)
+						}()
 					}
 					continue
 				}
