@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-baseline test race net-test obs-test chaos-test bench microbench fuzz repro examples clean
+.PHONY: all build vet lint lint-baseline test race net-test obs-test chaos-test load-test bench microbench fuzz repro examples clean
 
 all: build lint test
 
@@ -63,7 +63,19 @@ chaos-test:
 	$(GO) test -race -run 'TestJournal|TestRestore|TestLateAck|TestDialClassification' ./internal/node
 	$(GO) test -race -run 'TestE2EFaultPlanDeterministicTraces|TestE2EKillNineRecoverySoak' -v ./cmd/tsnode
 
-# Throughput gate: cmd/tsbench runs every scenario (loop, tcp, journal)
+# Load/collector gate: the open-loop driver and the sharded collector tree
+# under the race detector (incremental oracle, spill recovery, leaf-crash
+# and straggler paths), then the 100k-client scale acceptance run and a
+# spilling tsload control run end to end.
+load-test:
+	$(GO) test -race ./internal/load ./internal/check ./cmd/tsload
+	$(GO) test -race -run 'TestCollector|TestSpill|TestCollectTree|TestCollectTimeout' ./internal/node
+	$(GO) test -run TestLoadHundredThousandClients -v ./internal/load
+	dir=$$(mktemp -d) && $(GO) run ./cmd/tsload -servers 8 -clients 5000 -msgs 2 \
+		-zipf 0.9 -leaves 4 -spill-dir $$dir -segment 512 -control && rm -rf $$dir
+
+# Throughput gate: cmd/tsbench runs every scenario (loop, tcp, journal,
+# load)
 # with a fixed seed, writes BENCH_<name>.json, and fails if any report is
 # malformed or either arm recorded zero throughput. Committed BENCH files
 # at the repo root are refreshed by running this and checking in the result.

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+
+	"syncstamp/internal/csp"
+	"syncstamp/internal/load"
+	"syncstamp/internal/node"
+)
+
+// runLoadScenario measures the collector tree under the open-loop driver.
+// The workload is pairs·rounds clients sending one message each into a
+// 16-server pool — same record volume as the pair scenarios. The baseline
+// arm collects flat (one leaf, everything resident, no spill); the batched
+// arm shards across four spilling leaves. Both arms run workers=1, so the
+// workload is deterministic and the two arms must produce — and verify —
+// the identical logs.
+func runLoadScenario(sc scenario, pairs, rounds, trials int, seed int64) (*Report, error) {
+	clients := pairs * rounds
+	rep := &Report{
+		Schema: Schema, Name: sc.name, Seed: seed,
+		Pairs: pairs, Rounds: rounds, Messages: clients,
+		Modes: make(map[string]ModeResult),
+	}
+	var base, batched ModeResult
+	var logs [][]csp.Record
+	for t := 0; t < trials; t++ {
+		for _, arm := range []bool{false, true} {
+			res, armLogs, err := runLoadMode(clients, seed, arm)
+			if err != nil {
+				return nil, fmt.Errorf("%s trial %d: %w", armName(arm), t, err)
+			}
+			if logs == nil {
+				logs = armLogs
+			} else if err := sameLogs(logs, armLogs); err != nil {
+				return nil, fmt.Errorf("%s trial %d diverged: %w", armName(arm), t, err)
+			}
+			if arm {
+				if res.MsgsPerSec > batched.MsgsPerSec {
+					batched = res
+				}
+			} else if res.MsgsPerSec > base.MsgsPerSec {
+				base = res
+			}
+		}
+	}
+	rep.Modes["baseline"] = base
+	rep.Modes["batched"] = batched
+	if base.MsgsPerSec > 0 {
+		rep.Speedup = batched.MsgsPerSec / base.MsgsPerSec
+	}
+	return rep, nil
+}
+
+// runLoadMode runs one arm of the load scenario: flat single-leaf
+// collection (baseline) or a 4-leaf spilling tree (batched).
+func runLoadMode(clients int, seed int64, batched bool) (ModeResult, [][]csp.Record, error) {
+	tree := node.TreeConfig{Leaves: 1, KeepLogs: true}
+	var cleanup func()
+	if batched {
+		dir, err := os.MkdirTemp("", "tsbench-spill-")
+		if err != nil {
+			return ModeResult{}, nil, err
+		}
+		cleanup = func() { _ = os.RemoveAll(dir) }
+		tree = node.TreeConfig{Leaves: 4, SpillDir: dir, SegmentRecords: 256, KeepLogs: true}
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res, err := load.Run(load.Config{
+		Servers:           16,
+		Clients:           clients,
+		MessagesPerClient: 1,
+		ZipfTheta:         0.9,
+		Seed:              seed,
+		Workers:           1,
+		Tree:              tree,
+	})
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return ModeResult{}, nil, err
+	}
+	if !res.Verdict.OK {
+		return ModeResult{}, nil, fmt.Errorf("load run failed verification: %v", res.Verdict.Problems)
+	}
+	if batched && res.Verdict.SegmentsSpilled == 0 {
+		return ModeResult{}, nil, fmt.Errorf("batched arm never spilled")
+	}
+	mr := ModeResult{
+		MsgsPerSec:      res.AchievedPerSec,
+		P50NS:           res.P50(),
+		P99NS:           res.P99(),
+		BytesPerMsg:     float64(res.Verdict.SpillBytes) / float64(res.Messages),
+		AllocsPerOp:     float64(after.Mallocs-before.Mallocs) / float64(res.Messages),
+		ElapsedNS:       res.Elapsed.Nanoseconds(),
+		Messages:        int(res.Messages),
+		SegmentsSpilled: res.Verdict.SegmentsSpilled,
+		SpillBytes:      res.Verdict.SpillBytes,
+		ShardsVerified:  int64(res.Verdict.Shards),
+	}
+	return mr, res.Logs, nil
+}

@@ -20,6 +20,9 @@
 //	loop     in-memory Loop transport (net.Pipe), no journal
 //	tcp      real TCP over localhost, no journal
 //	journal  Loop transport with crash-recovery journaling on tmp files
+//	load     open-loop load driver through the collector tree: the baseline
+//	         arm collects flat (one leaf, everything resident), the batched
+//	         arm shards across 4 spilling leaves — the O(shard) collector
 //
 // Reading BENCH_<name>.json: p50_ns/p99_ns are upper bounds from the
 // internal/obs syn_ack_latency_ns histogram (decade buckets, sender-side
@@ -64,6 +67,10 @@ type ModeResult struct {
 	Messages       int     `json:"messages"`
 	JournalAppends int64   `json:"journal_appends,omitempty"`
 	JournalSyncs   int64   `json:"journal_syncs,omitempty"`
+	// The load scenario's collector-tree accounting (absent elsewhere).
+	SegmentsSpilled int64 `json:"segments_spilled,omitempty"`
+	SpillBytes      int64 `json:"spill_bytes,omitempty"`
+	ShardsVerified  int64 `json:"shards_verified,omitempty"`
 }
 
 // Report is one scenario's full BENCH_<name>.json document.
@@ -88,6 +95,7 @@ type scenario struct {
 	name    string
 	tcp     bool
 	journal bool
+	load    bool
 	scale   int
 }
 
@@ -95,6 +103,7 @@ var scenarios = []scenario{
 	{name: "loop", scale: 4},
 	{name: "tcp", tcp: true, scale: 4},
 	{name: "journal", journal: true, scale: 4},
+	{name: "load", load: true, scale: 4},
 }
 
 func main() {
@@ -104,7 +113,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tsbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	benchFlag := fs.String("bench", "all", "comma-separated scenarios to run: loop, tcp, journal, or all")
+	benchFlag := fs.String("bench", "all", "comma-separated scenarios to run: loop, tcp, journal, load, or all")
 	pairs := fs.Int("pairs", 8, "independent channel pairs (concurrent rendezvous streams)")
 	rounds := fs.Int("rounds", 300, "ping-pong rounds per pair (the journal scenario runs a fifth)")
 	seed := fs.Int64("seed", 42, "workload seed (internal-event jitter; identical across arms)")
@@ -181,7 +190,7 @@ func selectScenarios(spec string) ([]scenario, error) {
 	for _, name := range strings.Split(spec, ",") {
 		sc, ok := byName[strings.TrimSpace(name)]
 		if !ok {
-			return nil, fmt.Errorf("unknown scenario %q (want loop, tcp, journal, or all)", name)
+			return nil, fmt.Errorf("unknown scenario %q (want loop, tcp, journal, load, or all)", name)
 		}
 		out = append(out, sc)
 	}
@@ -194,6 +203,9 @@ func selectScenarios(spec string) ([]scenario, error) {
 func runScenario(sc scenario, pairs, rounds, trials int, seed int64) (*Report, error) {
 	if sc.scale > 1 {
 		pairs *= sc.scale
+	}
+	if sc.load {
+		return runLoadScenario(sc, pairs, rounds, trials, seed)
 	}
 	if sc.journal {
 		// The fsync-per-record baseline pays a disk flush per message;

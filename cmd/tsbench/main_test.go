@@ -46,6 +46,18 @@ func TestQuickRunEmitsValidReports(t *testing.T) {
 				t.Errorf("scenario %s: %d syncs for %d appends", sc.name, m.JournalSyncs, m.JournalAppends)
 			}
 		}
+		if sc.load {
+			m := rep.Modes["batched"]
+			if m.SegmentsSpilled == 0 || m.SpillBytes == 0 {
+				t.Errorf("scenario %s: batched arm never spilled (%d segments, %d bytes)", sc.name, m.SegmentsSpilled, m.SpillBytes)
+			}
+			if m.ShardsVerified != 4 {
+				t.Errorf("scenario %s: batched arm verified %d shards, want 4", sc.name, m.ShardsVerified)
+			}
+			if flat := rep.Modes["baseline"]; flat.SegmentsSpilled != 0 {
+				t.Errorf("scenario %s: flat baseline spilled %d segments", sc.name, flat.SegmentsSpilled)
+			}
+		}
 	}
 }
 
@@ -167,5 +179,45 @@ func TestValidateRejectsBrokenReports(t *testing.T) {
 	bad.Modes = map[string]ModeResult{"baseline": {MsgsPerSec: 1}, "batched": {}}
 	if err := Validate(write("zero.json", bad)); err == nil {
 		t.Error("zero throughput accepted")
+	}
+}
+
+// TestCompareToleratesNewLoadArtifact pins the gate's behavior on exactly
+// the transition this scenario creates: a previous artifact from before the
+// load benchmark existed must compare green, reporting the new scenario as
+// having no previous report.
+func TestCompareToleratesNewLoadArtifact(t *testing.T) {
+	mk := func(name string, batched float64) []byte {
+		rep := Report{
+			Schema: Schema, Name: name, Messages: 10,
+			Modes: map[string]ModeResult{
+				"baseline": {MsgsPerSec: batched / 2},
+				"batched":  {MsgsPerSec: batched},
+			},
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	prev, cur := t.TempDir(), t.TempDir()
+	for _, name := range []string{"loop", "tcp", "journal"} {
+		if err := os.WriteFile(filepath.Join(prev, "BENCH_"+name+".json"), mk(name, 1000), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(cur, "BENCH_"+name+".json"), mk(name, 1000), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(cur, "BENCH_load.json"), mk("load", 5000), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-compare", prev, "-out", cur}, &stdout, &stderr); code != 0 {
+		t.Fatalf("new load artifact failed the gate (exit %d)\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("load")) || !bytes.Contains(stdout.Bytes(), []byte("no previous report")) {
+		t.Fatalf("compare output does not report the new scenario:\n%s", stdout.String())
 	}
 }

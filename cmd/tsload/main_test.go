@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunClientServerControl drives the CLI end to end with spill and the
+// control replay: exit 0, spill reported, control agreement printed.
+func TestRunClientServerControl(t *testing.T) {
+	var out, errb bytes.Buffer
+	dir := t.TempDir()
+	code := run([]string{
+		"-servers", "4", "-clients", "200", "-msgs", "5",
+		"-zipf", "0.8", "-seed", "11", "-workers", "2",
+		"-leaves", "2", "-spill-dir", dir, "-segment", "32",
+		"-control",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"messages  1000",
+		"verdict ok=true shards=2",
+		"segments spilled",
+		"control: streaming verdict agrees",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if matches, _ := filepath.Glob(filepath.Join(dir, "shard-*.spill")); len(matches) != 2 {
+		t.Fatalf("spill dir holds %d shard files, want 2", len(matches))
+	}
+}
+
+// TestRunGnpControl drives the random-topology mode with its control
+// replay.
+func TestRunGnpControl(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-mode", "gnp", "-gnp-n", "16", "-gnp-p", "0.25", "-gnp-msgs", "500",
+		"-seed", "3", "-leaves", "3", "-control",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "verdict ok=true shards=3") {
+		t.Fatalf("output missing clean verdict:\n%s", out.String())
+	}
+}
+
+// TestRunRejectsBadFlags: unknown mode and unparsable flags exit nonzero
+// without touching stdout.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mode", "nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown mode exited %d, want 2", code)
+	}
+	if code := run([]string{"-clients", "noway"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}

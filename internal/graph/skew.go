@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Skew is a Zipf-like popularity distribution over n items, sampled by
+// inverse CDF. Item i carries weight 1/(i+1)^theta, so item 0 is the most
+// popular and theta steers the tail: theta 0 is uniform, theta around 1 is
+// the classic web-workload skew. (math/rand's Zipf requires s > 1 and
+// cannot express the uniform and mildly-skewed regimes load drivers sweep,
+// hence this sampler.)
+type Skew struct {
+	cdf []float64
+}
+
+// NewSkew builds the distribution over n items with exponent theta >= 0.
+func NewSkew(n int, theta float64) *Skew {
+	if n <= 0 {
+		panic(fmt.Sprintf("graph: skew over %d items", n))
+	}
+	if theta < 0 {
+		panic(fmt.Sprintf("graph: negative skew exponent %v", theta))
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // exact, despite rounding
+	return &Skew{cdf: cdf}
+}
+
+// Pick maps a uniform u in [0,1) to an item by inverse CDF.
+func (s *Skew) Pick(u float64) int {
+	return sort.SearchFloat64s(s.cdf, u)
+}

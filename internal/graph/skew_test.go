@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSkewUniform: theta 0 must be uniform — every item lands within a few
+// standard deviations of its expected share.
+func TestSkewUniform(t *testing.T) {
+	const n, draws = 10, 100000
+	s := NewSkew(n, 0)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Pick(rng.Float64())]++
+	}
+	want := draws / n
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("item %d drawn %d times, want about %d", i, c, want)
+		}
+	}
+}
+
+// TestSkewOrdersPopularity: with theta 1 the head must dominate the tail,
+// monotonically.
+func TestSkewOrdersPopularity(t *testing.T) {
+	const n, draws = 8, 200000
+	s := NewSkew(n, 1)
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Pick(rng.Float64())]++
+	}
+	for i := 1; i < n; i++ {
+		if counts[i] >= counts[i-1] {
+			t.Fatalf("item %d drawn %d times, item %d drawn %d — skew not monotone", i, counts[i], i-1, counts[i-1])
+		}
+	}
+	// The Zipf head: item 0's share approximates 1/H_8 ≈ 0.37.
+	if share := float64(counts[0]) / draws; share < 0.3 || share > 0.45 {
+		t.Fatalf("head share %v, want about 0.37", share)
+	}
+}
+
+// TestSkewEdges: u at the boundaries maps into range.
+func TestSkewEdges(t *testing.T) {
+	s := NewSkew(5, 1.2)
+	if got := s.Pick(0); got != 0 {
+		t.Fatalf("Pick(0) = %d, want 0", got)
+	}
+	if got := s.Pick(0.999999999); got < 0 || got > 4 {
+		t.Fatalf("Pick(~1) = %d, out of range", got)
+	}
+}

@@ -9,10 +9,13 @@ import (
 // csp host the runtime goroutines of a run (readers, accept loops, program
 // goroutines, recovery drivers), and a leaked one outlives Run/Wait with a
 // live reference to connection or clock state — the class of bug a kill -9
-// soak cannot see because the process dies before the leak matters.
+// soak cannot see because the process dies before the leak matters. load's
+// workers and the collector-tree leaves hold spill journals and pipe ends,
+// so an unjoined one keeps file handles alive past Finish.
 var goroPaths = []string{
 	"syncstamp/internal/node",
 	"syncstamp/internal/csp",
+	"syncstamp/internal/load",
 }
 
 // GoroExit enforces goroutine joinability in the runtime packages: every

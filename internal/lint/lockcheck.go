@@ -9,14 +9,17 @@ import (
 // Lock/Unlock pairing: csp and node host the concurrent rendezvous runtimes,
 // monitor is documented as safe for concurrent readers, and obs's registry
 // and tracer are shared by every process goroutine of a run. fault's
-// injector serializes per-link state under the same discipline. (Copying a
-// lock by value is checked module-wide.)
+// injector serializes per-link state under the same discipline. load's
+// workers rendezvous through per-client and per-server mutexes at driver
+// scale, where an unpaired Lock stalls every subsequent request on that
+// client or server. (Copying a lock by value is checked module-wide.)
 var lockedPaths = []string{
 	"syncstamp/internal/csp",
 	"syncstamp/internal/monitor",
 	"syncstamp/internal/node",
 	"syncstamp/internal/obs",
 	"syncstamp/internal/fault",
+	"syncstamp/internal/load",
 }
 
 // LockCheck enforces two mutex rules. Module-wide, a sync.Mutex/RWMutex (or

@@ -15,7 +15,9 @@ import (
 // feed the same golden and replay machinery, so both are held to the same
 // rule, as is internal/obs, whose JSONL and Chrome exports are contractually
 // byte-identical across runs, and internal/fault, whose whole contract is
-// byte-identical fault schedules under a fixed seed.
+// byte-identical fault schedules under a fixed seed. internal/load promises
+// identical logs for identical seeds at workers=1 (tsbench's load arms rely
+// on it), so it is held to the same rule.
 var deterministicPaths = []string{
 	"syncstamp/internal/core",
 	"syncstamp/internal/decomp",
@@ -26,13 +28,14 @@ var deterministicPaths = []string{
 	"syncstamp/internal/node",
 	"syncstamp/internal/obs",
 	"syncstamp/internal/fault",
+	"syncstamp/internal/load",
 }
 
 // MapIter flags map iteration in deterministic paths unless the loop merely
 // collects keys for later sorting.
 var MapIter = &Analyzer{
 	Name: "mapiter",
-	Doc:  "no map iteration in deterministic paths (core, decomp, offline, check, vis, wire, node, obs) unless keys are collected and sorted",
+	Doc:  "no map iteration in deterministic paths (core, decomp, offline, check, vis, wire, node, obs, load) unless keys are collected and sorted",
 	Run:  runMapIter,
 }
 

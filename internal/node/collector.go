@@ -1,0 +1,447 @@
+// Sharded streaming collector tree.
+//
+// The legacy collect path (report.go) funnels every process's log into one
+// collector that reconstructs the whole trace in memory — O(run) state,
+// which caps run size long before the hot path does. The tree splits the
+// work across leaf collectors, each owning a partition (shard) of the
+// process space:
+//
+//	records ──route by proc % leaves──▶ leaf: verify incrementally (chain
+//	        monotonicity, star-root density — internal/check.ShardVerifier),
+//	        spill verified segments to an fsynced journal file, keep only
+//	        O(shard) state
+//	leaf ──SUMMARY frame──▶ root: judge cross-shard consistency from the
+//	        per-group multiset fingerprints, emit the VERDICT
+//
+// The root↔leaf control protocol runs over real wire frames (SHARD down,
+// SUMMARY up, VERDICT down), so the tree's layers speak the same codec the
+// data plane does and a leaf can later live on another machine unchanged.
+package node
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"syncstamp/internal/check"
+	"syncstamp/internal/csp"
+	"syncstamp/internal/obs"
+	"syncstamp/internal/wire"
+)
+
+// TreeConfig shapes a collector tree.
+type TreeConfig struct {
+	// Leaves is the number of leaf collectors (default 1). Processes are
+	// assigned by the modulo rule proc % Leaves — the same rule the SHARD
+	// frame announces.
+	Leaves int
+	// SpillDir, when non-empty, is the directory verified segments are
+	// spilled to, one fsynced journal file per shard (shard-<leaf>.spill).
+	// Empty disables spill: records stream through verification and are
+	// dropped.
+	SpillDir string
+	// SegmentRecords is the spill segment size in records (default 4096).
+	// One fsync covers each segment, and a leaf's resident buffer never
+	// exceeds it.
+	SegmentRecords int
+	// KeepLogs retains every record in memory, so Logs() can feed
+	// csp.Reconstruct afterwards — the control-run mode that cross-checks
+	// the streaming verdict against the whole-trace replay oracle. Defeats
+	// the bounded-memory point at scale; for small runs only.
+	KeepLogs bool
+
+	// crashLeaf/crashAfter are test hooks: leaf crashLeaf dies without a
+	// summary after crashAfter records (crashAfter 0 disables).
+	crashLeaf  int
+	crashAfter int64
+}
+
+// TreeVerdict is the root's judgment of a collected run plus the tree's
+// resource accounting.
+type TreeVerdict struct {
+	// OK means every shard reported, verified cleanly, and the cross-shard
+	// fingerprints agree.
+	OK bool
+	// Shards counts the leaf summaries that reached the root.
+	Shards int
+	// Messages and Records are run totals counted by the shards.
+	Messages int64
+	Records  int64
+	// SegmentsSpilled and SpillBytes account the spill traffic across
+	// leaves.
+	SegmentsSpilled int64
+	SpillBytes      int64
+	// MaxResident is the largest record buffer any leaf held at once —
+	// bounded by SegmentRecords when spilling, which is the O(shard) claim
+	// in a measurable form.
+	MaxResident int64
+	// Problems lists everything the root found wrong, in group order.
+	Problems []string
+}
+
+// String renders the verdict one line per fact, problems last.
+func (v *TreeVerdict) String() string {
+	s := fmt.Sprintf("verdict ok=%v shards=%d messages=%d records=%d segments=%d spill_bytes=%d",
+		v.OK, v.Shards, v.Messages, v.Records, v.SegmentsSpilled, v.SpillBytes)
+	for _, p := range v.Problems {
+		s += "\n  problem: " + p
+	}
+	return s
+}
+
+// procRec is one routed record.
+type procRec struct {
+	proc int
+	rec  csp.Record
+}
+
+// CollectorTree is a 2-level streaming collector: leaf goroutines verify
+// and spill their shards concurrently, a root combines their summaries.
+// Ingest may be called from many goroutines; Finish must be called exactly
+// once, after every Ingest has returned.
+type CollectorTree struct {
+	topo   check.Topology
+	cfg    TreeConfig
+	chans  []chan procRec
+	leaves []*leafCollector
+	wg     sync.WaitGroup
+}
+
+// leafCollector owns one shard: a verifier, a segment buffer, and a spill
+// journal. Its run loop is the only goroutine touching the fields below the
+// channel.
+type leafCollector struct {
+	id   int
+	ch   chan procRec
+	dec  *wire.Decoder // control frames from the root (SHARD, VERDICT)
+	enc  *wire.Encoder // control frames to the root (SUMMARY)
+	down *io.PipeReader
+	up   *io.PipeWriter
+
+	// The root's ends of the same pipes.
+	rootEnc  *wire.Encoder
+	rootDec  *wire.Decoder
+	rootDown *io.PipeWriter
+
+	ver      *check.ShardVerifier
+	jr       *Journal
+	seg      []JournalRecord
+	segCap   int
+	keepLogs bool
+	logs     map[int][]csp.Record
+
+	records     int64
+	segments    int64
+	spillBytes  int64
+	maxResident int64
+	ioErr       error
+
+	crashAfter int64
+	crashed    bool
+}
+
+// NewCollectorTree builds the tree and starts its leaf goroutines. Each
+// leaf's first act is decoding the root's SHARD frame — its assignment —
+// and its last is decoding the root's VERDICT.
+func NewCollectorTree(topo check.Topology, cfg TreeConfig) (*CollectorTree, error) {
+	if cfg.Leaves <= 0 {
+		cfg.Leaves = 1
+	}
+	if cfg.SegmentRecords <= 0 {
+		cfg.SegmentRecords = 4096
+	}
+	if cfg.SpillDir != "" {
+		if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("node: collector spill dir: %w", err)
+		}
+	}
+	t := &CollectorTree{topo: topo, cfg: cfg}
+	d := topo.D()
+	for i := 0; i < cfg.Leaves; i++ {
+		l := &leafCollector{
+			id:       i,
+			ch:       make(chan procRec, 1024),
+			ver:      check.NewShardVerifier(topo, i),
+			segCap:   cfg.SegmentRecords,
+			keepLogs: cfg.KeepLogs,
+		}
+		if cfg.KeepLogs {
+			l.logs = make(map[int][]csp.Record)
+		}
+		if cfg.crashAfter > 0 && cfg.crashLeaf == i {
+			l.crashAfter = cfg.crashAfter
+		}
+		if cfg.SpillDir != "" {
+			jr, prior, err := OpenJournal(SpillPath(cfg.SpillDir, i))
+			if err != nil {
+				t.abort()
+				return nil, err
+			}
+			if len(prior) > 0 {
+				_ = jr.Close()
+				t.abort()
+				return nil, fmt.Errorf("node: spill file %s already holds %d records", SpillPath(cfg.SpillDir, i), len(prior))
+			}
+			l.jr = jr
+		}
+		// The control plane: root→leaf and leaf→root pipes speaking wire
+		// frames.
+		downR, downW := io.Pipe()
+		upR, upW := io.Pipe()
+		l.down, l.up = downR, upW
+		l.dec = wire.NewDecoder(downR, d)
+		l.enc = wire.NewEncoder(upW, d)
+		rootEnc := wire.NewEncoder(downW, d)
+		rootDec := wire.NewDecoder(upR, d)
+		t.chans = append(t.chans, l.ch)
+		t.leaves = append(t.leaves, l)
+		t.wg.Add(1)
+		go func(l *leafCollector) {
+			defer t.wg.Done()
+			l.run()
+		}(l)
+		if err := rootEnc.Encode(&wire.Frame{Kind: wire.KindShard, Leaf: i, Leaves: cfg.Leaves}); err != nil {
+			t.abort()
+			return nil, fmt.Errorf("node: shard assignment to leaf %d: %w", i, err)
+		}
+		l.rootEnc, l.rootDec, l.rootDown = rootEnc, rootDec, downW
+	}
+	return t, nil
+}
+
+// abort tears down a half-built tree.
+func (t *CollectorTree) abort() {
+	for _, ch := range t.chans {
+		close(ch)
+	}
+	for _, l := range t.leaves {
+		_ = l.down.Close()
+		if l.jr != nil {
+			_ = l.jr.Close()
+		}
+	}
+	t.wg.Wait()
+}
+
+// SpillPath is shard leaf's spill file under dir.
+func SpillPath(dir string, leaf int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d.spill", leaf))
+}
+
+// Ingest routes one record to its shard's leaf, in the caller's program
+// order for the process. Safe for concurrent use; callers must preserve
+// per-process ordering themselves (hold the process's lock across the
+// call).
+func (t *CollectorTree) Ingest(proc int, rec csp.Record) error {
+	t.chans[proc%len(t.chans)] <- procRec{proc: proc, rec: rec}
+	return nil
+}
+
+// Finish closes the stream, rolls the shard summaries up to the root, and
+// returns the verdict. No Ingest may be in flight or follow.
+func (t *CollectorTree) Finish() (*TreeVerdict, error) {
+	for _, ch := range t.chans {
+		close(ch)
+	}
+	sums := make([]*wire.ShardSummary, len(t.leaves))
+	for i, l := range t.leaves {
+		f, err := l.rootDec.Decode()
+		if err != nil {
+			continue // the leaf died without a summary; the root judges it missing
+		}
+		if f.Kind == wire.KindSummary && f.Summary != nil && f.Summary.Leaf == i {
+			sums[i] = f.Summary
+		}
+	}
+	verdict := check.CombineSummaries(t.topo, len(t.leaves), sums)
+	tv := &TreeVerdict{
+		OK:       verdict.OK,
+		Shards:   verdict.Shards,
+		Messages: int64(verdict.Messages),
+		Records:  int64(verdict.Records),
+		Problems: verdict.Problems,
+	}
+	for i, l := range t.leaves {
+		if err := l.rootEnc.Encode(&wire.Frame{Kind: wire.KindVerdict, Verdict: verdict}); err != nil {
+			// A crashed leaf's pipe is closed; the verdict broadcast is
+			// best-effort there.
+			_ = i
+		}
+		_ = l.rootDown.Close()
+	}
+	t.wg.Wait()
+	for _, l := range t.leaves {
+		tv.SegmentsSpilled += l.segments
+		tv.SpillBytes += l.spillBytes
+		if l.maxResident > tv.MaxResident {
+			tv.MaxResident = l.maxResident
+		}
+		if l.jr != nil {
+			_ = l.jr.Close()
+		}
+	}
+	return tv, nil
+}
+
+// Logs merges the leaves' retained logs (KeepLogs mode) into the
+// per-process slice csp.Reconstruct takes.
+func (t *CollectorTree) Logs() [][]csp.Record {
+	logs := make([][]csp.Record, t.topo.N())
+	for _, l := range t.leaves {
+		for p := 0; p < len(logs); p++ {
+			if log, ok := l.logs[p]; ok {
+				logs[p] = log
+			}
+		}
+	}
+	return logs
+}
+
+// run is a leaf's life: assignment, stream, summary, verdict.
+func (l *leafCollector) run() {
+	defer func() { _ = l.up.Close() }()
+	defer func() { _ = l.down.Close() }()
+	if f, err := l.dec.Decode(); err != nil || f.Kind != wire.KindShard || f.Leaf != l.id {
+		l.ioErr = fmt.Errorf("node: leaf %d: bad shard assignment (%v)", l.id, err)
+	}
+	for pr := range l.ch {
+		if l.crashed {
+			continue // drain so Ingest never blocks on a dead shard
+		}
+		l.ingest(pr)
+	}
+	if l.crashed {
+		return // simulated mid-stream death: no summary ever reaches the root
+	}
+	l.flushSegment()
+	sum := l.ver.Summary()
+	sum.Segments = uint64(l.segments)
+	sum.Spilled = uint64(l.spillBytes)
+	if sum.Err == "" && l.ioErr != nil {
+		sum.Err = l.ioErr.Error()
+	}
+	if err := l.enc.Encode(&wire.Frame{Kind: wire.KindSummary, Summary: sum}); err != nil {
+		return
+	}
+	// Await the verdict so the shutdown is a clean two-way close.
+	_, _ = l.dec.Decode()
+}
+
+// ingest verifies, retains, and spills one record.
+func (l *leafCollector) ingest(pr procRec) {
+	l.records++
+	if l.crashAfter > 0 && l.records >= l.crashAfter {
+		l.crashed = true
+		return
+	}
+	_ = l.ver.Ingest(pr.proc, pr.rec) // the verifier holds its first error for the summary
+	if l.keepLogs {
+		l.logs[pr.proc] = append(l.logs[pr.proc], pr.rec)
+	}
+	if l.jr == nil {
+		return
+	}
+	jr := JournalRecord{Proc: pr.proc, Peer: pr.rec.Peer, Stamp: pr.rec.Stamp}
+	switch pr.rec.Kind {
+	case csp.RecordSend:
+		jr.Kind = journalSend
+	case csp.RecordRecv:
+		jr.Kind = journalRecv
+	case csp.RecordInternal:
+		jr.Kind = journalInternal
+		jr.Peer = 0
+		jr.Stamp = nil
+		jr.Note = fmt.Sprint(pr.rec.Note)
+	}
+	l.seg = append(l.seg, jr)
+	if n := int64(len(l.seg)); n > l.maxResident {
+		l.maxResident = n
+	}
+	if len(l.seg) >= l.segCap {
+		l.flushSegment()
+	}
+}
+
+// flushSegment spills the buffered segment: one Write, one fsync.
+func (l *leafCollector) flushSegment() {
+	if l.jr == nil || len(l.seg) == 0 || l.ioErr != nil {
+		return
+	}
+	n, err := l.jr.AppendBatch(l.seg)
+	if err != nil {
+		l.ioErr = err
+		return
+	}
+	l.segments++
+	l.spillBytes += int64(n)
+	l.seg = l.seg[:0]
+}
+
+// ReadSpill restores the per-process logs a collector tree spilled under
+// dir: each shard file is replayed with the journal's torn-line recovery,
+// so a tree killed mid-segment restores the complete prefix of every
+// shard's verified stream.
+func ReadSpill(dir string, leaves, n int) ([][]csp.Record, error) {
+	logs := make([][]csp.Record, n)
+	for leaf := 0; leaf < leaves; leaf++ {
+		jr, recs, err := OpenJournal(SpillPath(dir, leaf))
+		if err != nil {
+			return nil, err
+		}
+		_ = jr.Close()
+		for _, rec := range recs {
+			if rec.Proc < 0 || rec.Proc >= n {
+				return nil, fmt.Errorf("node: spill shard %d names process %d, out of range", leaf, rec.Proc)
+			}
+			var cr csp.Record
+			switch rec.Kind {
+			case journalSend:
+				cr = csp.Record{Kind: csp.RecordSend, Peer: rec.Peer, Stamp: rec.Stamp}
+			case journalRecv:
+				cr = csp.Record{Kind: csp.RecordRecv, Peer: rec.Peer, Stamp: rec.Stamp}
+			case journalInternal:
+				cr = csp.Record{Kind: csp.RecordInternal, Note: rec.Note}
+			case journalRestart:
+				continue
+			default:
+				return nil, fmt.Errorf("node: spill shard %d holds unknown record kind %q", leaf, rec.Kind)
+			}
+			logs[rec.Proc] = append(logs[rec.Proc], cr)
+		}
+	}
+	return logs, nil
+}
+
+// CollectTree receives the peer nodes' reports exactly like Collect, but
+// streams every record through a collector tree instead of buffering the
+// run: shards verify incrementally, spill to disk, and the root's verdict
+// is the outcome — O(shard) collector memory instead of O(run). The
+// counters land in info (and /metrics when the node carries a registry).
+// A failed verdict is a result, not an error; errors are transport or
+// timeout failures.
+func (n *Node) CollectTree(info *RunInfo, timeout time.Duration, cfg TreeConfig) (*TreeVerdict, error) {
+	tree, err := NewCollectorTree(check.NewDecompTopology(n.cfg.Dec), cfg)
+	if err != nil {
+		return nil, err
+	}
+	serr := n.collectStream(info, timeout, tree.Ingest)
+	verdict, ferr := tree.Finish()
+	if serr != nil {
+		return nil, serr
+	}
+	if ferr != nil {
+		return nil, ferr
+	}
+	info.SegmentsSpilled = verdict.SegmentsSpilled
+	info.SpillBytes = verdict.SpillBytes
+	info.ShardsVerified = int64(verdict.Shards)
+	if r := n.cfg.Obs.Registry(); r != nil {
+		r.Gauge(obs.MetricSegmentsSpilled).Set(verdict.SegmentsSpilled)
+		r.Gauge(obs.MetricSpillBytes).Set(verdict.SpillBytes)
+		r.Gauge(obs.MetricShardsVerified).Set(int64(verdict.Shards))
+	}
+	return verdict, nil
+}

@@ -1,0 +1,410 @@
+package node
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"syncstamp/internal/check"
+	"syncstamp/internal/core"
+	"syncstamp/internal/csp"
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+	"syncstamp/internal/trace"
+	"syncstamp/internal/vector"
+)
+
+// oracleLogs builds per-process rendezvous logs carrying the sequential
+// replay oracle's stamps for a generated computation — the input a correct
+// distributed run hands a collector.
+func oracleLogs(t *testing.T, in *check.Input) [][]csp.Record {
+	t.Helper()
+	stamps, err := core.StampTrace(in.Trace, in.Dec)
+	if err != nil {
+		t.Fatalf("seed %d: StampTrace: %v", in.Seed, err)
+	}
+	logs := make([][]csp.Record, in.Topo.N())
+	mi := 0
+	for _, op := range in.Trace.Ops {
+		switch op.Kind {
+		case trace.OpMessage:
+			s := stamps[mi]
+			mi++
+			logs[op.From] = append(logs[op.From], csp.Record{Kind: csp.RecordSend, Peer: op.To, Stamp: s})
+			logs[op.To] = append(logs[op.To], csp.Record{Kind: csp.RecordRecv, Peer: op.From, Stamp: s})
+		case trace.OpInternal:
+			logs[op.Proc] = append(logs[op.Proc], csp.Record{Kind: csp.RecordInternal, Note: "tick"})
+		}
+	}
+	return logs
+}
+
+// feedTree streams logs into a tree, each process in program order,
+// processes concurrently — the access pattern a live collect produces.
+func feedTree(tree *CollectorTree, logs [][]csp.Record) {
+	var wg sync.WaitGroup
+	for p, log := range logs {
+		wg.Add(1)
+		go func(p int, log []csp.Record) {
+			defer wg.Done()
+			for _, rec := range log {
+				_ = tree.Ingest(p, rec)
+			}
+		}(p, log)
+	}
+	wg.Wait()
+}
+
+// genSeed picks a generated computation with enough traffic to fill spill
+// segments.
+func genSeed(t *testing.T) *check.Input {
+	t.Helper()
+	for seed := int64(0); seed < 100; seed++ {
+		in := check.GenInput(seed, check.Config{})
+		if in.Trace.NumMessages() >= 30 {
+			return in
+		}
+	}
+	t.Fatal("no generated trace carries 30 messages")
+	return nil
+}
+
+// TestCollectorTreeMatchesReplay streams an oracle-stamped run through a
+// 4-leaf spilling tree: the verdict must be clean with exact totals, spill
+// must engage with resident memory bounded by the segment size, the
+// retained logs must reconstruct a trace whose stamps match the sequential
+// replay, and the spill files must restore the identical logs.
+func TestCollectorTreeMatchesReplay(t *testing.T) {
+	in := genSeed(t)
+	logs := oracleLogs(t, in)
+	topo := check.NewDecompTopology(in.Dec)
+	dir := t.TempDir()
+	const leaves, segRecords = 4, 8
+	tree, err := NewCollectorTree(topo, TreeConfig{Leaves: leaves, SpillDir: dir, SegmentRecords: segRecords, KeepLogs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedTree(tree, logs)
+	v, err := tree.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK {
+		t.Fatalf("clean run rejected: %v", v.Problems)
+	}
+	if int(v.Messages) != in.Trace.NumMessages() {
+		t.Fatalf("verdict counts %d messages, trace has %d", v.Messages, in.Trace.NumMessages())
+	}
+	if v.Shards != leaves {
+		t.Fatalf("verdict saw %d shards, tree has %d", v.Shards, leaves)
+	}
+	if v.SegmentsSpilled == 0 || v.SpillBytes == 0 {
+		t.Fatalf("spill never engaged: %d segments, %d bytes", v.SegmentsSpilled, v.SpillBytes)
+	}
+	if v.MaxResident > segRecords {
+		t.Fatalf("a leaf held %d records resident, segment size is %d", v.MaxResident, segRecords)
+	}
+
+	// The streaming verdict must agree with the whole-trace replay oracle
+	// over the retained logs.
+	res, err := csp.Reconstruct(in.Dec, tree.Logs())
+	if err != nil {
+		t.Fatalf("reconstruct retained logs: %v", err)
+	}
+	seq, err := core.StampTrace(res.Trace, in.Dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range seq {
+		if !vector.Eq(seq[m], res.Stamps[m]) {
+			t.Fatalf("message %d: collected stamp %v, sequential stamp %v", m, res.Stamps[m], seq[m])
+		}
+	}
+
+	// The spill is the run: restoring it yields the same per-process logs.
+	restored, err := ReadSpill(dir, leaves, in.Topo.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range logs {
+		if len(restored[p]) != len(logs[p]) {
+			t.Fatalf("process %d: spill restored %d records, logged %d", p, len(restored[p]), len(logs[p]))
+		}
+		for i := range logs[p] {
+			want, got := logs[p][i], restored[p][i]
+			if got.Kind != want.Kind || got.Peer != want.Peer || !vector.Eq(got.Stamp, want.Stamp) {
+				t.Fatalf("process %d record %d: restored %+v, logged %+v", p, i, got, want)
+			}
+		}
+	}
+}
+
+// TestCollectorTreeCorruptStamp confirms a sharded tree still flips the
+// verdict when one stamp half is corrupted in flight.
+func TestCollectorTreeCorruptStamp(t *testing.T) {
+	in := genSeed(t)
+	logs := oracleLogs(t, in)
+corrupt:
+	for p := range logs {
+		for i, rec := range logs[p] {
+			if rec.Kind == csp.RecordSend {
+				logs[p][i].Stamp = rec.Stamp.Clone()
+				logs[p][i].Stamp[len(rec.Stamp)-1] += 2
+				break corrupt
+			}
+		}
+	}
+	tree, err := NewCollectorTree(check.NewDecompTopology(in.Dec), TreeConfig{Leaves: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedTree(tree, logs)
+	v, err := tree.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK {
+		t.Fatal("corrupted stamp half accepted by the tree")
+	}
+}
+
+// TestCollectorTreeLeafCrash kills one leaf mid-stream: Ingest must not
+// block, the root must refuse the run, and the verdict must name the
+// missing shard.
+func TestCollectorTreeLeafCrash(t *testing.T) {
+	in := genSeed(t)
+	logs := oracleLogs(t, in)
+	topo := check.NewDecompTopology(in.Dec)
+	const leaves = 4
+	tree, err := NewCollectorTree(topo, TreeConfig{
+		Leaves:     leaves,
+		crashLeaf:  2,
+		crashAfter: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		feedTree(tree, logs)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Ingest blocked on the crashed leaf")
+	}
+	v, err := tree.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK {
+		t.Fatal("verdict OK despite a crashed leaf")
+	}
+	hit := false
+	for _, p := range v.Problems {
+		if strings.Contains(p, "shard 2 missing") {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("no problem names the crashed shard: %v", v.Problems)
+	}
+}
+
+// TestSpillTornSegmentRestore kills a spill file mid-record — the torn tail
+// a crash mid-write leaves — and requires restore to come back with exactly
+// the complete prefix, mirroring the journal's torn-line recovery.
+func TestSpillTornSegmentRestore(t *testing.T) {
+	in := genSeed(t)
+	logs := oracleLogs(t, in)
+	topo := check.NewDecompTopology(in.Dec)
+	dir := t.TempDir()
+	const leaves = 2
+	tree, err := NewCollectorTree(topo, TreeConfig{Leaves: leaves, SpillDir: dir, SegmentRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedTree(tree, logs)
+	if _, err := tree.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := ReadSpill(dir, leaves, in.Topo.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear shard 0 inside its final data record. (The ReadSpill above
+	// appended a restart marker as the file's last line — the tear must cut
+	// past it, into the record before.)
+	path := SpillPath(dir, 0)
+	content, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := bytes.TrimSuffix(content, []byte("\n"))
+	markerStart := bytes.LastIndexByte(body, '\n') + 1
+	if err := os.Truncate(path, int64(markerStart-5)); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSpill(dir, leaves, in.Topo.N())
+	if err != nil {
+		t.Fatalf("restore after torn segment: %v", err)
+	}
+	fullN, restoredN := 0, 0
+	for p := range full {
+		fullN += len(full[p])
+		restoredN += len(restored[p])
+		if len(restored[p]) > len(full[p]) {
+			t.Fatalf("process %d: restore grew from %d to %d records", p, len(full[p]), len(restored[p]))
+		}
+		for i := range restored[p] {
+			want, got := full[p][i], restored[p][i]
+			if got.Kind != want.Kind || got.Peer != want.Peer || !vector.Eq(got.Stamp, want.Stamp) {
+				t.Fatalf("process %d record %d: torn restore %+v is not a prefix of %+v", p, i, got, want)
+			}
+		}
+	}
+	if restoredN != fullN-1 {
+		t.Fatalf("torn restore holds %d records, want the %d-record complete prefix", restoredN, fullN-1)
+	}
+}
+
+// TestCollectTreeCluster runs a real 2-node cluster whose collector is the
+// sharded tree: the verdict must be clean, the counters must land in
+// RunInfo, and restoring the spill must reconstruct the same trace the
+// legacy whole-run collector would have.
+func TestCollectTreeCluster(t *testing.T) {
+	leakCheck(t)
+	g := graph.Path(2)
+	dec := decomp.Best(g)
+	dir := t.TempDir()
+	transports := loopTransports(2)
+	var verdict *TreeVerdict
+	var info0 *RunInfo
+	var collectErr error
+	results := make([]clusterResult, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := Config{Node: i, Placement: []int{0, 1}, Dec: dec}
+			n, err := New(cfg, transports[i])
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			defer n.Close()
+			info, err := n.Run(pingPong(20))
+			results[i] = clusterResult{info: info, err: err}
+			if err != nil {
+				return
+			}
+			if i == 0 {
+				info0 = info
+				verdict, collectErr = n.CollectTree(info, 10*time.Second, TreeConfig{
+					Leaves: 2, SpillDir: dir, SegmentRecords: 8,
+				})
+			} else {
+				results[i].err = n.SendReport(0, info)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("node %d: %v", i, r.err)
+		}
+	}
+	if collectErr != nil {
+		t.Fatal(collectErr)
+	}
+	if !verdict.OK {
+		t.Fatalf("cluster run rejected: %v", verdict.Problems)
+	}
+	if verdict.Messages != 40 {
+		t.Fatalf("verdict counts %d messages, run carried 40", verdict.Messages)
+	}
+	if info0.ShardsVerified != 2 || info0.SegmentsSpilled == 0 || info0.SpillBytes == 0 {
+		t.Fatalf("RunInfo counters: shards=%d segments=%d bytes=%d",
+			info0.ShardsVerified, info0.SegmentsSpilled, info0.SpillBytes)
+	}
+	// The spill is a faithful record: restore and replay the whole trace.
+	logs, err := ReadSpill(dir, 2, dec.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := csp.Reconstruct(dec, logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.NumMessages() != 40 {
+		t.Fatalf("spill replay reconstructed %d messages, want 40", res.Trace.NumMessages())
+	}
+	seq, err := core.StampTrace(res.Trace, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range seq {
+		if !vector.Eq(seq[m], res.Stamps[m]) {
+			t.Fatalf("message %d: spilled stamp %v, sequential stamp %v", m, res.Stamps[m], seq[m])
+		}
+	}
+}
+
+// TestCollectTimeoutNamesStraggler holds one node's report back: the
+// collect timeout error must name the straggler node, not just count it.
+func TestCollectTimeoutNamesStraggler(t *testing.T) {
+	leakCheck(t)
+	g := graph.Path(3)
+	dec := decomp.Best(g)
+	transports := loopTransports(3)
+	programs := map[int]func(*Process) error{
+		0: func(p *Process) error { _, err := p.Send(1); return err },
+		1: func(p *Process) error { _, err := p.RecvFrom(0); return err },
+		2: func(p *Process) error { return nil },
+	}
+	var collectErr error
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := Config{Node: i, Placement: []int{0, 1, 2}, Dec: dec}
+			n, err := New(cfg, transports[i])
+			if err != nil {
+				if i == 0 {
+					collectErr = err
+				}
+				return
+			}
+			defer n.Close()
+			info, err := n.Run(programs)
+			if err != nil {
+				if i == 0 {
+					collectErr = err
+				}
+				return
+			}
+			switch i {
+			case 0:
+				_, collectErr = n.Collect(info, 600*time.Millisecond)
+			case 1:
+				_ = n.SendReport(0, info)
+			case 2:
+				// The straggler: never reports.
+			}
+		}(i)
+	}
+	wg.Wait()
+	if collectErr == nil {
+		t.Fatal("collect succeeded though node 2 never reported")
+	}
+	if !strings.Contains(collectErr.Error(), "still waiting on node(s) [2]") {
+		t.Fatalf("timeout error does not name the straggler: %v", collectErr)
+	}
+}

@@ -181,13 +181,39 @@ func (j *Journal) Append(rec JournalRecord) error {
 	if err != nil {
 		return fmt.Errorf("node: journal encode: %w", err)
 	}
-	b = append(b, '\n')
+	return j.commit(append(b, '\n'), 1)
+}
+
+// AppendBatch commits records as one segment: all lines in one Write, made
+// durable by the same group-commit machinery (one fsync covers the whole
+// segment — the collector tree's spill path). It returns the bytes
+// appended. A crash tears at most the segment's trailing line, which replay
+// truncates, so a restored spill file is always a complete record prefix.
+func (j *Journal) AppendBatch(recs []JournalRecord) (int, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	var buf []byte
+	for _, rec := range recs {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return 0, fmt.Errorf("node: journal encode: %w", err)
+		}
+		buf = append(buf, b...)
+		buf = append(buf, '\n')
+	}
+	return len(buf), j.commit(buf, int64(len(recs)))
+}
+
+// commit makes one pre-marshaled run of complete JSONL lines durable,
+// counting it as count records.
+func (j *Journal) commit(b []byte, count int64) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.err != nil {
 		return j.err
 	}
-	j.appends++
+	j.appends += count
 	if j.each {
 		j.syncs++
 		if _, err := j.f.Write(b); err != nil {
@@ -224,7 +250,7 @@ func (j *Journal) Append(rec JournalRecord) error {
 			if werr == nil {
 				werr = j.f.Sync()
 			}
-			//nolint:lockcheck hand-over-hand re-lock after the off-lock commit; released by the deferred Unlock at the top of Append
+			//nolint:lockcheck hand-over-hand re-lock after the off-lock commit; released by the deferred Unlock at the top of commit
 			j.mu.Lock()
 			j.leader = false
 			j.committed = taking
@@ -241,7 +267,7 @@ func (j *Journal) Append(rec JournalRecord) error {
 		ch := j.done
 		j.mu.Unlock()
 		<-ch
-		//nolint:lockcheck hand-over-hand re-lock after waiting out a leader; released by the deferred Unlock at the top of Append
+		//nolint:lockcheck hand-over-hand re-lock after waiting out a leader; released by the deferred Unlock at the top of commit
 		j.mu.Lock()
 	}
 	// A sticky error is returned even to appenders whose own batch committed

@@ -264,8 +264,8 @@ type Node struct {
 	// obs disabled, so RunInfo can always report it).
 	obsv       *obs.Obs
 	ins        obs.Instruments
-	wireFrames [wire.KindBye + 1]*obs.Counter
-	wireBytes  [wire.KindBye + 1]*obs.Counter
+	wireFrames [wire.KindMax]*obs.Counter
+	wireBytes  [wire.KindMax]*obs.Counter
 	dropped    atomic.Int64
 }
 
@@ -767,6 +767,13 @@ type RunInfo struct {
 	// commit doing its job.
 	JournalAppends int64
 	JournalSyncs   int64
+	// SegmentsSpilled, SpillBytes, and ShardsVerified account the sharded
+	// collector tree (CollectTree only; all zero after a plain Collect):
+	// verified segments spilled to disk, their byte volume, and the shard
+	// summaries that reached the root.
+	SegmentsSpilled int64
+	SpillBytes      int64
+	ShardsVerified  int64
 }
 
 // FrameMap renders a wire accounting as the obs.Meta frame table, omitting

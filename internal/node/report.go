@@ -67,12 +67,39 @@ func (n *Node) SendReport(collector int, info *RunInfo) error {
 // must be called on exactly one node, after Run, with that node's RunInfo;
 // timeout bounds the whole collection.
 func (n *Node) Collect(info *RunInfo, timeout time.Duration) (*csp.Result, error) {
-	n.start()
 	logs := make([][]csp.Record, n.cfg.Dec.N())
+	sink := func(p int, rec csp.Record) error {
+		logs[p] = append(logs[p], rec)
+		return nil
+	}
+	if err := n.collectStream(info, timeout, sink); err != nil {
+		return nil, err
+	}
+	res, err := csp.Reconstruct(n.cfg.Dec, logs)
+	if err != nil {
+		return nil, fmt.Errorf("node %d: %w", n.cfg.Node, err)
+	}
+	return res, nil
+}
+
+// collectStream is the collect core both paths share: it feeds this node's
+// own logs and every peer report through sink record by record, each
+// process's records in program order, retaining nothing itself. Collect's
+// sink appends into per-process slices for whole-trace reconstruction;
+// CollectTree's routes records straight into a sharded verifier tree, so
+// the collector's memory stays O(shard) regardless of run size.
+func (n *Node) collectStream(info *RunInfo, timeout time.Duration, sink func(proc int, rec csp.Record) error) error {
+	n.start()
 	seen := make([]bool, n.cfg.Dec.N())
+	reported := make([]bool, n.nodes)
+	reported[n.cfg.Node] = true
 	for _, p := range n.local {
-		logs[p] = info.Logs[p]
 		seen[p] = true
+		for _, rec := range info.Logs[p] {
+			if err := sink(p, rec); err != nil {
+				return err
+			}
+		}
 	}
 	// Excluded peers never report: their processes count as reported with
 	// empty logs. (Degraded-run reconstruction is only oracle-complete when
@@ -84,6 +111,7 @@ func (n *Node) Collect(info *RunInfo, timeout time.Duration) (*csp.Result, error
 			continue
 		}
 		want--
+		reported[j] = true
 		for p, host := range n.cfg.Placement {
 			if host == j {
 				seen[p] = true
@@ -98,32 +126,45 @@ func (n *Node) Collect(info *RunInfo, timeout time.Duration) (*csp.Result, error
 		case rc = <-n.reports:
 		case <-n.stop:
 			if err := n.failure(); err != nil {
-				return nil, err
+				return err
 			}
-			return nil, ErrStopped
+			return ErrStopped
 		case <-timer.C:
-			return nil, fmt.Errorf("node %d: %d of %d reports within %v", n.cfg.Node, got-1, want-1, timeout)
+			return fmt.Errorf("node %d: %d of %d reports within %v, still waiting on node(s) %v",
+				n.cfg.Node, got-1, want-1, timeout, missingNodes(reported))
 		}
-		if err := n.readReport(rc, logs, seen); err != nil {
+		if rc.node >= 0 && rc.node < len(reported) {
+			reported[rc.node] = true
+		}
+		if err := n.readReport(rc, sink, seen); err != nil {
 			_ = rc.c.Close()
-			return nil, err
+			return err
 		}
 		_ = rc.c.Close()
 	}
 	for p, ok := range seen {
 		if !ok {
-			return nil, fmt.Errorf("node %d: no report covered process %d", n.cfg.Node, p)
+			return fmt.Errorf("node %d: no report covered process %d", n.cfg.Node, p)
 		}
 	}
-	res, err := csp.Reconstruct(n.cfg.Dec, logs)
-	if err != nil {
-		return nil, fmt.Errorf("node %d: %w", n.cfg.Node, err)
-	}
-	return res, nil
+	return nil
 }
 
-// readReport drains one report stream into logs.
-func (n *Node) readReport(rc *reportConn, logs [][]csp.Record, seen []bool) error {
+// missingNodes lists the straggler nodes a collect timeout is still waiting
+// on, so the error names them instead of only counting.
+func missingNodes(reported []bool) []int {
+	var m []int
+	for j, ok := range reported {
+		if !ok {
+			m = append(m, j)
+		}
+	}
+	return m
+}
+
+// readReport streams one report into sink, frame by frame, without
+// buffering the peer's logs.
+func (n *Node) readReport(rc *reportConn, sink func(proc int, rec csp.Record) error, seen []bool) error {
 	for _, p := range rc.procs {
 		if p < 0 || p >= len(seen) {
 			return fmt.Errorf("node %d: report from node %d claims process %d, out of range", n.cfg.Node, rc.node, p)
@@ -146,17 +187,23 @@ func (n *Node) readReport(rc *reportConn, logs [][]csp.Record, seen []bool) erro
 			if !owns(f.From) {
 				return fmt.Errorf("node %d: report from node %d logs a send by foreign process %d", n.cfg.Node, rc.node, f.From)
 			}
-			logs[f.From] = append(logs[f.From], csp.Record{Kind: csp.RecordSend, Peer: f.To, Stamp: f.Vec})
+			if err := sink(f.From, csp.Record{Kind: csp.RecordSend, Peer: f.To, Stamp: f.Vec}); err != nil {
+				return err
+			}
 		case wire.KindAck:
 			if !owns(f.To) {
 				return fmt.Errorf("node %d: report from node %d logs a receive by foreign process %d", n.cfg.Node, rc.node, f.To)
 			}
-			logs[f.To] = append(logs[f.To], csp.Record{Kind: csp.RecordRecv, Peer: f.From, Stamp: f.Vec})
+			if err := sink(f.To, csp.Record{Kind: csp.RecordRecv, Peer: f.From, Stamp: f.Vec}); err != nil {
+				return err
+			}
 		case wire.KindInternal:
 			if !owns(f.Proc) {
 				return fmt.Errorf("node %d: report from node %d logs an internal event of foreign process %d", n.cfg.Node, rc.node, f.Proc)
 			}
-			logs[f.Proc] = append(logs[f.Proc], csp.Record{Kind: csp.RecordInternal, Note: f.Note})
+			if err := sink(f.Proc, csp.Record{Kind: csp.RecordInternal, Note: f.Note}); err != nil {
+				return err
+			}
 		case wire.KindBye:
 			return nil
 		default:

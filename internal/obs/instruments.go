@@ -48,6 +48,23 @@ const (
 	// durable. Syncs well below appends is group commit at work; equal
 	// counts mean fsync-per-record (the -journal-sync=each baseline).
 	MetricJournalSyncs = "journal_syncs_total"
+	// MetricSegmentsSpilled gauges the verified segments a sharded
+	// collector tree spilled to disk over a run (CollectTree only).
+	MetricSegmentsSpilled = "collector_segments_spilled_total"
+	// MetricSpillBytes gauges the byte volume of those spilled segments.
+	MetricSpillBytes = "collector_spill_bytes_total"
+	// MetricShardsVerified gauges the shard summaries that reached the
+	// collector tree's root — equal to the tree width on a healthy run.
+	MetricShardsVerified = "collector_shards_verified_total"
+	// MetricLoadOffered and MetricLoadAchieved count the messages a load
+	// driver scheduled versus the messages it completed; their per-second
+	// rates over the run window are the open-loop offered-vs-achieved
+	// comparison.
+	MetricLoadOffered  = "load_offered_msgs_total"
+	MetricLoadAchieved = "load_achieved_msgs_total"
+	// MetricLoadLatencyNS is a load driver's per-request latency histogram
+	// (LatencyEdges), the SLO percentile source.
+	MetricLoadLatencyNS = "load_request_latency_ns"
 )
 
 // ProcMetric derives the per-process variant of a metric name.

@@ -36,6 +36,59 @@ type Frame struct {
 	// INTERNAL fields.
 	Proc int
 	Note string
+
+	// SHARD fields. Leaf is the leaf collector's index in a tree of Leaves
+	// leaf collectors; Procs (shared with HELLO) carries an explicit
+	// partition, or stays empty for the implicit proc % Leaves == Leaf rule.
+	Leaf, Leaves int
+
+	// SUMMARY payload (leaf → root roll-up).
+	Summary *ShardSummary
+
+	// VERDICT payload (root → leaves).
+	Verdict *Verdict
+}
+
+// GroupSummary is one edge group's fingerprint inside a shard summary: the
+// multiset of message stamps the shard saw on the group, as a count and an
+// order-independent XOR of per-stamp hashes, split by which half (send or
+// recv) of the rendezvous the shard's processes logged. Summed across every
+// shard, the send multiset and the recv multiset of a consistent run are
+// identical — each message contributes one identical stamp to each — which
+// is what lets the root judge cross-shard consistency in O(groups) memory.
+type GroupSummary struct {
+	Group                int
+	SendCount, RecvCount uint64
+	SendXor, RecvXor     uint64
+	// RootSeq is the final group component of the group's star root process,
+	// or -1 when this shard does not host that root (or the group is a
+	// triangle). The root participates in every message of its group, so its
+	// final component equals the group's message count in a correct run.
+	RootSeq int64
+}
+
+// ShardSummary is the whole roll-up a leaf collector sends its root: counts,
+// spill accounting, the per-group fingerprints, and the first verification
+// error, if any. It deliberately contains no per-record state.
+type ShardSummary struct {
+	Leaf      int
+	Procs     uint64 // processes that produced at least one record
+	Sends     uint64
+	Recvs     uint64
+	Internals uint64
+	Segments  uint64 // spill segments written
+	Spilled   uint64 // spill bytes written
+	Err       string // first verification or spill failure ("" = clean)
+	Groups    []GroupSummary
+}
+
+// Verdict is the root's final judgment of a collected run.
+type Verdict struct {
+	OK       bool
+	Shards   int    // summaries received
+	Messages uint64 // matched messages across the run
+	Records  uint64 // records ingested across the run, internals included
+	Problems []string
 }
 
 // pair keys the delta baselines: the ordered (from, to) process pair whose
@@ -45,8 +98,8 @@ type pair struct{ from, to int }
 // Stats is per-kind frame accounting, indexed by Kind. Bytes include the
 // length-prefix header, so sums match what the transport actually carried.
 type Stats struct {
-	Frames [KindBye + 1]int
-	Bytes  [KindBye + 1]int
+	Frames [KindMax]int
+	Bytes  [KindMax]int
 }
 
 // add charges one encoded frame of n wire bytes to its kind.
@@ -76,7 +129,7 @@ func (s Stats) Total() (frames, bytes int) {
 
 // Kinds lists every frame kind, for iterating a Stats deterministically.
 func Kinds() []Kind {
-	return []Kind{KindHello, KindSyn, KindAck, KindInternal, KindBye}
+	return []Kind{KindHello, KindSyn, KindAck, KindInternal, KindBye, KindShard, KindSummary, KindVerdict}
 }
 
 // Encoder writes frames to one stream, maintaining the per-pair delta
@@ -197,6 +250,70 @@ func (e *Encoder) appendPayload(dst []byte, f *Frame) ([]byte, error) {
 		dst = append(dst, f.Note...)
 	case KindBye:
 		// No payload beyond the kind byte.
+	case KindShard:
+		if len(f.Procs) > MaxProcs {
+			return nil, fmt.Errorf("wire: shard of %d explicit processes exceeds limit %d (use the modulo rule)", len(f.Procs), MaxProcs)
+		}
+		dst = appendUvarint(dst, uint64(f.Leaf))
+		dst = appendUvarint(dst, uint64(f.Leaves))
+		dst = appendUvarint(dst, uint64(len(f.Procs)))
+		for _, p := range f.Procs {
+			dst = appendUvarint(dst, uint64(p))
+		}
+	case KindSummary:
+		s := f.Summary
+		if s == nil {
+			return nil, fmt.Errorf("wire: SUMMARY frame without a summary")
+		}
+		if len(s.Err) > MaxNote {
+			return nil, fmt.Errorf("wire: summary error of %d bytes exceeds limit %d", len(s.Err), MaxNote)
+		}
+		if len(s.Groups) > MaxGroups {
+			return nil, fmt.Errorf("wire: summary of %d groups exceeds limit %d", len(s.Groups), MaxGroups)
+		}
+		dst = appendUvarint(dst, uint64(s.Leaf))
+		dst = appendUvarint(dst, s.Procs)
+		dst = appendUvarint(dst, s.Sends)
+		dst = appendUvarint(dst, s.Recvs)
+		dst = appendUvarint(dst, s.Internals)
+		dst = appendUvarint(dst, s.Segments)
+		dst = appendUvarint(dst, s.Spilled)
+		dst = appendUvarint(dst, uint64(len(s.Err)))
+		dst = append(dst, s.Err...)
+		dst = appendUvarint(dst, uint64(len(s.Groups)))
+		for _, g := range s.Groups {
+			dst = appendUvarint(dst, uint64(g.Group))
+			dst = appendUvarint(dst, g.SendCount)
+			dst = appendUvarint(dst, g.SendXor)
+			dst = appendUvarint(dst, g.RecvCount)
+			dst = appendUvarint(dst, g.RecvXor)
+			// RootSeq shifted by one so -1 (no root here) encodes as 0.
+			dst = appendUvarint(dst, uint64(g.RootSeq+1))
+		}
+	case KindVerdict:
+		v := f.Verdict
+		if v == nil {
+			return nil, fmt.Errorf("wire: VERDICT frame without a verdict")
+		}
+		if len(v.Problems) > MaxProblems {
+			return nil, fmt.Errorf("wire: verdict of %d problems exceeds limit %d", len(v.Problems), MaxProblems)
+		}
+		ok := byte(0)
+		if v.OK {
+			ok = 1
+		}
+		dst = append(dst, ok)
+		dst = appendUvarint(dst, uint64(v.Shards))
+		dst = appendUvarint(dst, v.Messages)
+		dst = appendUvarint(dst, v.Records)
+		dst = appendUvarint(dst, uint64(len(v.Problems)))
+		for _, p := range v.Problems {
+			if len(p) > MaxNote {
+				return nil, fmt.Errorf("wire: verdict problem of %d bytes exceeds limit %d", len(p), MaxNote)
+			}
+			dst = appendUvarint(dst, uint64(len(p)))
+			dst = append(dst, p...)
+		}
 	default:
 		return nil, fmt.Errorf("wire: cannot encode kind %v", f.Kind)
 	}
@@ -342,6 +459,20 @@ func (r *reader) intField(name string, limit uint64) (int, error) {
 	return int(x), nil
 }
 
+// str reads a length-prefixed string of at most limit bytes.
+func (r *reader) str(name string, limit uint64) (string, error) {
+	n, err := r.intField(name+" length", limit)
+	if err != nil {
+		return "", err
+	}
+	if r.off+n > len(r.b) {
+		return "", fmt.Errorf("wire: %s of %d bytes overruns frame", name, n)
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}
+
 func (r *reader) byte() (byte, error) {
 	if r.off >= len(r.b) {
 		return 0, fmt.Errorf("wire: truncated frame at offset %d", r.off)
@@ -410,6 +541,90 @@ func (d *Decoder) parse(payload []byte) (*Frame, error) {
 		r.off += n
 	case KindBye:
 		// No payload.
+	case KindShard:
+		if f.Leaf, err = r.intField("leaf", 1<<31); err != nil {
+			return nil, err
+		}
+		if f.Leaves, err = r.intField("leaves", 1<<31); err != nil {
+			return nil, err
+		}
+		count, err := r.intField("proc count", MaxProcs)
+		if err != nil {
+			return nil, err
+		}
+		if count > 0 {
+			f.Procs = make([]int, count)
+			for i := range f.Procs {
+				if f.Procs[i], err = r.intField("proc", 1<<31); err != nil {
+					return nil, err
+				}
+			}
+		}
+	case KindSummary:
+		s := &ShardSummary{}
+		if s.Leaf, err = r.intField("leaf", 1<<31); err != nil {
+			return nil, err
+		}
+		for _, dst := range []*uint64{&s.Procs, &s.Sends, &s.Recvs, &s.Internals, &s.Segments, &s.Spilled} {
+			if *dst, err = r.uvarint(); err != nil {
+				return nil, err
+			}
+		}
+		if s.Err, err = r.str("summary error", MaxNote); err != nil {
+			return nil, err
+		}
+		count, err := r.intField("group count", MaxGroups)
+		if err != nil {
+			return nil, err
+		}
+		if count > 0 {
+			s.Groups = make([]GroupSummary, count)
+			for i := range s.Groups {
+				g := &s.Groups[i]
+				if g.Group, err = r.intField("group", 1<<31); err != nil {
+					return nil, err
+				}
+				for _, dst := range []*uint64{&g.SendCount, &g.SendXor, &g.RecvCount, &g.RecvXor} {
+					if *dst, err = r.uvarint(); err != nil {
+						return nil, err
+					}
+				}
+				seq, err := r.intField("root seq", 1<<62)
+				if err != nil {
+					return nil, err
+				}
+				g.RootSeq = int64(seq) - 1
+			}
+		}
+		f.Summary = s
+	case KindVerdict:
+		v := &Verdict{}
+		ok, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		v.OK = ok != 0
+		if v.Shards, err = r.intField("shards", 1<<31); err != nil {
+			return nil, err
+		}
+		if v.Messages, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if v.Records, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		count, err := r.intField("problem count", MaxProblems)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < count; i++ {
+			p, err := r.str("problem", MaxNote)
+			if err != nil {
+				return nil, err
+			}
+			v.Problems = append(v.Problems, p)
+		}
+		f.Verdict = v
 	default:
 		return nil, fmt.Errorf("wire: unknown frame kind %d", kb)
 	}

@@ -23,6 +23,17 @@
 //	          its per-process logs to the collector
 //	BYE       clean end of stream; an EOF after BYE is a graceful close,
 //	          an EOF without one is a failure
+//	SHARD     collector tree, root → leaf: the leaf's index, the tree width,
+//	          and the partition of processes the leaf owns (an empty list
+//	          means the modulo rule proc % leaves == leaf, the only form
+//	          that stays frame-sized at millions of processes)
+//	SUMMARY   collector tree, leaf → root: the shard's verified roll-up —
+//	          record counts, spill accounting, per-group send/recv
+//	          multiset fingerprints and the star root's final sequence
+//	          number — everything the root needs to judge the run without
+//	          ever seeing the shard's records
+//	VERDICT   collector tree, root → leaves: the final verdict (ok flag,
+//	          totals, and the problems found, if any)
 //
 // # Differential vector encoding
 //
@@ -57,6 +68,12 @@ const (
 	KindAck
 	KindInternal
 	KindBye
+	KindShard
+	KindSummary
+	KindVerdict
+
+	// KindMax is one past the highest kind — the size of per-kind arrays.
+	KindMax
 )
 
 // String names the frame kind.
@@ -72,6 +89,12 @@ func (k Kind) String() string {
 		return "INTERNAL"
 	case KindBye:
 		return "BYE"
+	case KindShard:
+		return "SHARD"
+	case KindSummary:
+		return "SUMMARY"
+	case KindVerdict:
+		return "VERDICT"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -92,6 +115,10 @@ const (
 	MaxFrame = 1 << 20
 	// MaxNote bounds an INTERNAL note in bytes.
 	MaxNote = 1 << 16
-	// MaxProcs bounds the process list of a HELLO.
+	// MaxProcs bounds the process list of a HELLO or SHARD.
 	MaxProcs = 1 << 16
+	// MaxGroups bounds the group-summary list of a SUMMARY.
+	MaxGroups = 1 << 20
+	// MaxProblems bounds the problem list of a VERDICT.
+	MaxProblems = 1 << 10
 )

@@ -247,3 +247,53 @@ func TestCountTraceRejectsUncoveredChannel(t *testing.T) {
 		t.Fatal("uncovered channel accepted")
 	}
 }
+
+// TestCollectorFrameRoundTrip exercises the collector-tree control frames:
+// shard assignment (explicit and modulo form), the leaf summary roll-up with
+// its per-group fingerprints, and the root verdict.
+func TestCollectorFrameRoundTrip(t *testing.T) {
+	frames := []*Frame{
+		{Kind: KindShard, Leaf: 2, Leaves: 4, Procs: []int{2, 6, 10}},
+		{Kind: KindShard, Leaf: 3, Leaves: 8},
+		{Kind: KindSummary, Summary: &ShardSummary{
+			Leaf: 2, Procs: 3, Sends: 120, Recvs: 80, Internals: 7,
+			Segments: 5, Spilled: 40960,
+			Groups: []GroupSummary{
+				{Group: 0, SendCount: 60, SendXor: 0xfeedface, RecvCount: 60, RecvXor: 0xfeedface, RootSeq: 60},
+				{Group: 3, SendCount: 60, SendXor: 1, RecvCount: 20, RecvXor: 9, RootSeq: -1},
+			},
+		}},
+		{Kind: KindSummary, Summary: &ShardSummary{Leaf: 0, Err: "stamp regression at process 7"}},
+		{Kind: KindVerdict, Verdict: &Verdict{OK: true, Shards: 4, Messages: 140, Records: 287}},
+		{Kind: KindVerdict, Verdict: &Verdict{Shards: 3, Problems: []string{"shard 2 missing", "group 0: 60 sends vs 59 recvs"}}},
+	}
+	got := pipeRoundTrip(t, 3, frames)
+	if len(got) != len(frames) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if !reflect.DeepEqual(frames[i], got[i]) {
+			t.Errorf("frame %d: got %+v, want %+v", i, got[i], frames[i])
+		}
+	}
+}
+
+// TestSummaryLimits checks that the decoder limits reject adversarial
+// collector frames instead of allocating.
+func TestSummaryLimits(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, 3)
+	long := make([]byte, MaxNote+1)
+	if err := enc.Encode(&Frame{Kind: KindSummary, Summary: &ShardSummary{Err: string(long)}}); err == nil {
+		t.Fatal("oversized summary error encoded without error")
+	}
+	if err := enc.Encode(&Frame{Kind: KindVerdict, Verdict: &Verdict{Problems: make([]string, MaxProblems+1)}}); err == nil {
+		t.Fatal("oversized problem list encoded without error")
+	}
+	if err := enc.Encode(&Frame{Kind: KindSummary}); err == nil {
+		t.Fatal("SUMMARY without a payload encoded without error")
+	}
+	if err := enc.Encode(&Frame{Kind: KindVerdict}); err == nil {
+		t.Fatal("VERDICT without a payload encoded without error")
+	}
+}
