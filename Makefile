@@ -46,18 +46,23 @@ net-test:
 	$(GO) test -race -run 'TestRunInProcessCluster|TestE2E' -v ./cmd/tsnode
 
 # Observability gate: the obs package (including the zero-alloc-when-
-# disabled and byte-stable-export acceptance tests) under the race detector,
-# the runtime hook tests in csp/node, and the trace-report oracle plus the
-# full e2e (obs endpoints + JSONL round trip through tsanalyze).
+# disabled and byte-stable-export acceptance tests, merge algebra, flight
+# wraparound, and critpath determinism) under the race detector, the
+# runtime hook + rollup + flight-dump tests in csp/node, and the
+# trace-report/critical-path oracles plus the full e2e (obs endpoints +
+# JSONL round trip through tsanalyze, byte-identical critical-path
+# profiles across two runs).
 obs-test:
 	$(GO) test -race ./internal/obs
-	$(GO) test -race -run 'Obs|Dropped|TraceReport' ./internal/csp ./internal/node ./cmd/tsanalyze
+	$(GO) test -race -run 'Obs|Dropped|TraceReport|Rollup|Flight|CriticalPath' ./internal/csp ./internal/node ./cmd/tsanalyze
 	$(GO) test -race -run 'TestE2E' -v ./cmd/tsnode
 
 # Fault-injection gate: the deterministic injector and the loss-tolerant
 # protocol under the race detector (chaos matrix, resets, exclusion,
 # journal restore), plus the chaos e2e runs — fault-plan trace determinism
-# and the kill -9 crash-recovery soak over real OS processes.
+# and the kill -9 crash-recovery soak over real OS processes, which also
+# requires every node's flight dump to exist and the merged dumps to
+# replay-verify against the sequential oracle.
 chaos-test:
 	$(GO) test -race ./internal/fault
 	$(GO) test -race -run 'TestJournal|TestRestore|TestLateAck|TestDialClassification' ./internal/node

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/obs"
+)
+
+// runCriticalPath implements the critical-path subcommand: ingest one JSONL
+// trace per node, rebuild the happens-before DAG from the recorded stamps
+// alone (vector.Less is the causal order — Theorem 4), and print the
+// longest weighted causal chain with per-process slack and a ranked
+// rendezvous-link blame table. Weights are causal ticks, not wall clocks,
+// so the report is byte-identical across runs of the same computation.
+func runCriticalPath(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tsanalyze critical-path", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "tsanalyze:", err)
+		return 1
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fail(fmt.Errorf("critical-path needs at least one JSONL trace file"))
+	}
+	_, events, nodes, dec, err := readTraces(files)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "critical-path: %d file(s), nodes %v, N=%d processes, d=%d\n",
+		len(files), nodes, dec.N(), dec.D())
+	if err := obs.CriticalPath(events).WriteReport(stdout); err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+// readTraces loads and merges one or more JSONL traces, enforcing the
+// schema version and that every file describes the same topology and
+// decomposition. Each process is hosted by exactly one node, so the
+// per-process (proc, seq) sequences from different files interleave
+// without collisions.
+func readTraces(files []string) (metas []obs.Meta, events []obs.Event, nodes []int, dec *decomp.Decomposition, err error) {
+	for _, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		meta, evs, err := obs.ReadJSONL(f)
+		_ = f.Close() // read-only file
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("%s: %w", name, err)
+		}
+		if meta.Version != obs.MetaVersion {
+			return nil, nil, nil, nil, fmt.Errorf("%s: schema version %d, this tool reads %d", name, meta.Version, obs.MetaVersion)
+		}
+		metas = append(metas, meta)
+		events = append(events, evs...)
+		nodes = append(nodes, meta.Node)
+	}
+	for i := 1; i < len(metas); i++ {
+		if metas[i].N != metas[0].N || metas[i].D != metas[0].D || metas[i].Dec != metas[0].Dec {
+			return nil, nil, nil, nil, fmt.Errorf("%s: topology/decomposition differs from %s", files[i], files[0])
+		}
+	}
+	dec, err = metas[0].Decomposition()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	obs.SortEvents(events)
+	return metas, events, nodes, dec, nil
+}

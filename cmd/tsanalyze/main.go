@@ -14,6 +14,14 @@
 // causal latency and wire traffic:
 //
 //	tsanalyze trace-report -chrome run.chrome.json node0.jsonl node1.jsonl
+//
+// The "critical-path" subcommand profiles the same JSONL traces causally:
+// it rebuilds the happens-before DAG from the stamps, extracts the longest
+// weighted causal chain (in causal ticks, so the report is byte-identical
+// across runs), and prints per-process slack plus a ranked blame table of
+// rendezvous links:
+//
+//	tsanalyze critical-path node0.jsonl node1.jsonl node2.jsonl
 package main
 
 import (
@@ -40,6 +48,9 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(args) > 0 && args[0] == "trace-report" {
 		return runTraceReport(args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "critical-path" {
+		return runCriticalPath(args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("tsanalyze", flag.ContinueOnError)
 	traceFile := fs.String("trace", "", "trace file (default stdin)")

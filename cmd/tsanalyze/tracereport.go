@@ -38,40 +38,10 @@ func runTraceReport(args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Errorf("trace-report needs at least one JSONL trace file"))
 	}
 
-	var (
-		metas  []obs.Meta
-		events []obs.Event
-		nodes  []int
-	)
-	for _, name := range files {
-		f, err := os.Open(name)
-		if err != nil {
-			return fail(err)
-		}
-		meta, evs, err := obs.ReadJSONL(f)
-		_ = f.Close() // read-only file
-		if err != nil {
-			return fail(fmt.Errorf("%s: %w", name, err))
-		}
-		if meta.Version != obs.MetaVersion {
-			return fail(fmt.Errorf("%s: schema version %d, this tool reads %d", name, meta.Version, obs.MetaVersion))
-		}
-		metas = append(metas, meta)
-		events = append(events, evs...)
-		nodes = append(nodes, meta.Node)
-	}
-	for i := 1; i < len(metas); i++ {
-		if metas[i].N != metas[0].N || metas[i].D != metas[0].D || metas[i].Dec != metas[0].Dec {
-			return fail(fmt.Errorf("%s: topology/decomposition differs from %s", files[i], files[0]))
-		}
-	}
-	dec, err := metas[0].Decomposition()
+	metas, events, nodes, dec, err := readTraces(files)
 	if err != nil {
 		return fail(err)
 	}
-	// Each process is hosted by exactly one node, so the per-process (proc,
-	// seq) sequences from different files interleave without collisions.
-	obs.SortEvents(events)
 
 	res, err := csp.Reconstruct(dec, csp.LogsFromEvents(dec.N(), events))
 	if err != nil {

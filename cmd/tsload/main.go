@@ -20,6 +20,9 @@
 // -control reruns the workload at the same seed with logs retained, then
 // replays the whole trace through the sequential oracle and compares: the
 // streaming verdict and the replay must agree, or tsload exits nonzero.
+//
+// -slo gates the run on a latency percentile ("p99<10ms"): a violated
+// budget exits nonzero, making tsload usable as a CI regression tripwire.
 package main
 
 import (
@@ -27,6 +30,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"syncstamp/internal/check"
@@ -65,15 +70,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		gnpMsgs = fs.Int("gnp-msgs", 10000, "message count (gnp mode)")
 
 		control = fs.Bool("control", false, "cross-check the verdict against a whole-trace sequential replay")
+		slo     = fs.String("slo", "", `latency SLO gate, e.g. "p99<10ms" or "p50<500us"; violation exits nonzero`)
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	sloQ, sloBound, err := parseSLO(*slo)
+	if err != nil {
+		fmt.Fprintf(stderr, "tsload: %v\n", err)
 		return 2
 	}
 	tc := node.TreeConfig{Leaves: *leaves, SpillDir: *spillDir, SegmentRecords: *segment}
 	reg := obs.NewRegistry()
 
 	var res *load.Result
-	var err error
 	switch *mode {
 	case "clientserver":
 		cfg := load.Config{
@@ -118,7 +128,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "tsload: verification FAILED")
 		return 1
 	}
+	if sloQ != 0 {
+		got := res.Latency.Quantile(sloQ)
+		if got > int64(sloBound) {
+			fmt.Fprintf(stderr, "tsload: SLO violated: p%g <= %v, budget %v\n",
+				sloQ*100, time.Duration(got), sloBound)
+			return 1
+		}
+		fmt.Fprintf(stdout, "slo       p%g <= %v within %v\n", sloQ*100, time.Duration(got), sloBound)
+	}
 	return 0
+}
+
+// parseSLO parses a "-slo p99<10ms" gate into a quantile and a duration
+// budget; an empty spec means no gate (quantile 0).
+func parseSLO(spec string) (q float64, bound time.Duration, err error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	name, budget, found := strings.Cut(spec, "<")
+	if !found || !strings.HasPrefix(name, "p") {
+		return 0, 0, fmt.Errorf(`bad -slo %q (want "pNN<duration", e.g. "p99<10ms")`, spec)
+	}
+	pct, perr := strconv.ParseFloat(name[1:], 64)
+	if perr != nil || pct <= 0 || pct > 100 {
+		return 0, 0, fmt.Errorf("bad -slo quantile %q (want p50, p90, p99, ...)", name)
+	}
+	bound, err = time.ParseDuration(strings.TrimSpace(budget))
+	if err != nil || bound <= 0 {
+		return 0, 0, fmt.Errorf("bad -slo budget %q (want a positive duration like 10ms)", budget)
+	}
+	return pct / 100, bound, nil
 }
 
 // report prints the run's outcome: rates, percentiles, tree accounting.

@@ -63,4 +63,36 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if code := run([]string{"-clients", "noway"}, &out, &errb); code != 2 {
 		t.Fatalf("bad flag exited %d, want 2", code)
 	}
+	for _, spec := range []string{"p99", "99<10ms", "p0<10ms", "p101<10ms", "p99<-1ms", "p99<nonsense"} {
+		if code := run([]string{"-slo", spec}, &out, &errb); code != 2 {
+			t.Fatalf("-slo %q exited %d, want 2", spec, code)
+		}
+	}
+}
+
+// TestRunSLOGate: a generous budget passes and prints the gate line, an
+// impossible budget (1ns) exits 1 naming the violation — the CI-tripwire
+// behavior of -slo.
+func TestRunSLOGate(t *testing.T) {
+	args := func(slo string) []string {
+		return []string{
+			"-servers", "2", "-clients", "50", "-msgs", "2",
+			"-seed", "5", "-workers", "2", "-slo", slo,
+		}
+	}
+	var out, errb bytes.Buffer
+	if code := run(args("p99<10m"), &out, &errb); code != 0 {
+		t.Fatalf("generous SLO exited %d\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "slo       p99 <= ") {
+		t.Fatalf("no SLO gate line:\n%s", out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run(args("p99<1ns"), &out, &errb); code != 1 {
+		t.Fatalf("impossible SLO exited %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "SLO violated") {
+		t.Fatalf("violation not reported:\n%s", errb.String())
+	}
 }

@@ -10,6 +10,14 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"syncstamp/internal/core"
+	"syncstamp/internal/csp"
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/graph"
+	"syncstamp/internal/node"
+	"syncstamp/internal/obs"
+	"syncstamp/internal/vector"
 )
 
 // chaosProgram is the fixed computation the chaos e2e tests run: a path of
@@ -223,9 +231,11 @@ func TestE2EKillNineRecoverySoak(t *testing.T) {
 			addrs := freeAddrs(t, 3)
 			traces := make([]string, 3)
 			journals := make([]string, 3)
+			flights := make([]string, 3)
 			for i := range traces {
 				traces[i] = filepath.Join(dir, fmt.Sprintf("node%d.jsonl", i))
 				journals[i] = filepath.Join(dir, fmt.Sprintf("node%d.journal", i))
+				flights[i] = filepath.Join(dir, fmt.Sprintf("node%d.flight.jsonl", i))
 			}
 			// Delays stretch the run so the SIGKILL lands mid-computation;
 			// node 2 additionally crashes itself every 10 egress frames.
@@ -237,12 +247,17 @@ func TestE2EKillNineRecoverySoak(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			// Journal-bearing nodes carry this subtest's commit mode.
+			// Journal-bearing nodes carry this subtest's commit mode. Every
+			// node keeps a flight recorder with a dump path: crashes and peer
+			// losses snapshot the ring, and each surviving incarnation's
+			// end-of-run dump overwrites with the full journal-restored
+			// history.
 			journalArgs := func(i int) []string {
 				return append(chaosArgs(i, addrs, traces[i], journals[i], planPath, "250ms"),
-					"-journal-sync", syncMode)
+					"-journal-sync", syncMode, "-flight-dump", flights[i])
 			}
-			n0 := startChaosNode(t, bin, chaosArgs(0, addrs, traces[0], "", planPath, "250ms"))
+			n0 := startChaosNode(t, bin, append(chaosArgs(0, addrs, traces[0], "", planPath, "250ms"),
+				"-flight-dump", flights[0]))
 			n1 := startChaosNode(t, bin, journalArgs(1))
 			n2 := startChaosNode(t, bin, journalArgs(2))
 
@@ -344,6 +359,41 @@ func TestE2EKillNineRecoverySoak(t *testing.T) {
 			}
 			if !strings.Contains(report, "verified: span stamps match the sequential replay") {
 				t.Fatalf("trace-report did not verify the spans:\n%s", report)
+			}
+
+			// The kill -9 soak must leave a flight dump per node, and the
+			// merged dumps must replay-verify against the sequential oracle:
+			// the journal restores the committed history through the obs
+			// hooks, so the final dumps are a complete causal post-mortem
+			// despite the crashes.
+			var merged []obs.Event
+			for i, path := range flights {
+				events, err := node.ReadFlightDump(path)
+				if err != nil {
+					t.Fatalf("node %d flight dump: %v", i, err)
+				}
+				if len(events) == 0 {
+					t.Fatalf("node %d left an empty flight dump", i)
+				}
+				merged = append(merged, events...)
+			}
+			dec := decomp.Best(graph.Path(3))
+			res, err := csp.Reconstruct(dec, csp.LogsFromEvents(dec.N(), merged))
+			if err != nil {
+				t.Fatalf("reconstructing from flight dumps: %v", err)
+			}
+			if res.Trace.NumMessages() != chaosMessages {
+				t.Fatalf("flight dumps reconstruct %d messages, run carried %d",
+					res.Trace.NumMessages(), chaosMessages)
+			}
+			seq, err := core.StampTrace(res.Trace, dec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for m := range seq {
+				if !vector.Eq(seq[m], res.Stamps[m]) {
+					t.Fatalf("message %d: flight stamp %v, sequential stamp %v", m, res.Stamps[m], seq[m])
+				}
 			}
 		})
 	}

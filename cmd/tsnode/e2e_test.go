@@ -219,4 +219,48 @@ func TestE2EThreeOSProcesses(t *testing.T) {
 	if fi, err := os.Stat(chrome); err != nil || fi.Size() == 0 {
 		t.Fatalf("chrome trace missing or empty: %v", err)
 	}
+
+	// The causal critical-path profile is a pure function of the computation:
+	// profiling the two independent runs' traces must produce byte-identical
+	// reports, whose end-to-end length dominates every per-process span.
+	profile := func(traceFiles []string) string {
+		t.Helper()
+		out, err := exec.Command(tsanalyze, append([]string{"critical-path"}, traceFiles...)...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("tsanalyze critical-path: %v\n%s", err, out)
+		}
+		return string(out)
+	}
+	crit := profile(traces)
+	if crit2 := profile(again); crit != crit2 {
+		t.Errorf("critical-path report differs across two runs:\n%s\n---\n%s", crit, crit2)
+	}
+	var length, steps int
+	if _, err := fmt.Sscanf(crit, "critical-path: 3 file(s), nodes [0 1 2], N=6 processes, d=%d\ncritical path: %d causal ticks end-to-end over %d steps",
+		new(int), &length, &steps); err != nil {
+		t.Fatalf("unparseable critical-path header (%v):\n%s", err, crit)
+	}
+	if length <= 0 || steps <= 0 {
+		t.Fatalf("degenerate critical path (%d ticks, %d steps):\n%s", length, steps, crit)
+	}
+	procs := 0
+	for _, line := range strings.Split(crit, "\n") {
+		var proc, endSum, slack int
+		if _, err := fmt.Sscanf(line, "  P%d %d %d", &proc, &endSum, &slack); err != nil {
+			continue
+		}
+		procs++
+		if endSum > length {
+			t.Errorf("P%d causal-tick span %d exceeds the end-to-end length %d", proc, endSum, length)
+		}
+		if slack != length-endSum {
+			t.Errorf("P%d slack %d, want %d", proc, slack, length-endSum)
+		}
+	}
+	if procs != 6 {
+		t.Fatalf("slack table lists %d processes, want 6:\n%s", procs, crit)
+	}
+	if !strings.Contains(crit, "rendezvous-link blame (ranked by critical-path ticks):") {
+		t.Fatalf("critical-path printed no blame table:\n%s", crit)
+	}
 }

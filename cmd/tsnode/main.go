@@ -18,9 +18,16 @@
 // processes are separated by ';', operations by ',', and each operation is
 // one of "send Q", "recv", "recvfrom Q", or "internal NOTE".
 //
-// Observability: -obs-addr serves /metrics (JSON), /healthz, and net/http/pprof
-// for the duration of the run; -obs-trace writes the node's structured JSONL
-// event trace after the run, ready for "tsanalyze trace-report".
+// Observability: -obs-addr serves /metrics (JSON), /healthz, /debug/flight,
+// and net/http/pprof for the duration of the run; -obs-trace writes the
+// node's structured JSONL event trace after the run, ready for "tsanalyze
+// trace-report" and "tsanalyze critical-path". The flight recorder (-flight,
+// on by default) keeps a bounded ring of recent events and dumps it to
+// -flight-dump on failure, peer loss, SIGQUIT, and end of run — the causal
+// post-mortem for runs that died too hard to write a trace. On the collector
+// node, /metrics serves the cluster rollup after a collect: every reporting
+// node's registry (and every collector-tree leaf's shard registry) merged
+// into one view.
 //
 // Chaos and recovery: -fault-plan wraps the transport with the deterministic
 // internal/fault injector (same plan + seed → same faults); -journal names a
@@ -36,8 +43,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"syncstamp/internal/check"
@@ -82,6 +91,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	retransmitMax := fs.Duration("retransmit-max", node.DefaultRetransmitMax, "retransmission backoff cap")
 	noCoalesce := fs.Bool("no-coalesce", false, "flush every frame to the transport individually instead of coalescing bursts")
 	journalSync := fs.String("journal-sync", "group", "journal commit mode: group (one fsync per batch) or each (one fsync per record)")
+	flight := fs.Int("flight", 4096, "flight recorder capacity in events (0 disables the ring)")
+	flightDump := fs.String("flight-dump", "", "dump the flight recorder here (JSONL) on failure, peer loss, SIGQUIT, and end of run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -156,6 +167,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// clean shutdown path, is what the restarted incarnation recovers from.
 	var tr node.Transport = tcp
 	var ftr *fault.Transport
+	var nd *node.Node // set below; the crash hook dumps its flight recorder
 	if *faultPlanFlag != "" {
 		plan, err := fault.ReadPlanFile(*faultPlanFlag)
 		if err != nil {
@@ -164,6 +176,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ftr = fault.New(tcp, plan, *nodeIdx)
 		ftr.CrashFn = func() {
 			fmt.Fprintf(stderr, "tsnode: node %d crashing on schedule\n", *nodeIdx)
+			if nd != nil && nd.DumpFlight() {
+				fmt.Fprintf(stderr, "tsnode: flight dump written to %s\n", *flightDump)
+			}
 			os.Exit(137)
 		}
 		tr = ftr
@@ -221,11 +236,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Obs:               o,
 		NoCoalesce:        *noCoalesce,
 		Recovery:          rec,
+		FlightRecorder:    *flight,
+		FlightDump:        *flightDump,
 	}, tr)
 	if err != nil {
 		return fail(err)
 	}
 	defer n.Close()
+	nd = n
+
+	// SIGQUIT takes a flight dump on demand — the classic "what is this
+	// stuck process doing" probe — without killing the run. Only installed
+	// when there is somewhere to dump to; otherwise SIGQUIT keeps its
+	// default goroutine-dump-and-exit behavior.
+	if *flight > 0 && *flightDump != "" {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, syscall.SIGQUIT)
+		defer signal.Stop(sigc)
+		go func() {
+			for range sigc {
+				if n.DumpFlight() {
+					fmt.Fprintf(stderr, "tsnode: flight dump written to %s\n", *flightDump)
+				}
+			}
+		}()
+	}
 
 	var resume map[int]int
 	if rec != nil && rec.Journal != nil {

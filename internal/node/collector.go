@@ -108,6 +108,10 @@ type CollectorTree struct {
 	chans  []chan procRec
 	leaves []*leafCollector
 	wg     sync.WaitGroup
+
+	// rollup accumulates the leaves' shard-registry snapshots (METRICS
+	// frames preceding each SUMMARY); Finish is its only writer.
+	rollup *obs.Registry
 }
 
 // leafCollector owns one shard: a verifier, a segment buffer, and a spill
@@ -132,6 +136,14 @@ type leafCollector struct {
 	segCap   int
 	keepLogs bool
 	logs     map[int][]csp.Record
+
+	// The leaf's own shard registry, shipped to the root on a METRICS
+	// frame ahead of the SUMMARY; the resolved counters avoid a map
+	// lookup per record.
+	reg         *obs.Registry
+	recRecords  *obs.Counter
+	recSegments *obs.Counter
+	recSpill    *obs.Counter
 
 	records     int64
 	segments    int64
@@ -158,7 +170,7 @@ func NewCollectorTree(topo check.Topology, cfg TreeConfig) (*CollectorTree, erro
 			return nil, fmt.Errorf("node: collector spill dir: %w", err)
 		}
 	}
-	t := &CollectorTree{topo: topo, cfg: cfg}
+	t := &CollectorTree{topo: topo, cfg: cfg, rollup: obs.NewRegistry()}
 	d := topo.D()
 	for i := 0; i < cfg.Leaves; i++ {
 		l := &leafCollector{
@@ -167,7 +179,11 @@ func NewCollectorTree(topo check.Topology, cfg TreeConfig) (*CollectorTree, erro
 			ver:      check.NewShardVerifier(topo, i),
 			segCap:   cfg.SegmentRecords,
 			keepLogs: cfg.KeepLogs,
+			reg:      obs.NewRegistry(),
 		}
+		l.recRecords = l.reg.Counter(obs.MetricShardRecords)
+		l.recSegments = l.reg.Counter(obs.MetricShardSegments)
+		l.recSpill = l.reg.Counter(obs.MetricShardSpillBytes)
 		if cfg.KeepLogs {
 			l.logs = make(map[int][]csp.Record)
 		}
@@ -248,12 +264,22 @@ func (t *CollectorTree) Finish() (*TreeVerdict, error) {
 	}
 	sums := make([]*wire.ShardSummary, len(t.leaves))
 	for i, l := range t.leaves {
-		f, err := l.rootDec.Decode()
-		if err != nil {
-			continue // the leaf died without a summary; the root judges it missing
-		}
-		if f.Kind == wire.KindSummary && f.Summary != nil && f.Summary.Leaf == i {
-			sums[i] = f.Summary
+		// A healthy leaf sends its shard-registry METRICS, then its
+		// SUMMARY; a crashed leaf sends neither (its pipe just closes) and
+		// the root judges it missing.
+		for {
+			f, err := l.rootDec.Decode()
+			if err != nil {
+				break
+			}
+			if f.Kind == wire.KindMetrics && f.Metrics != nil {
+				_ = t.rollup.Merge(SnapshotFromMetrics(f.Metrics))
+				continue
+			}
+			if f.Kind == wire.KindSummary && f.Summary != nil && f.Summary.Leaf == i {
+				sums[i] = f.Summary
+			}
+			break
 		}
 	}
 	verdict := check.CombineSummaries(t.topo, len(t.leaves), sums)
@@ -286,6 +312,11 @@ func (t *CollectorTree) Finish() (*TreeVerdict, error) {
 	return tv, nil
 }
 
+// Rollup snapshots the merged shard registries the leaves shipped up.
+// Valid after Finish; counters are exactly the sums over the healthy
+// leaves' own registries (Registry.Merge adds counters).
+func (t *CollectorTree) Rollup() obs.Snapshot { return t.rollup.Snapshot() }
+
 // Logs merges the leaves' retained logs (KeepLogs mode) into the
 // per-process slice csp.Reconstruct takes.
 func (t *CollectorTree) Logs() [][]csp.Record {
@@ -317,6 +348,12 @@ func (l *leafCollector) run() {
 		return // simulated mid-stream death: no summary ever reaches the root
 	}
 	l.flushSegment()
+	// The shard registry rides up ahead of the summary, so the root can
+	// fold every healthy leaf's counters into the cluster rollup.
+	mf := &wire.Frame{Kind: wire.KindMetrics, Metrics: MetricsFromSnapshot(l.id, l.reg.Snapshot())}
+	if err := l.enc.Encode(mf); err != nil {
+		return
+	}
 	sum := l.ver.Summary()
 	sum.Segments = uint64(l.segments)
 	sum.Spilled = uint64(l.spillBytes)
@@ -337,6 +374,7 @@ func (l *leafCollector) ingest(pr procRec) {
 		l.crashed = true
 		return
 	}
+	l.recRecords.Add(1)
 	_ = l.ver.Ingest(pr.proc, pr.rec) // the verifier holds its first error for the summary
 	if l.keepLogs {
 		l.logs[pr.proc] = append(l.logs[pr.proc], pr.rec)
@@ -377,6 +415,8 @@ func (l *leafCollector) flushSegment() {
 	}
 	l.segments++
 	l.spillBytes += int64(n)
+	l.recSegments.Add(1)
+	l.recSpill.Add(int64(n))
 	l.seg = l.seg[:0]
 }
 
@@ -442,6 +482,14 @@ func (n *Node) CollectTree(info *RunInfo, timeout time.Duration, cfg TreeConfig)
 		r.Gauge(obs.MetricSegmentsSpilled).Set(verdict.SegmentsSpilled)
 		r.Gauge(obs.MetricSpillBytes).Set(verdict.SpillBytes)
 		r.Gauge(obs.MetricShardsVerified).Set(int64(verdict.Shards))
+	}
+	// Fold the tree's leaf registries into the same rollup the peer
+	// nodes' METRICS frames landed in, then publish the merged view.
+	if err := n.mergeMetrics(tree.Rollup()); err != nil {
+		return nil, err
+	}
+	if err := n.finishRollup(info); err != nil {
+		return nil, err
 	}
 	return verdict, nil
 }

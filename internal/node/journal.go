@@ -39,6 +39,10 @@ type JournalRecord struct {
 	Seq   uint64   `json:"seq,omitempty"`
 	Stamp vector.V `json:"stamp,omitempty"`
 	Note  string   `json:"note,omitempty"`
+	// Node is the hosting node, recorded by flight dumps (which may be
+	// merged across nodes); the crash-recovery journal leaves it zero —
+	// a journal file is per-node by construction.
+	Node int `json:"node,omitempty"`
 }
 
 // Journal is an append-only JSONL file of committed operations, safe for

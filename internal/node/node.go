@@ -82,6 +82,20 @@ type Config struct {
 	// Obs is the node's observability surface. Nil disables it; the
 	// rendezvous hot paths then cost nothing extra.
 	Obs *obs.Obs
+	// FlightRecorder, when positive, turns on the always-on flight
+	// recorder: a fixed ring of that many recent rendezvous/internal
+	// events, recorded on the same obs hooks the tracer uses but bounded,
+	// so it is cheap enough to leave on in production. The ring is dumped
+	// to FlightDump on the first failure, on a peer loss, at end of run,
+	// and on demand (SIGQUIT / the /debug/flight?dump=1 endpoint). When
+	// Obs is nil a minimal surface is created to host the ring.
+	FlightRecorder int
+	// FlightDump is the file the flight recorder dumps to — a journal-style
+	// JSONL of the ring's events in deterministic stamp order, written
+	// atomically (temp file, fsync, rename) so a reader never sees a torn
+	// dump. Empty keeps the ring in memory only (still served over
+	// /debug/flight).
+	FlightDump string
 	// NoCoalesce disables frame coalescing on data connections: every frame
 	// is flushed to the transport individually, one write per frame, as the
 	// pre-batching runtime did. It is the baseline arm of cmd/tsbench and a
@@ -267,6 +281,11 @@ type Node struct {
 	wireFrames [wire.KindMax]*obs.Counter
 	wireBytes  [wire.KindMax]*obs.Counter
 	dropped    atomic.Int64
+
+	// rollup accumulates peer nodes' METRICS snapshots during a collect
+	// (created lazily, guarded by mu); dumpMu serializes flight dumps.
+	rollup *obs.Registry
+	dumpMu sync.Mutex
 }
 
 // New validates the configuration and returns an idle node. The transport
@@ -345,8 +364,19 @@ func New(cfg Config, tr Transport) (*Node, error) {
 		}
 	}
 	n.obsv = cfg.Obs
-	n.ins = obs.NewInstruments(cfg.Obs.Registry(), cfg.Dec.N())
-	if r := cfg.Obs.Registry(); r != nil {
+	if cfg.FlightRecorder > 0 {
+		if n.obsv == nil {
+			// A minimal surface: no metrics, no tracer — just the ring.
+			n.obsv = &obs.Obs{}
+			n.cfg.Obs = n.obsv
+		}
+		if n.obsv.Flight == nil {
+			n.obsv.Flight = obs.NewFlight(cfg.FlightRecorder)
+		}
+		n.obsv.Flight.SetDumpHook(func() { n.DumpFlight() })
+	}
+	n.ins = obs.NewInstruments(n.cfg.Obs.Registry(), cfg.Dec.N())
+	if r := n.cfg.Obs.Registry(); r != nil {
 		for _, k := range wire.Kinds() {
 			fn, bn := obs.FrameMetrics(k.String())
 			n.wireFrames[k] = r.Counter(fn)
@@ -384,13 +414,20 @@ func (n *Node) Close() {
 	n.readersWG.Wait()
 }
 
-// fail records the first abort cause and stops the node.
+// fail records the first abort cause and stops the node. The first failure
+// also dumps the flight recorder — the post-mortem is written while the
+// evidence is fresh, before teardown races can rotate events out of the
+// ring.
 func (n *Node) fail(err error) {
 	n.failMu.Lock()
-	if n.failErr == nil {
+	first := n.failErr == nil
+	if first {
 		n.failErr = err
 	}
 	n.failMu.Unlock()
+	if first {
+		n.DumpFlight()
+	}
 	n.Stop()
 }
 
@@ -774,6 +811,14 @@ type RunInfo struct {
 	SegmentsSpilled int64
 	SpillBytes      int64
 	ShardsVerified  int64
+	// Rollup is the cluster-wide metrics view the collector assembled
+	// (Collect/CollectTree on the collector node only; nil elsewhere):
+	// every reporting node's registry snapshot and every collector-tree
+	// leaf's shard registry, merged into this node's own metrics — counters
+	// and gauges add, histograms merge bucket-wise. The same totals are
+	// folded into the node's live registry, so /metrics serves the merged
+	// cluster view.
+	Rollup *obs.Snapshot
 }
 
 // FrameMap renders a wire accounting as the obs.Meta frame table, omitting
@@ -896,6 +941,10 @@ func (n *Node) Run(programs map[int]func(*Process) error) (*RunInfo, error) {
 	for i, p := range n.local {
 		info.Logs[p] = procs[i].log
 	}
+	// End-of-run dump: after a journal Restore re-primed the ring, this
+	// dump holds the incarnation's complete committed history — the
+	// post-mortem a kill -9'd predecessor could never write.
+	n.DumpFlight()
 
 	// Root cause: prefer a program's own error over the ErrStopped echoes
 	// of its neighbors, mirroring csp.Wait.

@@ -222,6 +222,10 @@ func (n *Node) peerLost(pc *peerConn, cause error) {
 	if finished || n.stopped() {
 		return
 	}
+	// A live peer just vanished: snapshot the flight recorder now, while
+	// the ring still holds the events leading up to the loss. (fail takes
+	// its own dump; this covers losses recovery goes on to survive.)
+	n.DumpFlight()
 	if n.rec.OnPeerLoss == PeerLossAbort {
 		n.fail(fmt.Errorf("node %d: connection to node %d: %w", n.cfg.Node, pc.node, cause))
 		return

@@ -52,6 +52,14 @@ func (n *Node) SendReport(collector int, info *RunInfo) error {
 			}
 		}
 	}
+	// Ship the node's registry snapshot ahead of the BYE, so the collector
+	// can fold it into the cluster rollup. Registry-less nodes skip it.
+	if r := n.cfg.Obs.Registry(); r != nil {
+		f := &wire.Frame{Kind: wire.KindMetrics, Metrics: MetricsFromSnapshot(n.cfg.Node, r.Snapshot())}
+		if err := enc.Encode(f); err != nil {
+			return fmt.Errorf("node %d: report metrics: %w", n.cfg.Node, err)
+		}
+	}
 	if err := enc.Encode(&wire.Frame{Kind: wire.KindBye}); err != nil {
 		return fmt.Errorf("node %d: report: %w", n.cfg.Node, err)
 	}
@@ -73,6 +81,9 @@ func (n *Node) Collect(info *RunInfo, timeout time.Duration) (*csp.Result, error
 		return nil
 	}
 	if err := n.collectStream(info, timeout, sink); err != nil {
+		return nil, err
+	}
+	if err := n.finishRollup(info); err != nil {
 		return nil, err
 	}
 	res, err := csp.Reconstruct(n.cfg.Dec, logs)
@@ -203,6 +214,13 @@ func (n *Node) readReport(rc *reportConn, sink func(proc int, rec csp.Record) er
 			}
 			if err := sink(f.Proc, csp.Record{Kind: csp.RecordInternal, Note: f.Note}); err != nil {
 				return err
+			}
+		case wire.KindMetrics:
+			if f.Metrics == nil {
+				return fmt.Errorf("node %d: empty METRICS frame in report from node %d", n.cfg.Node, rc.node)
+			}
+			if err := n.mergeMetrics(SnapshotFromMetrics(f.Metrics)); err != nil {
+				return fmt.Errorf("node %d: metrics from node %d: %w", n.cfg.Node, rc.node, err)
 			}
 		case wire.KindBye:
 			return nil

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"syncstamp/internal/vector"
+)
+
+// critSample is a three-process computation seen from both rendezvous ends:
+// m1 P0→P1 at {1,1}, m2 P1→P0 at {2,2}, and an internal event on P2 that
+// stays off the critical path.
+func critSample() []Event {
+	return []Event{
+		{Node: 0, Proc: 0, Peer: 1, Seq: 0, Phase: PhaseSyn, Stamp: vector.V{1, 0}},
+		{Node: 0, Proc: 0, Peer: 1, Seq: 1, Phase: PhaseAdopt, Stamp: vector.V{1, 1}},
+		{Node: 1, Proc: 1, Peer: 0, Seq: 0, Phase: PhaseMerge, Stamp: vector.V{1, 1}},
+		{Node: 1, Proc: 1, Peer: 0, Seq: 1, Phase: PhaseAdopt, Stamp: vector.V{2, 2}},
+		{Node: 0, Proc: 0, Peer: 1, Seq: 2, Phase: PhaseMerge, Stamp: vector.V{2, 2}},
+		{Node: 2, Proc: 2, Peer: -1, Seq: 0, Phase: PhaseInternal, Stamp: vector.V{1, 0}, Note: "idle"},
+	}
+}
+
+func TestCriticalPathLengthAndSlack(t *testing.T) {
+	cp := CriticalPath(critSample())
+	// Length is the maximum stamp sum any event reached.
+	if cp.Length != 4 {
+		t.Fatalf("length %d, want 4", cp.Length)
+	}
+	// The end-to-end length dominates every process's own causal-tick span.
+	for _, p := range cp.Procs {
+		if p.EndSum > cp.Length {
+			t.Errorf("P%d end-sum %d exceeds path length %d", p.Proc, p.EndSum, cp.Length)
+		}
+		if p.Slack != cp.Length-p.EndSum {
+			t.Errorf("P%d slack %d, want %d", p.Proc, p.Slack, cp.Length-p.EndSum)
+		}
+	}
+	if len(cp.Procs) != 3 {
+		t.Fatalf("proc table %+v, want 3 processes", cp.Procs)
+	}
+	if cp.Procs[0].Slack != 0 || cp.Procs[1].Slack != 0 {
+		t.Errorf("P0/P1 end on the path, want slack 0: %+v", cp.Procs[:2])
+	}
+	if cp.Procs[2].Slack != 3 {
+		t.Errorf("P2 slack %d, want 3", cp.Procs[2].Slack)
+	}
+	// The step ticks telescope to the full length.
+	var sum int64
+	for _, s := range cp.Steps {
+		sum += s.Ticks
+	}
+	if sum != cp.Length {
+		t.Fatalf("step ticks sum to %d, want %d", sum, cp.Length)
+	}
+	// The last step is m2, the sink rendezvous P1→P0.
+	last := cp.Steps[len(cp.Steps)-1]
+	if last.Phase != PhaseAdopt || last.Proc != 1 || last.Peer != 0 {
+		t.Fatalf("sink step %+v, want m P1→P0", last)
+	}
+	// Blame table: both links carried one message; the deeper one ranks first.
+	if len(cp.Links) != 2 {
+		t.Fatalf("links %+v, want 2", cp.Links)
+	}
+	if cp.Links[0].From != 1 || cp.Links[0].To != 0 || cp.Links[0].Slack != 0 {
+		t.Errorf("top blame %+v, want P1→P0 with slack 0", cp.Links[0])
+	}
+}
+
+// TestCriticalPathDeterministic: the analysis and its report depend only on
+// the computation, not on the interleaving the events arrived in.
+func TestCriticalPathDeterministic(t *testing.T) {
+	evs := critSample()
+	rev := make([]Event, len(evs))
+	for i, e := range evs {
+		rev[len(evs)-1-i] = e
+	}
+	var b1, b2 bytes.Buffer
+	if err := CriticalPath(evs).WriteReport(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := CriticalPath(rev).WriteReport(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("report not byte-identical across interleavings:\n%s\n---\n%s", b1.String(), b2.String())
+	}
+	for _, want := range []string{
+		"critical path: 4 causal ticks end-to-end",
+		"m P0→P1",
+		"m P1→P0",
+		"per-process slack:",
+		"rendezvous-link blame",
+	} {
+		if !strings.Contains(b1.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, b1.String())
+		}
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	cp := CriticalPath(nil)
+	if cp.Length != 0 || len(cp.Steps) != 0 || len(cp.Procs) != 0 || len(cp.Links) != 0 {
+		t.Fatalf("empty analysis: %+v", cp)
+	}
+	var buf bytes.Buffer
+	if err := cp.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "critical path: 0 causal ticks end-to-end over 0 steps") {
+		t.Fatalf("empty report:\n%s", buf.String())
+	}
+}

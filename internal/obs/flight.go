@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Flight is the always-on flight recorder: a fixed-size ring of the most
+// recent trace events, cheap enough to leave enabled in production runs.
+// Unlike the Tracer, which accumulates every event for a post-run export,
+// the ring bounds memory and is meant to be dumped at the moment something
+// goes wrong — a crash, a lost peer, a SIGQUIT — as a causal post-mortem of
+// the run's recent past.
+//
+// A nil *Flight is the disabled state: Record is a zero-allocation no-op.
+// Enabled, Record takes one short mutex hold and at most one allocation
+// (the stamp clone; slot stamps are reused once the ring has wrapped and
+// the capacities match).
+type Flight struct {
+	mu   sync.Mutex
+	buf  []Event
+	n    uint64      // total events ever recorded
+	seq  map[int]int // next per-process sequence number
+	dump func()      // optional hook fired by RequestDump
+}
+
+// NewFlight returns a flight recorder holding the last capacity events.
+func NewFlight(capacity int) *Flight {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Flight{buf: make([]Event, capacity), seq: make(map[int]int)}
+}
+
+// Record stores one event, overwriting the oldest once the ring is full.
+// The stamp is cloned into the slot (reusing the slot's previous stamp
+// storage when it fits), so callers may keep mutating their vector.
+func (f *Flight) Record(e Event) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	slot := &f.buf[f.n%uint64(len(f.buf))]
+	old := slot.Stamp
+	*slot = e
+	if cap(old) >= len(e.Stamp) {
+		slot.Stamp = old[:len(e.Stamp)]
+		copy(slot.Stamp, e.Stamp)
+	} else {
+		slot.Stamp = e.Stamp.Clone()
+	}
+	slot.Seq = f.seq[e.Proc]
+	f.seq[e.Proc]++
+	f.n++
+	f.mu.Unlock()
+}
+
+// Len returns how many events the ring currently holds.
+func (f *Flight) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.n < uint64(len(f.buf)) {
+		return int(f.n)
+	}
+	return len(f.buf)
+}
+
+// Recorded returns the total number of events ever recorded, including
+// those the ring has since overwritten.
+func (f *Flight) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Events returns the surviving ring contents in the deterministic dump
+// order: ascending stamp sum first — a linearization consistent with
+// happens-before, since along any causal chain the component sum strictly
+// grows — with ties broken by the canonical (proc, seq) order. Two runs of
+// the same computation whose rings saw the same events dump identically,
+// whatever the arrival interleaving was. Stamps are cloned out.
+func (f *Flight) Events() []Event {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	n := len(f.buf)
+	if f.n < uint64(n) {
+		n = int(f.n)
+	}
+	out := make([]Event, n)
+	copy(out, f.buf[:n])
+	for i := range out {
+		out[i].Stamp = out[i].Stamp.Clone()
+	}
+	f.mu.Unlock()
+	SortFlight(out)
+	return out
+}
+
+// SortFlight sorts events into the flight-dump order: stamp sum, then the
+// canonical (proc, seq) order.
+func SortFlight(events []Event) {
+	sort.Slice(events, func(i, j int) bool {
+		si, sj := StampSum(events[i].Stamp), StampSum(events[j].Stamp)
+		if si != sj {
+			return si < sj
+		}
+		if events[i].Proc != events[j].Proc {
+			return events[i].Proc < events[j].Proc
+		}
+		return events[i].Seq < events[j].Seq
+	})
+}
+
+// SetDumpHook installs the callback RequestDump fires — the runtime's
+// dump-to-disk path, so external triggers (SIGQUIT, /debug/flight with
+// ?dump=1) reach it without the HTTP layer knowing about journals.
+func (f *Flight) SetDumpHook(fn func()) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.dump = fn
+	f.mu.Unlock()
+}
+
+// RequestDump fires the installed dump hook, if any, and reports whether
+// one was installed.
+func (f *Flight) RequestDump() bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	fn := f.dump
+	f.mu.Unlock()
+	if fn == nil {
+		return false
+	}
+	fn()
+	return true
+}

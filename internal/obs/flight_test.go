@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+
+	"syncstamp/internal/vector"
+)
+
+// TestFlightWraparound pins the ring discipline: a full ring overwrites the
+// oldest events, the accounting distinguishes held from recorded, and the
+// dump holds exactly the newest events in the deterministic stamp order.
+func TestFlightWraparound(t *testing.T) {
+	f := NewFlight(4)
+	for i := 0; i < 10; i++ {
+		f.Record(Event{Proc: 0, Peer: 1, Phase: PhaseAdopt, Stamp: vector.V{i + 1, 0}})
+	}
+	if got := f.Recorded(); got != 10 {
+		t.Fatalf("recorded %d, want 10", got)
+	}
+	if got := f.Len(); got != 4 {
+		t.Fatalf("ring holds %d, want 4", got)
+	}
+	events := f.Events()
+	if len(events) != 4 {
+		t.Fatalf("dump holds %d events, want 4", len(events))
+	}
+	// The survivors are the newest four (stamps 7..10), in ascending stamp
+	// sum — the oldest six were overwritten.
+	for i, e := range events {
+		if want := i + 7; e.Stamp[0] != want {
+			t.Errorf("dump[%d] stamp %v, want [%d 0]", i, e.Stamp, want)
+		}
+		if want := i + 6; e.Seq != want {
+			t.Errorf("dump[%d] seq %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+// TestFlightDumpDeterministicAcrossInterleavings: two rings fed the same
+// per-process event sequences under different global interleavings dump
+// identically — the dump order depends only on the computation.
+func TestFlightDumpDeterministicAcrossInterleavings(t *testing.T) {
+	a := []Event{
+		{Proc: 0, Peer: 1, Phase: PhaseAdopt, Stamp: vector.V{1, 1}},
+		{Proc: 0, Peer: -1, Phase: PhaseInternal, Stamp: vector.V{1, 1}, Note: "x"},
+	}
+	b := []Event{
+		{Proc: 1, Peer: 0, Phase: PhaseMerge, Stamp: vector.V{1, 1}},
+		{Proc: 1, Peer: 0, Phase: PhaseMerge, Stamp: vector.V{2, 2}},
+	}
+	f1, f2 := NewFlight(8), NewFlight(8)
+	for _, e := range a {
+		f1.Record(e)
+	}
+	for _, e := range b {
+		f1.Record(e)
+	}
+	f2.Record(b[0])
+	f2.Record(a[0])
+	f2.Record(b[1])
+	f2.Record(a[1])
+	e1, e2 := f1.Events(), f2.Events()
+	if !reflect.DeepEqual(e1, e2) {
+		t.Fatalf("dumps differ across interleavings:\n%v\n%v", e1, e2)
+	}
+}
+
+// TestFlightRecordAllocs pins the record path's cost: zero allocations
+// disabled, at most one (the stamp clone) enabled — and amortized below
+// that once the ring wraps and slot stamp storage is reused.
+func TestFlightRecordAllocs(t *testing.T) {
+	stamp := vector.V{1, 2, 3}
+	var disabled *Flight
+	if allocs := testing.AllocsPerRun(200, func() {
+		disabled.Record(Event{Proc: 1, Phase: PhaseAdopt, Stamp: stamp})
+	}); allocs != 0 {
+		t.Fatalf("disabled Record allocated %v times per run, want 0", allocs)
+	}
+	f := NewFlight(64)
+	if allocs := testing.AllocsPerRun(200, func() {
+		f.Record(Event{Proc: 1, Phase: PhaseAdopt, Stamp: stamp})
+	}); allocs > 1 {
+		t.Fatalf("enabled Record allocated %v times per run, want <= 1", allocs)
+	}
+	// After wraparound every slot holds same-capacity stamp storage, so the
+	// steady state reuses it: no allocations at all.
+	if allocs := testing.AllocsPerRun(200, func() {
+		f.Record(Event{Proc: 1, Phase: PhaseAdopt, Stamp: stamp})
+	}); allocs != 0 {
+		t.Fatalf("steady-state Record allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestFlightDumpHook(t *testing.T) {
+	f := NewFlight(2)
+	if f.RequestDump() {
+		t.Fatal("RequestDump with no hook must report false")
+	}
+	fired := 0
+	f.SetDumpHook(func() { fired++ })
+	if !f.RequestDump() || fired != 1 {
+		t.Fatalf("RequestDump: fired=%d", fired)
+	}
+	var nilf *Flight
+	nilf.SetDumpHook(func() {})
+	if nilf.RequestDump() {
+		t.Fatal("nil flight must not fire dumps")
+	}
+}
+
+// TestServeConcurrentScrape hammers the HTTP endpoints while the runtime
+// mutates the registry and the flight recorder — the lock discipline must
+// hold under the race detector.
+func TestServeConcurrentScrape(t *testing.T) {
+	o := New()
+	o.Flight = NewFlight(32)
+	o.Flight.SetDumpHook(func() {})
+	srv, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				o.Metrics.Counter("rendezvous_total").Add(1)
+				o.Metrics.Gauge(fmt.Sprintf("g%d", i%7)).Set(int64(i))
+				o.Metrics.Histogram("h", TickEdges).Observe(int64(i))
+				o.Rendezvous(0, w, 1-w, PhaseAdopt, vector.V{i, w})
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				for _, path := range []string{"/metrics", "/debug/flight", "/debug/flight?dump=1"} {
+					resp, err := http.Get(base + path)
+					if err != nil {
+						t.Errorf("GET %s: %v", path, err)
+						return
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					_ = resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("GET %s: status %d", path, resp.StatusCode)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestFlightHTTP pins the /debug/flight response shape and the 404 when the
+// recorder is disabled.
+func TestFlightHTTP(t *testing.T) {
+	o := New()
+	srv, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled recorder: status %d, want 404", resp.StatusCode)
+	}
+
+	o.Flight = NewFlight(8)
+	dumped := false
+	o.Flight.SetDumpHook(func() { dumped = true })
+	o.Rendezvous(2, 0, 1, PhaseAdopt, vector.V{1, 1})
+	resp, err = http.Get("http://" + srv.Addr() + "/debug/flight?dump=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/flight: status %d", resp.StatusCode)
+	}
+	var out struct {
+		Recorded uint64 `json:"recorded"`
+		Held     int    `json:"held"`
+		Dumped   bool   `json:"dumped"`
+		Events   []struct {
+			Proc  int    `json:"proc"`
+			Phase string `json:"phase"`
+			Stamp []int  `json:"stamp"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("/debug/flight is not valid JSON: %v\n%s", err, body)
+	}
+	if out.Recorded != 1 || out.Held != 1 || !out.Dumped || len(out.Events) != 1 {
+		t.Fatalf("unexpected response: %+v", out)
+	}
+	if !dumped {
+		t.Fatal("?dump=1 did not fire the dump hook")
+	}
+	if out.Events[0].Phase != "adopt" || out.Events[0].Stamp[0] != 1 {
+		t.Fatalf("event shape: %+v", out.Events[0])
+	}
+}

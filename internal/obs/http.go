@@ -12,6 +12,8 @@ import (
 //
 //	/metrics        JSON snapshot of the metrics registry (expvar-style)
 //	/healthz        liveness probe
+//	/debug/flight   the flight recorder's ring, stamp-sorted JSON; ?dump=1
+//	                additionally triggers the runtime's dump-to-disk hook
 //	/debug/pprof/*  the standard pprof profiles
 //
 // The pprof handlers are registered on this mux explicitly rather than
@@ -36,12 +38,57 @@ func Handler(o *Obs) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		var fl *Flight
+		if o != nil {
+			fl = o.Flight
+		}
+		if fl == nil {
+			http.Error(w, "flight recorder disabled", http.StatusNotFound)
+			return
+		}
+		dumped := false
+		if r.URL.Query().Get("dump") == "1" {
+			dumped = fl.RequestDump()
+		}
+		events := fl.Events()
+		out := flightJSON{
+			Recorded: fl.Recorded(),
+			Held:     len(events),
+			Dumped:   dumped,
+			Events:   make([]evJSON, 0, len(events)),
+		}
+		for t, e := range events {
+			stamp := make([]int, len(e.Stamp))
+			copy(stamp, e.Stamp)
+			out.Events = append(out.Events, evJSON{
+				K: "ev", T: t, Node: e.Node, Proc: e.Proc, Seq: e.Seq,
+				Phase: e.Phase.String(), Peer: e.Peer, Stamp: stamp, Note: e.Note,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(out); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// flightJSON is the /debug/flight response shape: the ring's accounting
+// plus its surviving events in the deterministic flight-dump order, each in
+// the same record shape JSONL uses.
+type flightJSON struct {
+	Recorded uint64   `json:"recorded"`
+	Held     int      `json:"held"`
+	Dumped   bool     `json:"dumped,omitempty"`
+	Events   []evJSON `json:"events"`
 }
 
 // Server is a running observability HTTP server.

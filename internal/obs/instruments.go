@@ -56,6 +56,14 @@ const (
 	// MetricShardsVerified gauges the shard summaries that reached the
 	// collector tree's root — equal to the tree width on a healthy run.
 	MetricShardsVerified = "collector_shards_verified_total"
+	// MetricShardRecords, MetricShardSegments, and MetricShardSpillBytes
+	// are a collector-tree leaf's shard counters: records ingested,
+	// segments spilled, and spill bytes written. Each leaf counts into its
+	// own registry and ships the snapshot to the root on a METRICS frame,
+	// so the root's rollup totals are exactly the leaf sums.
+	MetricShardRecords    = "shard_records_total"
+	MetricShardSegments   = "shard_segments_total"
+	MetricShardSpillBytes = "shard_spill_bytes_total"
 	// MetricLoadOffered and MetricLoadAchieved count the messages a load
 	// driver scheduled versus the messages it completed; their per-second
 	// rates over the run window are the open-loop offered-vs-achieved

@@ -140,11 +140,55 @@ func (s HistogramSnapshot) Quantile(q float64) int64 {
 
 // Default bucket edges.
 var (
-	// LatencyEdges buckets wall-clock latencies in nanoseconds, 1µs–10s.
-	LatencyEdges = []int64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
+	// LatencyEdges buckets wall-clock latencies in nanoseconds, 1µs–10s,
+	// on a log-spaced 1-2-5 ladder. Decade-only buckets made p50 and p99
+	// quantize to the same edge on any workload whose latencies span less
+	// than 10x (visible in early BENCH_loop.json artifacts); three edges
+	// per decade keeps the quantile bound within a factor ~2.5 of the
+	// true value while the scan stays a couple dozen compares.
+	LatencyEdges = []int64{
+		1e3, 2e3, 5e3,
+		1e4, 2e4, 5e4,
+		1e5, 2e5, 5e5,
+		1e6, 2e6, 5e6,
+		1e7, 2e7, 5e7,
+		1e8, 2e8, 5e8,
+		1e9, 2e9, 5e9,
+		1e10,
+	}
 	// TickEdges buckets logical (causal) latencies in ticks.
 	TickEdges = []int64{1, 2, 4, 8, 16, 32, 64, 128}
 )
+
+// Merge folds a snapshot's observations into the live histogram. The
+// snapshot must have the same edges (the cluster rollup only ever merges
+// instruments registered under the same name, which fixes the edges);
+// mismatched edges are an error, not a silent re-bucketing.
+func (h *Histogram) Merge(s HistogramSnapshot) error {
+	if h == nil {
+		return nil
+	}
+	if len(s.Edges) == 0 && s.Count == 0 {
+		return nil // empty snapshot (e.g. from a nil histogram)
+	}
+	if len(s.Edges) != len(h.edges) {
+		return fmt.Errorf("obs: merging histogram with %d edges into %d", len(s.Edges), len(h.edges))
+	}
+	for i := range h.edges {
+		if s.Edges[i] != h.edges[i] {
+			return fmt.Errorf("obs: merging histogram with edge %d=%d into %d", i, s.Edges[i], h.edges[i])
+		}
+	}
+	if len(s.Counts) != len(h.buckets) {
+		return fmt.Errorf("obs: histogram snapshot has %d counts for %d buckets", len(s.Counts), len(h.buckets))
+	}
+	for i, c := range s.Counts {
+		h.buckets[i].Add(c)
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
+	return nil
+}
 
 // Registry holds a run's named metrics. Registration (Counter, Gauge,
 // Histogram) locks and may allocate — runtimes resolve their instruments
@@ -218,6 +262,51 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Merge folds a snapshot into the registry: counters and gauges add (the
+// rollup semantics — a cluster total is the sum of its nodes), histograms
+// merge bucket-wise. Missing instruments are created, histograms with the
+// snapshot's own edges, so merging into an empty registry reproduces the
+// snapshot exactly. Merge is commutative and associative over snapshots,
+// which is what lets the collector tree roll registries up in any leaf
+// order.
+func (r *Registry) Merge(s Snapshot) error {
+	if r == nil {
+		return nil
+	}
+	var names []string
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r.Counter(name).Add(s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := r.Gauge(name)
+		g.Set(g.Value() + s.Gauges[name])
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		hs := s.Histograms[name]
+		if len(hs.Edges) == 0 {
+			continue // snapshot of a nil/empty histogram carries nothing
+		}
+		if err := r.Histogram(name, hs.Edges).Merge(hs); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // Snapshot copies every instrument's current value.

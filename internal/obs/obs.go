@@ -76,6 +76,9 @@ type Obs struct {
 	Metrics *Registry
 	// Tracer records structured events; nil disables tracing.
 	Tracer *Tracer
+	// Flight is the always-on ring of recent events, dumped on crash,
+	// peer loss, or an explicit trigger; nil disables it.
+	Flight *Flight
 	// Clock times latency observations. Nil falls back to Wall.
 	Clock Clock
 }
@@ -111,16 +114,20 @@ func (o *Obs) Now() int64 {
 // PhaseSyn, the agreed stamp for PhaseMerge/PhaseAck/PhaseAdopt). node is
 // the hosting node, or -1 for the in-process runtime.
 func (o *Obs) Rendezvous(node, proc, peer int, ph Phase, stamp vector.V) {
-	if o == nil || o.Tracer == nil {
+	if o == nil || (o.Tracer == nil && o.Flight == nil) {
 		return
 	}
-	o.Tracer.Emit(Event{Node: node, Proc: proc, Peer: peer, Phase: ph, Stamp: stamp})
+	e := Event{Node: node, Proc: proc, Peer: peer, Phase: ph, Stamp: stamp}
+	o.Tracer.Emit(e)
+	o.Flight.Record(e)
 }
 
 // Internal records an internal event with the process's current vector.
 func (o *Obs) Internal(node, proc int, stamp vector.V, note string) {
-	if o == nil || o.Tracer == nil {
+	if o == nil || (o.Tracer == nil && o.Flight == nil) {
 		return
 	}
-	o.Tracer.Emit(Event{Node: node, Proc: proc, Peer: -1, Phase: PhaseInternal, Stamp: stamp, Note: note})
+	e := Event{Node: node, Proc: proc, Peer: -1, Phase: PhaseInternal, Stamp: stamp, Note: note}
+	o.Tracer.Emit(e)
+	o.Flight.Record(e)
 }

@@ -47,6 +47,9 @@ type Frame struct {
 
 	// VERDICT payload (root → leaves).
 	Verdict *Verdict
+
+	// METRICS payload (node/leaf → root).
+	Metrics *Metrics
 }
 
 // GroupSummary is one edge group's fingerprint inside a shard summary: the
@@ -91,6 +94,35 @@ type Verdict struct {
 	Problems []string
 }
 
+// MetricValue is one named scalar instrument (counter or gauge) inside a
+// METRICS frame. Values are zigzag-encoded, so gauges may be negative.
+type MetricValue struct {
+	Name  string
+	Value int64
+}
+
+// MetricHistogram is one named histogram inside a METRICS frame: the fixed
+// bucket edges, the per-bucket counts (one extra overflow bucket), and the
+// observation count and sum.
+type MetricHistogram struct {
+	Name   string
+	Edges  []int64
+	Counts []int64
+	Count  int64
+	Sum    int64
+}
+
+// Metrics is one node's (or leaf collector's) registry snapshot, shipped up
+// the report/collector path for the root to merge into the cluster rollup.
+// Each list is sorted by name; the encoder rejects unsorted input so the
+// frame bytes for a given snapshot are deterministic.
+type Metrics struct {
+	Node       int
+	Counters   []MetricValue
+	Gauges     []MetricValue
+	Histograms []MetricHistogram
+}
+
 // pair keys the delta baselines: the ordered (from, to) process pair whose
 // frames carry vectors from from to to.
 type pair struct{ from, to int }
@@ -129,7 +161,7 @@ func (s Stats) Total() (frames, bytes int) {
 
 // Kinds lists every frame kind, for iterating a Stats deterministically.
 func Kinds() []Kind {
-	return []Kind{KindHello, KindSyn, KindAck, KindInternal, KindBye, KindShard, KindSummary, KindVerdict}
+	return []Kind{KindHello, KindSyn, KindAck, KindInternal, KindBye, KindShard, KindSummary, KindVerdict, KindMetrics}
 }
 
 // Encoder writes frames to one stream, maintaining the per-pair delta
@@ -314,8 +346,70 @@ func (e *Encoder) appendPayload(dst []byte, f *Frame) ([]byte, error) {
 			dst = appendUvarint(dst, uint64(len(p)))
 			dst = append(dst, p...)
 		}
+	case KindMetrics:
+		m := f.Metrics
+		if m == nil {
+			return nil, fmt.Errorf("wire: METRICS frame without a payload")
+		}
+		dst = appendUvarint(dst, uint64(m.Node))
+		var err error
+		if dst, err = appendMetricValues(dst, "counter", m.Counters); err != nil {
+			return nil, err
+		}
+		if dst, err = appendMetricValues(dst, "gauge", m.Gauges); err != nil {
+			return nil, err
+		}
+		if len(m.Histograms) > MaxMetrics {
+			return nil, fmt.Errorf("wire: %d histograms exceed limit %d", len(m.Histograms), MaxMetrics)
+		}
+		dst = appendUvarint(dst, uint64(len(m.Histograms)))
+		for i, h := range m.Histograms {
+			if i > 0 && h.Name <= m.Histograms[i-1].Name {
+				return nil, fmt.Errorf("wire: histogram names not strictly sorted at %q", h.Name)
+			}
+			if len(h.Name) > MaxNote {
+				return nil, fmt.Errorf("wire: metric name of %d bytes exceeds limit %d", len(h.Name), MaxNote)
+			}
+			if len(h.Edges) > MaxEdges {
+				return nil, fmt.Errorf("wire: histogram %q has %d edges, limit %d", h.Name, len(h.Edges), MaxEdges)
+			}
+			if len(h.Counts) != len(h.Edges)+1 {
+				return nil, fmt.Errorf("wire: histogram %q has %d counts for %d edges", h.Name, len(h.Counts), len(h.Edges))
+			}
+			dst = appendUvarint(dst, uint64(len(h.Name)))
+			dst = append(dst, h.Name...)
+			dst = appendUvarint(dst, uint64(len(h.Edges)))
+			for _, e := range h.Edges {
+				dst = appendZigzag(dst, e)
+			}
+			for _, c := range h.Counts {
+				dst = appendUvarint(dst, uint64(c))
+			}
+			dst = appendUvarint(dst, uint64(h.Count))
+			dst = appendZigzag(dst, h.Sum)
+		}
 	default:
 		return nil, fmt.Errorf("wire: cannot encode kind %v", f.Kind)
+	}
+	return dst, nil
+}
+
+// appendMetricValues encodes one sorted name/value list of a METRICS frame.
+func appendMetricValues(dst []byte, what string, vals []MetricValue) ([]byte, error) {
+	if len(vals) > MaxMetrics {
+		return nil, fmt.Errorf("wire: %d %ss exceed limit %d", len(vals), what, MaxMetrics)
+	}
+	dst = appendUvarint(dst, uint64(len(vals)))
+	for i, v := range vals {
+		if i > 0 && v.Name <= vals[i-1].Name {
+			return nil, fmt.Errorf("wire: %s names not strictly sorted at %q", what, v.Name)
+		}
+		if len(v.Name) > MaxNote {
+			return nil, fmt.Errorf("wire: metric name of %d bytes exceeds limit %d", len(v.Name), MaxNote)
+		}
+		dst = appendUvarint(dst, uint64(len(v.Name)))
+		dst = append(dst, v.Name...)
+		dst = appendZigzag(dst, v.Value)
 	}
 	return dst, nil
 }
@@ -395,6 +489,14 @@ func appendUvarint(dst []byte, x uint64) []byte {
 	return append(dst, buf[:n]...)
 }
 
+// appendZigzag encodes a signed value as a zigzag uvarint (the encoding
+// binary.PutVarint uses), so small negatives stay small on the wire.
+func appendZigzag(dst []byte, x int64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], x)
+	return append(dst, buf[:n]...)
+}
+
 // Decoder reads frames from one stream, mirroring the Encoder's delta
 // baselines. A Decoder is not safe for concurrent use.
 type Decoder struct {
@@ -441,6 +543,16 @@ type reader struct {
 
 func (r *reader) uvarint() (uint64, error) {
 	x, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: truncated varint at offset %d", r.off)
+	}
+	r.off += n
+	return x, nil
+}
+
+// varint reads one zigzag-encoded signed value.
+func (r *reader) varint() (int64, error) {
+	x, n := binary.Varint(r.b[r.off:])
 	if n <= 0 {
 		return 0, fmt.Errorf("wire: truncated varint at offset %d", r.off)
 	}
@@ -625,6 +737,66 @@ func (d *Decoder) parse(payload []byte) (*Frame, error) {
 			v.Problems = append(v.Problems, p)
 		}
 		f.Verdict = v
+	case KindMetrics:
+		m := &Metrics{}
+		if m.Node, err = r.intField("node", 1<<31); err != nil {
+			return nil, err
+		}
+		if m.Counters, err = readMetricValues(r, "counter"); err != nil {
+			return nil, err
+		}
+		if m.Gauges, err = readMetricValues(r, "gauge"); err != nil {
+			return nil, err
+		}
+		count, err := r.intField("histogram count", MaxMetrics)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < count; i++ {
+			var h MetricHistogram
+			if h.Name, err = r.str("metric name", MaxNote); err != nil {
+				return nil, err
+			}
+			if i > 0 && h.Name <= m.Histograms[i-1].Name {
+				return nil, fmt.Errorf("wire: histogram names not strictly sorted at %q", h.Name)
+			}
+			edges, err := r.intField("edge count", MaxEdges)
+			if err != nil {
+				return nil, err
+			}
+			if edges > 0 {
+				h.Edges = make([]int64, edges)
+				for j := range h.Edges {
+					if h.Edges[j], err = r.varint(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			h.Counts = make([]int64, edges+1)
+			for j := range h.Counts {
+				c, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if c > 1<<62 {
+					return nil, fmt.Errorf("wire: implausible bucket count %d", c)
+				}
+				h.Counts[j] = int64(c)
+			}
+			cnt, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if cnt > 1<<62 {
+				return nil, fmt.Errorf("wire: implausible histogram count %d", cnt)
+			}
+			h.Count = int64(cnt)
+			if h.Sum, err = r.varint(); err != nil {
+				return nil, err
+			}
+			m.Histograms = append(m.Histograms, h)
+		}
+		f.Metrics = m
 	default:
 		return nil, fmt.Errorf("wire: unknown frame kind %d", kb)
 	}
@@ -632,6 +804,29 @@ func (d *Decoder) parse(payload []byte) (*Frame, error) {
 		return nil, fmt.Errorf("wire: %d trailing bytes after %v frame", len(r.b)-r.off, f.Kind)
 	}
 	return f, nil
+}
+
+// readMetricValues decodes one sorted name/value list of a METRICS frame.
+func readMetricValues(r *reader, what string) ([]MetricValue, error) {
+	count, err := r.intField(what+" count", MaxMetrics)
+	if err != nil {
+		return nil, err
+	}
+	var vals []MetricValue
+	for i := 0; i < count; i++ {
+		var v MetricValue
+		if v.Name, err = r.str("metric name", MaxNote); err != nil {
+			return nil, err
+		}
+		if i > 0 && v.Name <= vals[i-1].Name {
+			return nil, fmt.Errorf("wire: %s names not strictly sorted at %q", what, v.Name)
+		}
+		if v.Value, err = r.varint(); err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
 }
 
 // readVec decodes a vector and advances the (from, to) baseline exactly as

@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestMetricsFrameRoundTrip exercises the cluster-rollup frame: counters,
+// gauges (negative deltas included), and full histogram snapshots.
+func TestMetricsFrameRoundTrip(t *testing.T) {
+	frames := []*Frame{
+		{Kind: KindMetrics, Metrics: &Metrics{
+			Node: 3,
+			Counters: []MetricValue{
+				{Name: "frames_total", Value: 1234},
+				{Name: "rendezvous_total", Value: 56},
+			},
+			Gauges: []MetricValue{
+				{Name: "clock_skew", Value: -7},
+				{Name: "resident_records", Value: 42},
+			},
+			Histograms: []MetricHistogram{
+				{
+					Name:   "latency_ns",
+					Edges:  []int64{1000, 2000, 5000},
+					Counts: []int64{1, 0, 9, 2},
+					Count:  12,
+					Sum:    48211,
+				},
+			},
+		}},
+		{Kind: KindMetrics, Metrics: &Metrics{Node: 0}},
+	}
+	got := pipeRoundTrip(t, 3, frames)
+	if len(got) != len(frames) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if !reflect.DeepEqual(frames[i], got[i]) {
+			t.Errorf("frame %d: got %+v, want %+v", i, got[i], frames[i])
+		}
+	}
+}
+
+// TestMetricsFrameRejectsMalformed pins the validation: names must arrive
+// strictly sorted (the deterministic wire order), histograms must carry
+// len(edges)+1 buckets, and a METRICS frame needs its payload.
+func TestMetricsFrameRejectsMalformed(t *testing.T) {
+	enc := NewEncoder(bytes.NewBuffer(nil), 3)
+	if err := enc.Encode(&Frame{Kind: KindMetrics}); err == nil {
+		t.Fatal("METRICS without a payload encoded without error")
+	}
+	if err := enc.Encode(&Frame{Kind: KindMetrics, Metrics: &Metrics{
+		Counters: []MetricValue{{Name: "b"}, {Name: "a"}},
+	}}); err == nil {
+		t.Fatal("unsorted counter names encoded without error")
+	}
+	if err := enc.Encode(&Frame{Kind: KindMetrics, Metrics: &Metrics{
+		Gauges: []MetricValue{{Name: "a"}, {Name: "a"}},
+	}}); err == nil {
+		t.Fatal("duplicate gauge names encoded without error")
+	}
+	if err := enc.Encode(&Frame{Kind: KindMetrics, Metrics: &Metrics{
+		Histograms: []MetricHistogram{{Name: "h", Edges: []int64{1, 2}, Counts: []int64{1, 2}}},
+	}}); err == nil {
+		t.Fatal("histogram with wrong bucket count encoded without error")
+	}
+
+	// The decoder enforces the same sortedness on the incoming bytes: take a
+	// valid frame and swap the two encoded names.
+	var buf bytes.Buffer
+	enc = NewEncoder(&buf, 3)
+	if err := enc.Encode(&Frame{Kind: KindMetrics, Metrics: &Metrics{
+		Counters: []MetricValue{{Name: "aa", Value: 1}, {Name: "bb", Value: 2}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	ai, bi := bytes.Index(raw, []byte("aa")), bytes.Index(raw, []byte("bb"))
+	if ai < 0 || bi < 0 {
+		t.Fatalf("metric names not found in wire bytes %v", raw)
+	}
+	copy(raw[ai:], "bb")
+	copy(raw[bi:], "aa")
+	if _, err := NewDecoder(bytes.NewReader(raw), 3).Decode(); err == nil {
+		t.Fatal("decoder accepted unsorted metric names")
+	}
+}

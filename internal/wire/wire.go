@@ -34,6 +34,10 @@
 //	          ever seeing the shard's records
 //	VERDICT   collector tree, root → leaves: the final verdict (ok flag,
 //	          totals, and the problems found, if any)
+//	METRICS   a metrics-registry snapshot riding the report/collector path,
+//	          leaf/node → root: named counters, gauges, and histograms
+//	          (sorted by name), which the root merges into one cluster
+//	          rollup — counters and gauges add, histograms merge bucket-wise
 //
 // # Differential vector encoding
 //
@@ -71,6 +75,7 @@ const (
 	KindShard
 	KindSummary
 	KindVerdict
+	KindMetrics
 
 	// KindMax is one past the highest kind — the size of per-kind arrays.
 	KindMax
@@ -95,6 +100,8 @@ func (k Kind) String() string {
 		return "SUMMARY"
 	case KindVerdict:
 		return "VERDICT"
+	case KindMetrics:
+		return "METRICS"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -121,4 +128,8 @@ const (
 	MaxGroups = 1 << 20
 	// MaxProblems bounds the problem list of a VERDICT.
 	MaxProblems = 1 << 10
+	// MaxMetrics bounds each instrument list of a METRICS frame.
+	MaxMetrics = 1 << 16
+	// MaxEdges bounds a METRICS histogram's bucket-edge list.
+	MaxEdges = 1 << 10
 )
