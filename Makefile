@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-baseline test race net-test obs-test chaos-test load-test bench microbench fuzz repro examples clean
+.PHONY: all build vet lint lint-baseline test race net-test obs-test chaos-test async-test load-test bench microbench fuzz repro examples clean
 
 all: build lint test
 
@@ -68,6 +68,18 @@ chaos-test:
 	$(GO) test -race -run 'TestJournal|TestRestore|TestLateAck|TestDialClassification' ./internal/node
 	$(GO) test -race -run 'TestE2EFaultPlanDeterministicTraces|TestE2EKillNineRecoverySoak' -v ./cmd/tsnode
 
+# Async-substrate gate: the α-synchronizer under the race detector — the
+# internal/sync estimator/backoff/health units, the full async chaos matrix
+# (every topology family × 8 seeds × loss to 20% × the three jitter
+# profiles, stamps byte-equal to the sequential oracle), suspicion-driven
+# exclusion with its property-level check, the async cluster rollup, and
+# the async kill -9 e2e over real OS processes.
+async-test:
+	$(GO) test -race ./internal/sync
+	SYNCSTAMP_ASYNC_MATRIX=full $(GO) test -race -run 'TestAsync|TestPropAsync' -timeout 30m ./internal/fault
+	$(GO) test -race -run 'TestAsyncClusterRollup' ./internal/node
+	$(GO) test -race -run 'TestE2EAsyncKillNineRecovers' -v ./cmd/tsnode
+
 # Load/collector gate: the open-loop driver and the sharded collector tree
 # under the race detector (incremental oracle, spill recovery, leaf-crash
 # and straggler paths), then the 100k-client scale acceptance run and a
@@ -80,10 +92,10 @@ load-test:
 		-zipf 0.9 -leaves 4 -spill-dir $$dir -segment 512 -control && rm -rf $$dir
 
 # Throughput gate: cmd/tsbench runs every scenario (loop, tcp, journal,
-# load)
-# with a fixed seed, writes BENCH_<name>.json, and fails if any report is
-# malformed or either arm recorded zero throughput. Committed BENCH files
-# at the repo root are refreshed by running this and checking in the result.
+# load, async) with a fixed seed, writes BENCH_<name>.json, and fails if any
+# report is malformed or either arm recorded zero throughput. Committed
+# BENCH files at the repo root are refreshed by running this and checking in
+# the result.
 bench:
 	$(GO) run ./cmd/tsbench -seed 42 -out .
 

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"syncstamp/internal/csp"
+	"syncstamp/internal/decomp"
+	"syncstamp/internal/fault"
+	"syncstamp/internal/graph"
+	"syncstamp/internal/node"
+	"syncstamp/internal/obs"
+	tssync "syncstamp/internal/sync"
+)
+
+// asyncLoss is the faulty arm pair's drop probability, and asyncLossSuffix
+// the mode-key suffix its results are filed under.
+const (
+	asyncLoss       = 0.05
+	asyncLossSuffix = "_loss5"
+)
+
+// runAsyncScenario measures the rendezvous protocol on the asynchronous
+// substrate. Unlike the other scenarios, the two arms compare substrates,
+// not coalescing: the baseline arm retransmits on the recovery layer's
+// fixed doubling backoff, the batched arm runs the α-synchronizer's
+// adaptive RTO (Jacobson estimator, Karn's rule, Eifel detection). Each
+// substrate runs over a perfect link and over a 5%-drop link, so the
+// report carries four modes — baseline/batched at 0% loss (the compare
+// gate's inputs) and baseline_loss5/batched_loss5 — and every run, lossy
+// or not, must produce the identical rendezvous stamps.
+func runAsyncScenario(sc scenario, pairs, rounds, trials int, seed int64) (*Report, error) {
+	// A dropped frame costs at least one retransmission timeout, so the
+	// lossy arms pay milliseconds per loss where the clean arms pay
+	// microseconds per message; a fifth of the rounds keeps the lossy arms
+	// honest without making them the whole benchmark's runtime.
+	rounds = (rounds + 4) / 5
+	rep := &Report{
+		Schema: Schema, Name: sc.name, Seed: seed,
+		Pairs: pairs, Rounds: rounds, Messages: pairs * rounds,
+		Modes: make(map[string]ModeResult),
+	}
+	var logs [][]csp.Record
+	for _, link := range []struct {
+		loss   float64
+		suffix string
+	}{
+		{0, ""},
+		{asyncLoss, asyncLossSuffix},
+	} {
+		var base, batched ModeResult
+		for t := 0; t < trials; t++ {
+			for _, arm := range []bool{false, true} {
+				res, armLogs, err := runAsyncMode(pairs, rounds, seed, arm, link.loss)
+				if err != nil {
+					return nil, fmt.Errorf("%s%s trial %d: %w", armName(arm), link.suffix, t, err)
+				}
+				if logs == nil {
+					logs = armLogs
+				} else if err := sameLogs(logs, armLogs); err != nil {
+					return nil, fmt.Errorf("%s%s trial %d diverged: %w", armName(arm), link.suffix, t, err)
+				}
+				if arm {
+					if res.MsgsPerSec > batched.MsgsPerSec {
+						batched = res
+					}
+				} else if res.MsgsPerSec > base.MsgsPerSec {
+					base = res
+				}
+			}
+		}
+		rep.Modes["baseline"+link.suffix] = base
+		rep.Modes["batched"+link.suffix] = batched
+	}
+	if base := rep.Modes["baseline"]; base.MsgsPerSec > 0 {
+		rep.Speedup = rep.Modes["batched"].MsgsPerSec / base.MsgsPerSec
+	}
+	return rep, nil
+}
+
+// runAsyncMode runs one arm of the async scenario: the usual 2-node pair
+// workload over the Loop fabric, with the link wrapped in the fault
+// injector when loss is nonzero. async selects the substrate — false is
+// the fixed-backoff recovery layer, true the adaptive α-synchronizer.
+// Coalescing and the journal are held at their defaults in both arms so
+// the retransmission strategy is the only variable.
+func runAsyncMode(pairs, rounds int, seed int64, async bool, loss float64) (ModeResult, [][]csp.Record, error) {
+	nprocs := 2 * pairs
+	g := graph.New(nprocs)
+	for i := 0; i < pairs; i++ {
+		g.AddEdge(2*i, 2*i+1)
+	}
+	dec := decomp.Best(g)
+	placement := make([]int, nprocs)
+	for p := range placement {
+		placement[p] = p % 2
+	}
+
+	var plan *fault.Plan
+	if loss > 0 {
+		plan = &fault.Plan{
+			Seed:  seed,
+			Links: []fault.LinkFault{{From: -1, To: -1, Drop: loss}},
+		}
+		if err := plan.Validate(); err != nil {
+			return ModeResult{}, nil, err
+		}
+	}
+	loop := node.NewLoop(2)
+	var transports [2]node.Transport
+	for i := range transports {
+		if plan != nil {
+			transports[i] = fault.New(loop.Transport(i), plan, i)
+		} else {
+			transports[i] = loop.Transport(i)
+		}
+	}
+
+	o := obs.New() // node 0 carries the sender-side latency histograms
+	nodes := make([]*node.Node, 2)
+	var cleanup []func()
+	defer func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+	}()
+	for i := range nodes {
+		rec := &node.RecoveryConfig{
+			OnPeerLoss:      node.PeerLossWait,
+			RetransmitMin:   2 * time.Millisecond,
+			RetransmitMax:   20 * time.Millisecond,
+			ReconnectWindow: 10 * time.Second,
+		}
+		if async {
+			rec.Async = &tssync.Config{
+				RTTInit: 5 * time.Millisecond,
+				RTOMin:  time.Millisecond,
+				RTOMax:  100 * time.Millisecond,
+				Seed:    seed,
+			}
+		}
+		cfg := node.Config{
+			Node:      i,
+			Placement: placement,
+			Dec:       dec,
+			Recovery:  rec,
+		}
+		if i == 0 {
+			cfg.Obs = o
+		}
+		nd, err := node.New(cfg, transports[i])
+		if err != nil {
+			return ModeResult{}, nil, err
+		}
+		nodes[i] = nd
+		cleanup = append(cleanup, nd.Close)
+	}
+
+	// The identical workload shape as the pair scenarios: per-pair
+	// internal-event jitter from the seed, the same schedule in every arm.
+	rng := rand.New(rand.NewSource(seed))
+	extras := make([]int, pairs)
+	for i := range extras {
+		extras[i] = rng.Intn(3)
+	}
+	programs := [2]map[int]func(*node.Process) error{
+		make(map[int]func(*node.Process) error, pairs),
+		make(map[int]func(*node.Process) error, pairs),
+	}
+	for i := 0; i < pairs; i++ {
+		sender, receiver, extra := 2*i, 2*i+1, extras[i]
+		programs[0][sender] = func(p *node.Process) error {
+			for k := 0; k < rounds; k++ {
+				if _, err := p.Send(receiver); err != nil {
+					return err
+				}
+			}
+			for k := 0; k < extra; k++ {
+				p.Internal("bench-tick")
+			}
+			return nil
+		}
+		programs[1][receiver] = func(p *node.Process) error {
+			for k := 0; k < rounds; k++ {
+				if _, err := p.RecvFrom(sender); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+
+	infos := make([]*node.RunInfo, 2)
+	errs := make([]error, 2)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			infos[i], errs[i] = nodes[i].Run(programs[i])
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	for i, err := range errs {
+		if err != nil {
+			return ModeResult{}, nil, fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+
+	messages := pairs * rounds
+	wireBytes := 0
+	for _, info := range infos {
+		_, b := info.Frames.Total()
+		wireBytes += b
+	}
+	latency := o.Metrics.Snapshot().Histograms[obs.MetricSynAckNS]
+	res := ModeResult{
+		MsgsPerSec:  float64(messages) / elapsed.Seconds(),
+		P50NS:       latency.Quantile(0.50),
+		P99NS:       latency.Quantile(0.99),
+		BytesPerMsg: float64(wireBytes) / float64(messages),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(messages),
+		ElapsedNS:   elapsed.Nanoseconds(),
+		Messages:    messages,
+	}
+	for _, info := range infos {
+		res.Retransmits += info.Retransmits
+		res.SpuriousRetransmits += info.Spurious
+	}
+	logs := make([][]csp.Record, nprocs)
+	for _, info := range infos {
+		for p := 0; p < nprocs; p++ {
+			if l, ok := info.Logs[p]; ok {
+				logs[p] = l
+			}
+		}
+	}
+	return res, logs, nil
+}

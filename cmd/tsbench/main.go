@@ -23,6 +23,11 @@
 //	load     open-loop load driver through the collector tree: the baseline
 //	         arm collects flat (one leaf, everything resident), the batched
 //	         arm shards across 4 spilling leaves — the O(shard) collector
+//	async    the asynchronous substrate: the baseline arm retransmits on
+//	         the recovery layer's fixed doubling backoff, the batched arm
+//	         on the α-synchronizer's adaptive RTO; both substrates run at
+//	         0% and 5% frame loss (the lossy pair lands in the extra
+//	         baseline_loss5/batched_loss5 modes)
 //
 // Reading BENCH_<name>.json: p50_ns/p99_ns are upper bounds from the
 // internal/obs syn_ack_latency_ns histogram (decade buckets, sender-side
@@ -71,6 +76,9 @@ type ModeResult struct {
 	SegmentsSpilled int64 `json:"segments_spilled,omitempty"`
 	SpillBytes      int64 `json:"spill_bytes,omitempty"`
 	ShardsVerified  int64 `json:"shards_verified,omitempty"`
+	// The async scenario's retransmission accounting (absent elsewhere).
+	Retransmits         int64 `json:"retransmits,omitempty"`
+	SpuriousRetransmits int64 `json:"spurious_retransmits,omitempty"`
 }
 
 // Report is one scenario's full BENCH_<name>.json document.
@@ -96,6 +104,7 @@ type scenario struct {
 	tcp     bool
 	journal bool
 	load    bool
+	async   bool
 	scale   int
 }
 
@@ -104,6 +113,7 @@ var scenarios = []scenario{
 	{name: "tcp", tcp: true, scale: 4},
 	{name: "journal", journal: true, scale: 4},
 	{name: "load", load: true, scale: 4},
+	{name: "async", async: true, scale: 2},
 }
 
 func main() {
@@ -113,7 +123,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tsbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	benchFlag := fs.String("bench", "all", "comma-separated scenarios to run: loop, tcp, journal, load, or all")
+	benchFlag := fs.String("bench", "all", "comma-separated scenarios to run: loop, tcp, journal, load, async, or all")
 	pairs := fs.Int("pairs", 8, "independent channel pairs (concurrent rendezvous streams)")
 	rounds := fs.Int("rounds", 300, "ping-pong rounds per pair (the journal scenario runs a fifth)")
 	seed := fs.Int64("seed", 42, "workload seed (internal-event jitter; identical across arms)")
@@ -190,7 +200,7 @@ func selectScenarios(spec string) ([]scenario, error) {
 	for _, name := range strings.Split(spec, ",") {
 		sc, ok := byName[strings.TrimSpace(name)]
 		if !ok {
-			return nil, fmt.Errorf("unknown scenario %q (want loop, tcp, journal, load, or all)", name)
+			return nil, fmt.Errorf("unknown scenario %q (want loop, tcp, journal, load, async, or all)", name)
 		}
 		out = append(out, sc)
 	}
@@ -206,6 +216,9 @@ func runScenario(sc scenario, pairs, rounds, trials int, seed int64) (*Report, e
 	}
 	if sc.load {
 		return runLoadScenario(sc, pairs, rounds, trials, seed)
+	}
+	if sc.async {
+		return runAsyncScenario(sc, pairs, rounds, trials, seed)
 	}
 	if sc.journal {
 		// The fsync-per-record baseline pays a disk flush per message;

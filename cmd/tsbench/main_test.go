@@ -46,6 +46,18 @@ func TestQuickRunEmitsValidReports(t *testing.T) {
 				t.Errorf("scenario %s: %d syncs for %d appends", sc.name, m.JournalSyncs, m.JournalAppends)
 			}
 		}
+		if sc.async {
+			for _, mode := range []string{"baseline" + asyncLossSuffix, "batched" + asyncLossSuffix} {
+				m, ok := rep.Modes[mode]
+				if !ok {
+					t.Errorf("scenario %s: missing %s mode", sc.name, mode)
+					continue
+				}
+				if !(m.MsgsPerSec > 0) {
+					t.Errorf("scenario %s: %s msgs_per_sec = %v, want > 0", sc.name, mode, m.MsgsPerSec)
+				}
+			}
+		}
 		if sc.load {
 			m := rep.Modes["batched"]
 			if m.SegmentsSpilled == 0 || m.SpillBytes == 0 {
@@ -218,6 +230,50 @@ func TestCompareToleratesNewLoadArtifact(t *testing.T) {
 		t.Fatalf("new load artifact failed the gate (exit %d)\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
 	}
 	if !bytes.Contains(stdout.Bytes(), []byte("load")) || !bytes.Contains(stdout.Bytes(), []byte("no previous report")) {
+		t.Fatalf("compare output does not report the new scenario:\n%s", stdout.String())
+	}
+}
+
+// TestCompareToleratesNewAsyncArtifact pins the same transition for the
+// async benchmark: a previous artifact set from before BENCH_async.json
+// existed compares green, and the extra loss modes in the new report do
+// not confuse the batched-arm gate.
+func TestCompareToleratesNewAsyncArtifact(t *testing.T) {
+	mk := func(name string, batched float64, lossModes bool) []byte {
+		rep := Report{
+			Schema: Schema, Name: name, Messages: 10,
+			Modes: map[string]ModeResult{
+				"baseline": {MsgsPerSec: batched / 2},
+				"batched":  {MsgsPerSec: batched},
+			},
+		}
+		if lossModes {
+			rep.Modes["baseline"+asyncLossSuffix] = ModeResult{MsgsPerSec: batched / 4, Retransmits: 7}
+			rep.Modes["batched"+asyncLossSuffix] = ModeResult{MsgsPerSec: batched / 3, Retransmits: 5}
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	prev, cur := t.TempDir(), t.TempDir()
+	for _, name := range []string{"loop", "tcp", "journal", "load"} {
+		if err := os.WriteFile(filepath.Join(prev, "BENCH_"+name+".json"), mk(name, 1000, false), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(cur, "BENCH_"+name+".json"), mk(name, 1000, false), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(cur, "BENCH_async.json"), mk("async", 3000, true), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-compare", prev, "-out", cur}, &stdout, &stderr); code != 0 {
+		t.Fatalf("new async artifact failed the gate (exit %d)\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("async")) || !bytes.Contains(stdout.Bytes(), []byte("no previous report")) {
 		t.Fatalf("compare output does not report the new scenario:\n%s", stdout.String())
 	}
 }

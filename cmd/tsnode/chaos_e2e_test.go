@@ -192,6 +192,109 @@ func TestE2EFaultPlanDeterministicTraces(t *testing.T) {
 	}
 }
 
+// TestE2EAsyncKillNineRecovers is the async-substrate acceptance run: three
+// tsnode OS processes over real TCP in -async mode, every link jittered by
+// a lognormal latency profile, with node 1 SIGKILLed mid-computation and
+// restarted from its write-ahead journal. The adaptive RTO must carry the
+// rendezvous protocol across the jitter, the restarted incarnation must
+// resume the session, and the collector must verify the stitched run's
+// stamps against the sequential replay — the synchronizer changes when
+// frames move, never what the stamps say.
+//
+// Skipped under -short: it compiles a binary, opens sockets, and kills a
+// process.
+func TestE2EAsyncKillNineRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping async kill -9 e2e in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain not in PATH: %v", err)
+	}
+	bin := buildBinary(t, goTool, t.TempDir(), "syncstamp/cmd/tsnode")
+
+	dir := t.TempDir()
+	addrs := freeAddrs(t, 3)
+	journals := make([]string, 3)
+	for i := range journals {
+		journals[i] = filepath.Join(dir, fmt.Sprintf("node%d.journal", i))
+	}
+	// The jitter stretches the run past the kill point; -async replaces the
+	// fixed backoff with the per-peer adaptive RTO that has to ride it out.
+	asyncArgs := func(i int) []string {
+		journal := ""
+		if i != 0 {
+			journal = journals[i]
+		}
+		return append(chaosArgs(i, addrs, "", journal, "", "250ms"),
+			"-async", "-rtt-init", "30ms", "-jitter-profile", "lognormal:10:0.5")
+	}
+
+	n0 := startChaosNode(t, bin, asyncArgs(0))
+	n1 := startChaosNode(t, bin, asyncArgs(1))
+	n2 := startChaosNode(t, bin, asyncArgs(2))
+
+	killed := false
+	var restarts int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(400 * time.Millisecond)
+		done := make(chan error, 1)
+		go func() { done <- n1.cmd.Wait() }()
+		select {
+		case <-done:
+			return // finished before the axe fell
+		default:
+		}
+		killed = true
+		_ = n1.cmd.Process.Kill() // SIGKILL: no defers, no goodbye
+		<-done
+		for {
+			restarts++
+			cn := startChaosNode(t, bin, asyncArgs(1))
+			code := cn.wait(t, 120*time.Second)
+			n1 = cn
+			if code == 0 {
+				return
+			}
+			if restarts > 20 {
+				t.Errorf("node 1 still failing after %d restarts (last exit %d)\nstdout:\n%s\nstderr:\n%s",
+					restarts, code, cn.out.String(), cn.err.String())
+				return
+			}
+		}
+	}()
+
+	code0 := n0.wait(t, 180*time.Second)
+	code2 := n2.wait(t, 180*time.Second)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	t.Logf("killed=%v restarts=%d", killed, restarts)
+	if code0 != 0 {
+		t.Fatalf("collector exited %d\nstdout:\n%s\nstderr:\n%s", code0, n0.out.String(), n0.err.String())
+	}
+	if code2 != 0 {
+		t.Fatalf("node 2 exited %d\nstdout:\n%s\nstderr:\n%s", code2, n2.out.String(), n2.err.String())
+	}
+	out0 := n0.out.String()
+	if !strings.Contains(out0, fmt.Sprintf("reconstructed computation: %d messages", chaosMessages)) {
+		t.Fatalf("collector did not reconstruct %d messages:\n%s", chaosMessages, out0)
+	}
+	if !strings.Contains(out0, "verified: distributed stamps match the sequential replay") {
+		t.Fatalf("collector did not verify the async run:\n%s", out0)
+	}
+	if !strings.Contains(out0, "tsnode: async:") {
+		t.Fatalf("collector printed no synchronizer summary:\n%s", out0)
+	}
+	if killed && !strings.Contains(n1.out.String(), "restart #") {
+		t.Fatalf("node 1 was SIGKILLed but its final incarnation did not resume from the journal:\n%s", n1.out.String())
+	}
+}
+
 // TestE2EKillNineRecoverySoak is the crash-recovery soak: three tsnode OS
 // processes over TCP, where node 1 is killed with SIGKILL mid-run and node 2
 // kills itself (exit 137, no graceful shutdown) on a scheduled fault-plan

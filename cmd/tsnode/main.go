@@ -57,6 +57,7 @@ import (
 	"syncstamp/internal/graph"
 	"syncstamp/internal/node"
 	"syncstamp/internal/obs"
+	tssync "syncstamp/internal/sync"
 	"syncstamp/internal/topospec"
 	"syncstamp/internal/vector"
 )
@@ -89,6 +90,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	reconnectWindow := fs.Duration("reconnect-window", 10*time.Second, "how long a lost peer may stay unreachable before -on-peer-loss applies")
 	retransmitMin := fs.Duration("retransmit-min", node.DefaultRetransmitMin, "initial SYN retransmission backoff")
 	retransmitMax := fs.Duration("retransmit-max", node.DefaultRetransmitMax, "retransmission backoff cap")
+	asyncFlag := fs.Bool("async", false, "asynchronous-substrate mode: adaptive per-peer RTO, safe-counter piggyback on SYN/ACK, suspicion-driven peer health (implies recovery)")
+	rttInit := fs.Duration("rtt-init", tssync.DefaultRTTInit, "with -async: initial RTT guess seeding each peer's estimator")
+	jitterProfile := fs.String("jitter-profile", "", `inject link latency jitter: "fixed|lognormal|pareto[:meanMs[:shape]]" (implies the fault injector and recovery)`)
 	noCoalesce := fs.Bool("no-coalesce", false, "flush every frame to the transport individually instead of coalescing bursts")
 	journalSync := fs.String("journal-sync", "group", "journal commit mode: group (one fsync per batch) or each (one fsync per record)")
 	flight := fs.Int("flight", 4096, "flight recorder capacity in events (0 disables the ring)")
@@ -168,11 +172,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var tr node.Transport = tcp
 	var ftr *fault.Transport
 	var nd *node.Node // set below; the crash hook dumps its flight recorder
+	var plan *fault.Plan
 	if *faultPlanFlag != "" {
-		plan, err := fault.ReadPlanFile(*faultPlanFlag)
+		plan, err = fault.ReadPlanFile(*faultPlanFlag)
 		if err != nil {
 			return fail(err)
 		}
+	}
+	if *jitterProfile != "" {
+		spec, err := fault.ParseJitterProfile(*jitterProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if plan == nil {
+			plan = &fault.Plan{}
+		}
+		plan.ApplyJitter(spec)
+		if err := plan.Validate(); err != nil {
+			return fail(err)
+		}
+	}
+	if plan != nil {
 		ftr = fault.New(tcp, plan, *nodeIdx)
 		ftr.CrashFn = func() {
 			fmt.Fprintf(stderr, "tsnode: node %d crashing on schedule\n", *nodeIdx)
@@ -187,12 +207,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Any chaos/recovery flag turns on the loss-tolerant protocol; the plain
 	// invocation keeps the original fail-stop semantics.
 	var rec *node.RecoveryConfig
-	if *journalFlag != "" || *faultPlanFlag != "" || policy != node.PeerLossAbort {
+	if *journalFlag != "" || plan != nil || policy != node.PeerLossAbort || *asyncFlag {
 		rec = &node.RecoveryConfig{
 			OnPeerLoss:      policy,
 			RetransmitMin:   *retransmitMin,
 			RetransmitMax:   *retransmitMax,
 			ReconnectWindow: *reconnectWindow,
+		}
+		if *asyncFlag {
+			rec.Async = &tssync.Config{RTTInit: *rttInit}
 		}
 	}
 	var journalRecs []node.JournalRecord
@@ -289,6 +312,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if len(info.Excluded) > 0 {
 		fmt.Fprintf(stdout, "tsnode: peers excluded from the run: %v\n", info.Excluded)
+	}
+	if rec != nil && rec.Async != nil {
+		fmt.Fprintf(stdout, "tsnode: async: %d spurious retransmits, %d suspicions\n",
+			info.Spurious, info.Suspicions)
+		for j := 0; j < len(addrs); j++ {
+			st, ok := info.PeerRTT[j]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(stdout, "tsnode: async: peer %d %s — srtt %v, rto %v, p50 %v, p99 %v over %d samples\n",
+				j, info.PeerHealth[j], time.Duration(st.SRTTNS), time.Duration(st.RTONS),
+				time.Duration(st.P50NS), time.Duration(st.P99NS), st.Samples)
+		}
 	}
 	if info.JournalAppends > 0 {
 		fmt.Fprintf(stdout, "tsnode: journal: %d records committed in %d fsync batches\n",

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"encoding/binary"
+	"math"
 	"math/rand"
 	"net"
 	"sync"
@@ -179,7 +180,12 @@ type fate struct {
 
 // decide draws the frame's fates. Every probabilistic fate draws exactly
 // once, in a fixed order, whether or not it applies — the generator stream
-// stays aligned with the frame index no matter which fates fire.
+// stays aligned with the frame index no matter which fates fire. A jitter
+// rule appends its own draw after the four fate draws; because the draw
+// happens on every frame of the link, the latency schedule is as replayable
+// as the fates (distribution draws may consume a variable number of
+// underlying values, but the call sequence per frame index is fixed, which
+// is all determinism needs).
 func (lk *link) decide() fate {
 	r := lk.rule
 	idx := lk.frames
@@ -204,11 +210,52 @@ func (lk *link) decide() fate {
 	if r.DelayProb > 0 && pDelay < r.DelayProb {
 		f.delay = time.Duration(r.DelayMS) * time.Millisecond
 	}
+	if r.Jitter != nil {
+		f.delay += lk.jitter(r.Jitter)
+	}
 	if len(lk.resets) > 0 && lk.frames >= lk.resets[0] {
 		lk.resets = lk.resets[1:]
 		f.reset = true
 	}
 	return f
+}
+
+// jitter draws one latency from the rule's distribution, clamped to the cap
+// (10·mean when unset). Called with lk.mu held (the rng is lock-guarded
+// link state).
+func (lk *link) jitter(j *JitterSpec) time.Duration {
+	if j.MeanMS <= 0 {
+		return 0
+	}
+	var ms float64
+	switch j.Dist {
+	case JitterLognormal:
+		sigma := j.Sigma
+		if sigma == 0 {
+			sigma = 0.5
+		}
+		ms = j.MeanMS * math.Exp(sigma*lk.rng.NormFloat64())
+	case JitterPareto:
+		alpha := j.Alpha
+		if alpha == 0 {
+			alpha = 2.5
+		}
+		// Scale xm so the distribution's mean is MeanMS, then invert the
+		// CDF: x = xm / (1-u)^(1/alpha).
+		xm := j.MeanMS * (alpha - 1) / alpha
+		u := lk.rng.Float64()
+		ms = xm / math.Pow(1-u, 1/alpha)
+	default: // JitterFixed — still draw nothing; fixed needs no randomness
+		ms = j.MeanMS
+	}
+	cap := j.CapMS
+	if cap <= 0 {
+		cap = 10 * j.MeanMS
+	}
+	if ms > cap {
+		ms = cap
+	}
+	return time.Duration(ms * float64(time.Millisecond))
 }
 
 // faultConn wraps one stream. Egress writes are reassembled into frames

@@ -20,6 +20,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 )
 
 // LinkFault describes the fates injected on one directed link (frames sent
@@ -56,6 +58,58 @@ type LinkFault struct {
 	// one-way partition measured in traffic, not wall time.
 	PartitionAfter  int `json:"partitionAfter,omitempty"`
 	PartitionFrames int `json:"partitionFrames,omitempty"`
+
+	// Jitter, when non-nil, adds a per-frame latency drawn from a
+	// distribution — the normal-case network model of the asynchronous
+	// substrate, as opposed to DelayMS/DelayProb's occasional fixed stall.
+	// Every frame on the link draws one jitter value (under the same
+	// fixed-draw-order discipline as the probabilistic fates), so the
+	// latency schedule is replayable per seed.
+	Jitter *JitterSpec `json:"jitter,omitempty"`
+}
+
+// Jitter distribution names.
+const (
+	JitterFixed     = "fixed"
+	JitterLognormal = "lognormal"
+	JitterPareto    = "pareto"
+)
+
+// JitterSpec describes a per-frame latency distribution. Fixed adds MeanMS
+// to every frame; lognormal draws MeanMS·exp(Sigma·N(0,1)) (MeanMS is the
+// median — WAN-style body with occasional slow frames); pareto draws from a
+// Pareto with shape Alpha scaled so the mean is MeanMS (heavy tail:
+// occasional frames many times the mean). Draws are clamped to CapMS
+// (default 10·MeanMS), which bounds the head-of-line stall any one frame
+// can inflict on the link.
+type JitterSpec struct {
+	Dist   string  `json:"dist"`
+	MeanMS float64 `json:"meanMs"`
+	Sigma  float64 `json:"sigma,omitempty"` // lognormal shape; default 0.5
+	Alpha  float64 `json:"alpha,omitempty"` // pareto shape; default 2.5, must be > 1
+	CapMS  float64 `json:"capMs,omitempty"` // clamp; default 10·MeanMS
+}
+
+// Validate checks the spec's distribution and parameters.
+func (j *JitterSpec) Validate() error {
+	switch j.Dist {
+	case JitterFixed, JitterLognormal, JitterPareto:
+	default:
+		return fmt.Errorf("fault: unknown jitter distribution %q (want fixed, lognormal, or pareto)", j.Dist)
+	}
+	if j.MeanMS < 0 {
+		return fmt.Errorf("fault: negative jitter mean %vms", j.MeanMS)
+	}
+	if j.Sigma < 0 {
+		return fmt.Errorf("fault: negative jitter sigma %v", j.Sigma)
+	}
+	if j.Dist == JitterPareto && j.Alpha != 0 && j.Alpha <= 1 {
+		return fmt.Errorf("fault: pareto alpha %v must exceed 1 (the mean diverges otherwise)", j.Alpha)
+	}
+	if j.CapMS < 0 {
+		return fmt.Errorf("fault: negative jitter cap %vms", j.CapMS)
+	}
+	return nil
 }
 
 // Crash schedules a node kill: after the node has sent AfterFrames vector
@@ -109,6 +163,11 @@ func (p *Plan) Validate() error {
 		if l.PartitionAfter < 0 || l.PartitionFrames < 0 {
 			return fmt.Errorf("fault: link %d: negative partition window", i)
 		}
+		if l.Jitter != nil {
+			if err := l.Jitter.Validate(); err != nil {
+				return fmt.Errorf("fault: link %d: %w", i, err)
+			}
+		}
 	}
 	for i, c := range p.Crashes {
 		if c.Node < 0 || c.AfterFrames <= 0 {
@@ -159,4 +218,54 @@ func ReadPlanFile(path string) (*Plan, error) {
 		return nil, fmt.Errorf("fault: read plan: %w", err)
 	}
 	return ParsePlan(b)
+}
+
+// ParseJitterProfile parses the tsnode -jitter-profile vocabulary:
+// "dist[:meanMs[:shape]]" where dist is fixed, lognormal, or pareto, meanMs
+// defaults to 2, and shape is sigma (lognormal) or alpha (pareto).
+// Examples: "fixed:1", "lognormal:2:0.5", "pareto:2:2.5".
+func ParseJitterProfile(s string) (*JitterSpec, error) {
+	parts := strings.Split(s, ":")
+	spec := &JitterSpec{Dist: parts[0], MeanMS: 2}
+	if len(parts) > 3 {
+		return nil, fmt.Errorf("fault: jitter profile %q has %d fields, want dist[:meanMs[:shape]]", s, len(parts))
+	}
+	if len(parts) >= 2 {
+		v, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: jitter profile %q: bad mean: %w", s, err)
+		}
+		spec.MeanMS = v
+	}
+	if len(parts) == 3 {
+		v, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: jitter profile %q: bad shape: %w", s, err)
+		}
+		switch spec.Dist {
+		case JitterLognormal:
+			spec.Sigma = v
+		case JitterPareto:
+			spec.Alpha = v
+		default:
+			return nil, fmt.Errorf("fault: jitter profile %q: %s takes no shape parameter", s, spec.Dist)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// ApplyJitter imposes a jitter spec on every link of the plan: existing
+// rules without jitter gain it, and a wildcard rule is appended so links no
+// rule matched are covered too (rule matching is first-match, so appending
+// keeps existing fates intact).
+func (p *Plan) ApplyJitter(spec *JitterSpec) {
+	for i := range p.Links {
+		if p.Links[i].Jitter == nil {
+			p.Links[i].Jitter = spec
+		}
+	}
+	p.Links = append(p.Links, LinkFault{From: -1, To: -1, Jitter: spec})
 }

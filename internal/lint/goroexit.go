@@ -16,6 +16,7 @@ var goroPaths = []string{
 	"syncstamp/internal/node",
 	"syncstamp/internal/csp",
 	"syncstamp/internal/load",
+	"syncstamp/internal/sync",
 }
 
 // GoroExit enforces goroutine joinability in the runtime packages: every

@@ -20,6 +20,7 @@ var lockedPaths = []string{
 	"syncstamp/internal/obs",
 	"syncstamp/internal/fault",
 	"syncstamp/internal/load",
+	"syncstamp/internal/sync",
 }
 
 // LockCheck enforces two mutex rules. Module-wide, a sync.Mutex/RWMutex (or

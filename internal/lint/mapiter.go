@@ -29,6 +29,7 @@ var deterministicPaths = []string{
 	"syncstamp/internal/obs",
 	"syncstamp/internal/fault",
 	"syncstamp/internal/load",
+	"syncstamp/internal/sync",
 }
 
 // MapIter flags map iteration in deterministic paths unless the loop merely

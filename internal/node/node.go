@@ -47,6 +47,7 @@ import (
 	"syncstamp/internal/csp"
 	"syncstamp/internal/decomp"
 	"syncstamp/internal/obs"
+	tssync "syncstamp/internal/sync"
 	"syncstamp/internal/vector"
 	"syncstamp/internal/wire"
 )
@@ -161,6 +162,12 @@ const flushYields = 4
 // frame still in the write buffer only when a later sender has already
 // committed to encoding — that sender (or its successor) flushes it.
 func (pc *peerConn) send(f *wire.Frame) error {
+	if pc.n.asyncOn() && (f.Kind == wire.KindSyn || f.Kind == wire.KindAck) {
+		// Async mode piggybacks the synchronizer's cumulative safe counter on
+		// every rendezvous frame toward this peer; retransmissions carry the
+		// freshest value automatically because it is read per encode.
+		f.Safe = pc.n.safeFor(pc.node)
+	}
 	pc.pending.Add(1)
 	//nolint:lockcheck released early on every branch below: the flush-on-idle protocol must drop the lock before yielding so later senders can encode
 	pc.mu.Lock()
@@ -262,9 +269,23 @@ type Node struct {
 	peerEvent  chan struct{}
 	recoveryWG sync.WaitGroup
 
+	// Asynchronous-substrate state (coord nil means the synchronizer is
+	// off; see async.go). safeTx counts committed rendezvous toward each
+	// peer node (piggybacked on outgoing SYN/ACK); safeRx (guarded by mu)
+	// is the highest safe counter seen from each peer; suspectWatch
+	// (guarded by mu) marks peers with a suspicion watchdog in flight.
+	coord        *tssync.Coordinator
+	safeTx       []atomic.Uint64
+	safeRx       []uint64
+	suspectWatch []bool
+	peerRTT      []*obs.Histogram
+	peerHealth   []*obs.Gauge
+
 	retransmits atomic.Int64
 	reconnects  atomic.Int64
 	deduped     atomic.Int64
+	spurious    atomic.Int64
+	suspicions  atomic.Int64
 
 	reports   chan *reportConn
 	regCh     chan int      // handshake completions from the accept loop
@@ -329,6 +350,13 @@ func New(cfg Config, tr Transport) (*Node, error) {
 		if rc.ReconnectWindow <= 0 {
 			rc.ReconnectWindow = cfg.HandshakeTimeout
 		}
+		if rc.Async != nil {
+			ac := *rc.Async
+			if err := ac.Validate(); err != nil {
+				return nil, fmt.Errorf("node: %w", err)
+			}
+			rc.Async = &ac
+		}
 		cfg.Recovery = &rc
 	}
 	n := &Node{
@@ -382,6 +410,9 @@ func New(cfg Config, tr Transport) (*Node, error) {
 			n.wireFrames[k] = r.Counter(fn)
 			n.wireBytes[k] = r.Counter(bn)
 		}
+	}
+	if n.rec != nil && n.rec.Async != nil {
+		n.initAsync()
 	}
 	return n, nil
 }
@@ -664,6 +695,7 @@ func (n *Node) readLoop(pc *peerConn) {
 			n.fail(fmt.Errorf("node %d: connection to node %d: %w", n.cfg.Node, pc.node, err))
 			return
 		}
+		n.noteAlive(pc.node, f)
 		switch f.Kind {
 		case wire.KindSyn:
 			if f.To < 0 || f.To >= len(n.mailboxes) || n.mailboxes[f.To] == nil {
@@ -819,6 +851,16 @@ type RunInfo struct {
 	// folded into the node's live registry, so /metrics serves the merged
 	// cluster view.
 	Rollup *obs.Snapshot
+	// Spurious and Suspicions are async-mode totals (zero otherwise):
+	// retransmissions the Eifel-style detector proved unnecessary, and
+	// transitions of any peer's health FSM into the suspect state.
+	Spurious   int64
+	Suspicions int64
+	// PeerRTT and PeerHealth are async mode's per-peer synchronizer view,
+	// keyed by peer node id: the RTT estimator and histogram quantiles, and
+	// the health FSM's final state name. Nil outside async mode.
+	PeerRTT    map[int]RTTStats
+	PeerHealth map[int]string
 }
 
 // FrameMap renders a wire accounting as the obs.Meta frame table, omitting
@@ -929,6 +971,7 @@ func (n *Node) Run(programs map[int]func(*Process) error) (*RunInfo, error) {
 	info.Reconnects = n.reconnects.Load()
 	info.Deduped = n.deduped.Load()
 	info.Excluded = n.excludedList()
+	n.asyncInfo(info)
 	if n.rec != nil && n.rec.Journal != nil {
 		js := n.rec.Journal.Stats()
 		info.JournalAppends = js.Appends

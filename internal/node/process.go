@@ -7,6 +7,7 @@ import (
 	"syncstamp/internal/core"
 	"syncstamp/internal/csp"
 	"syncstamp/internal/obs"
+	tssync "syncstamp/internal/sync"
 	"syncstamp/internal/vector"
 	"syncstamp/internal/wire"
 )
@@ -109,13 +110,27 @@ func (p *Process) Send(q int) (vector.V, error) {
 	// With recovery on a remote send, two more wake-ups join the wait: the
 	// retransmission backoff (re-send the self-contained SYN; dedup on the
 	// far side makes this idempotent) and the exclusion broadcast (the
-	// partner's node was removed from the run).
+	// partner's node was removed from the run). In async mode the fixed
+	// min/max backoff is replaced by the synchronizer's adaptive interval:
+	// the peer's Jacobson RTO, doubled per attempt and jittered.
 	var retryT *time.Timer
 	var retryC <-chan time.Time
 	var exclC chan struct{}
 	var backoff time.Duration
+	var peer *tssync.Peer
+	var attempts int
+	var sendWall, lastWall time.Time
 	if remote && n.rec != nil {
-		backoff = n.rec.RetransmitMin
+		if n.asyncOn() {
+			peer = n.coord.Peer(target)
+		}
+		if peer != nil {
+			sendWall = time.Now()
+			lastWall = sendWall
+			backoff = peer.RetryIn(0)
+		} else {
+			backoff = n.rec.RetransmitMin
+		}
 		retryT = time.NewTimer(backoff)
 		defer retryT.Stop()
 		retryC = retryT.C
@@ -127,6 +142,20 @@ func (p *Process) Send(q int) (vector.V, error) {
 		select {
 		case stamp := <-ack:
 			n.ins.SynAckNS.Observe(n.obsv.Now() - t1)
+			if peer != nil {
+				// Feed the estimator. Karn's rule and the Eifel-style spurious
+				// check live in OnAck; an accepted sample is the full
+				// first-transmission round trip.
+				now := time.Now()
+				sampled, spurious := peer.OnAck(now.Sub(sendWall), now.Sub(lastWall), attempts)
+				if spurious {
+					n.spurious.Add(1)
+					n.ins.Spurious.Add(1)
+				}
+				if sampled && n.peerRTT != nil && n.peerRTT[target] != nil {
+					n.peerRTT[target].Observe(now.Sub(sendWall).Nanoseconds())
+				}
+			}
 			if err := p.clock.Adopt(stamp, q); err != nil {
 				err = fmt.Errorf("node: process %d -> %d: %w", p.id, q, err)
 				p.n.fail(err)
@@ -134,6 +163,11 @@ func (p *Process) Send(q int) (vector.V, error) {
 			}
 			if err := n.journalCommit(JournalRecord{Kind: journalSend, Proc: p.id, Peer: q, Seq: seq, Stamp: stamp}); err != nil {
 				return nil, err
+			}
+			if remote {
+				// The rendezvous is committed on our side; the next frame to
+				// this peer advertises it as safe.
+				n.noteSafe(target)
 			}
 			n.obsv.Rendezvous(n.cfg.Node, p.id, q, obs.PhaseAdopt, stamp)
 			n.ins.Rendezvous.Add(1)
@@ -171,10 +205,18 @@ func (p *Process) Send(q int) (vector.V, error) {
 			_ = n.sendToPeer(target, syn)
 			n.retransmits.Add(1)
 			n.ins.Retransmits.Add(1)
-			n.ins.BackoffNS.Observe(int64(backoff))
-			backoff *= 2
-			if backoff > n.rec.RetransmitMax {
-				backoff = n.rec.RetransmitMax
+			if peer != nil {
+				attempts++
+				lastWall = time.Now()
+				n.noteTimeout(target)
+				backoff = peer.RetryIn(attempts)
+				n.ins.BackoffNS.Observe(int64(backoff))
+			} else {
+				n.ins.BackoffNS.Observe(int64(backoff))
+				backoff *= 2
+				if backoff > n.rec.RetransmitMax {
+					backoff = n.rec.RetransmitMax
+				}
 			}
 			retryT.Reset(backoff)
 		}
@@ -269,6 +311,9 @@ func (p *Process) complete(in inbound) (Message, error) {
 		if p.n.rec != nil {
 			p.n.noteMerged(in.from, in.seq, p.id, stamp)
 		}
+		// The merge is journaled: the rendezvous is committed on our side,
+		// so the ACK itself already carries the advanced safe counter.
+		p.n.noteSafe(p.n.cfg.Placement[in.from])
 		pc, err := p.n.connTo(p.n.cfg.Placement[in.from])
 		if err == nil {
 			err = pc.send(&wire.Frame{Kind: wire.KindAck, From: p.id, To: in.from, Seq: in.seq, Vec: stamp})

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	tssync "syncstamp/internal/sync"
 	"syncstamp/internal/vector"
 	"syncstamp/internal/wire"
 )
@@ -93,6 +94,16 @@ type RecoveryConfig struct {
 	// committed rendezvous is appended (and fsynced) before its ACK leaves
 	// the node, so a restarted node replays it with Restore and resumes.
 	Journal *Journal
+	// Async, when non-nil, enables the asynchronous-substrate mode: the
+	// α-style synchronizer of internal/sync replaces the fixed
+	// RetransmitMin/Max backoff with a per-peer adaptive RTO (Jacobson RTT
+	// estimator, seeded-jitter capped exponential backoff), piggybacks
+	// cumulative safe counters on SYN/ACK frames, and drives the per-peer
+	// health FSM whose suspect state applies OnPeerLoss without waiting
+	// for a connection to die. See async.go. RetransmitMin/Max still govern
+	// the reconnect dial backoff; the rendezvous retransmission timer is
+	// the synchronizer's.
+	Async *tssync.Config
 }
 
 // dedupEntry is the receiver-side dedup state for one remote sender

@@ -14,6 +14,7 @@ import (
 	"syncstamp/internal/decomp"
 	"syncstamp/internal/graph"
 	"syncstamp/internal/obs"
+	tssync "syncstamp/internal/sync"
 	"syncstamp/internal/vector"
 )
 
@@ -160,6 +161,114 @@ func TestCollectTreeClusterRollup(t *testing.T) {
 	// endpoint now serves the identical cluster view.
 	if live := regs[0].Snapshot(); !reflect.DeepEqual(live, roll) {
 		t.Errorf("node 0's live registry diverges from RunInfo.Rollup:\n%+v\n%+v", live, roll)
+	}
+}
+
+// TestAsyncClusterRollup runs a 2-node async-mode cluster and pins the
+// synchronizer's observability contract: the spurious-retransmit counter in
+// the root rollup is exactly the sum over the nodes' registries, each
+// per-peer RTT histogram lands in the rollup with precisely the sample
+// count its owner's estimator accepted (so RunInfo p50/p99 and /metrics
+// quantiles come from the same data), and the health gauges report every
+// peer healthy after a clean run.
+func TestAsyncClusterRollup(t *testing.T) {
+	leakCheck(t)
+	g := graph.Path(2)
+	dec := decomp.Best(g)
+	transports := loopTransports(2)
+	regs := []*obs.Registry{obs.NewRegistry(), obs.NewRegistry()}
+	rec := &RecoveryConfig{
+		OnPeerLoss:      PeerLossWait,
+		RetransmitMin:   2 * time.Millisecond,
+		RetransmitMax:   20 * time.Millisecond,
+		ReconnectWindow: 5 * time.Second,
+		Async:           &tssync.Config{Seed: 7},
+	}
+	var info0 *RunInfo
+	var collectErr error
+	results := make([]clusterResult, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := Config{Node: i, Placement: []int{0, 1}, Dec: dec,
+				Recovery: rec, Obs: &obs.Obs{Metrics: regs[i]}}
+			n, err := New(cfg, transports[i])
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			defer n.Close()
+			info, err := n.Run(pingPong(10))
+			results[i] = clusterResult{info: info, err: err}
+			if err != nil {
+				return
+			}
+			if i == 0 {
+				info0 = info
+				_, collectErr = n.Collect(info, 10*time.Second)
+			} else {
+				results[i].err = n.SendReport(0, info)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("node %d: %v", i, r.err)
+		}
+	}
+	if collectErr != nil {
+		t.Fatal(collectErr)
+	}
+	if info0.Rollup == nil {
+		t.Fatal("RunInfo.Rollup not populated by Collect")
+	}
+	roll := *info0.Rollup
+
+	info1 := results[1].info
+	// Root rollup == Σ leaf registries, exactly — for the async counters too.
+	if got, want := roll.Counters[obs.MetricSpuriousRetransmits], info0.Spurious+info1.Spurious; got != want {
+		t.Errorf("%s = %d in the rollup, RunInfos sum to %d", obs.MetricSpuriousRetransmits, got, want)
+	}
+	if got, want := roll.Counters[obs.MetricSuspicions], info0.Suspicions+info1.Suspicions; got != want {
+		t.Errorf("%s = %d in the rollup, RunInfos sum to %d", obs.MetricSuspicions, got, want)
+	}
+	// Each node owns one per-peer RTT histogram (node 0 watches peer 1 and
+	// vice versa); the rollup must carry each with exactly the accepted
+	// sample count its estimator reports.
+	for i, info := range []*RunInfo{info0, info1} {
+		peer := 1 - i
+		st, ok := info.PeerRTT[peer]
+		if !ok {
+			t.Fatalf("node %d RunInfo has no RTT stats for peer %d", i, peer)
+		}
+		if st.Samples == 0 {
+			t.Fatalf("node %d accepted no RTT samples over 20 rendezvous", i)
+		}
+		if st.SRTTNS <= 0 || st.RTONS <= 0 || st.P50NS <= 0 || st.P99NS <= 0 {
+			t.Fatalf("node %d peer %d RTT stats not populated: %+v", i, peer, st)
+		}
+		h, ok := roll.Histograms[obs.PeerMetric(obs.MetricPeerRTTNS, peer)]
+		if !ok {
+			t.Fatalf("rollup lacks %s", obs.PeerMetric(obs.MetricPeerRTTNS, peer))
+		}
+		if h.Count != st.Samples {
+			t.Errorf("rollup %s count = %d, node %d estimator accepted %d samples",
+				obs.PeerMetric(obs.MetricPeerRTTNS, peer), h.Count, i, st.Samples)
+		}
+		if got := info.PeerHealth[peer]; got != "healthy" {
+			t.Errorf("node %d sees peer %d as %q after a clean run", i, peer, got)
+		}
+		if gauge, ok := roll.Gauges[obs.PeerMetric(obs.MetricPeerHealth, peer)]; !ok || gauge != 0 {
+			t.Errorf("rollup health gauge for peer %d = %d (present=%v), want 0/healthy", peer, gauge, ok)
+		}
+	}
+	// The rollup was folded into node 0's live registry: /metrics serves the
+	// same async totals.
+	if live := regs[0].Snapshot(); !reflect.DeepEqual(live, roll) {
+		t.Errorf("node 0's live registry diverges from RunInfo.Rollup")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"syncstamp/internal/obs"
+	tssync "syncstamp/internal/sync"
 )
 
 // Transport establishes the duplex byte streams a Node speaks the wire
@@ -36,6 +37,13 @@ type TCPTransport struct {
 	// Retries, when non-nil, counts failed dial attempts that were retried
 	// (obs.MetricDialRetries). Set it before the node starts connecting.
 	Retries *obs.Counter
+
+	// Backoff, when non-nil, supplies the dial retry delays (seeded jitter,
+	// capped exponential). Set it before the node starts connecting; when
+	// nil, Dial lazily builds one over the default bounds with a seed drawn
+	// from the listener's port, so concurrent dialers on one host do not
+	// retry in lockstep.
+	Backoff *tssync.Backoff
 
 	mu    sync.Mutex
 	addrs []string
@@ -70,17 +78,29 @@ func (t *TCPTransport) SetPeers(addrs []string) {
 // Addr returns the locally bound listen address.
 func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
 
-// Dial connects to the given node, retrying with exponential backoff until
-// the deadline.
+// Dial connects to the given node, retrying with seeded-jitter exponential
+// backoff until the deadline.
 func (t *TCPTransport) Dial(node int, deadline time.Time) (net.Conn, error) {
 	t.mu.Lock()
 	addrs := t.addrs
+	bo := t.Backoff
+	if bo == nil {
+		// Derive the jitter seed from the bound port: stable per transport,
+		// distinct per node on a shared host.
+		var seed int64
+		if t.ln != nil {
+			if ta, ok := t.ln.Addr().(*net.TCPAddr); ok {
+				seed = int64(ta.Port)
+			}
+		}
+		bo = tssync.NewBackoff(dialBackoffMin, dialBackoffMax, seed)
+		t.Backoff = bo
+	}
 	t.mu.Unlock()
 	if node < 0 || node >= len(addrs) {
 		return nil, fmt.Errorf("node: dial target %d out of range for %d addresses", node, len(addrs))
 	}
-	backoff := dialBackoffMin
-	for {
+	for attempt := 0; ; attempt++ {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
 			return nil, fmt.Errorf("node: dial node %d (%s): deadline exceeded", node, addrs[node])
@@ -95,15 +115,11 @@ func (t *TCPTransport) Dial(node int, deadline time.Time) (net.Conn, error) {
 			return nil, fmt.Errorf("node: dial node %d (%s): %w", node, addrs[node], err)
 		}
 		t.Retries.Add(1)
-		sleep := backoff
+		sleep := bo.Delay(attempt)
 		if sleep > remaining {
 			sleep = remaining
 		}
 		time.Sleep(sleep)
-		backoff *= 2
-		if backoff > dialBackoffMax {
-			backoff = dialBackoffMax
-		}
 	}
 }
 

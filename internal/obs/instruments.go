@@ -41,6 +41,23 @@ const (
 	// (LatencyEdges). Deterministic: the sequence of values depends only on
 	// how many resends a rendezvous needed, not on wall-clock time.
 	MetricBackoffNS = "retransmit_backoff_ns"
+	// MetricSpuriousRetransmits counts retransmissions proven unnecessary:
+	// the ACK arrived so soon after the retransmission that it must answer
+	// an earlier copy (async mode's Eifel-style detection). High values mean
+	// the RTT estimator is timing out too eagerly.
+	MetricSpuriousRetransmits = "spurious_retransmits_total"
+	// MetricSuspicions counts transitions of a peer's health FSM into the
+	// suspect state (async mode). Each suspicion arms the degradation
+	// policy; a recovery (evidence before the window expires) disarms it.
+	MetricSuspicions = "peer_suspicions_total"
+	// MetricPeerRTTNS is the per-peer round-trip-time histogram of accepted
+	// RTT samples (LatencyEdges), registered per peer node via PeerMetric.
+	// Its quantiles are the RunInfo p50/p99 source.
+	MetricPeerRTTNS = "peer_rtt_ns"
+	// MetricPeerHealth gauges a peer's final health FSM state, registered
+	// per peer node via PeerMetric: 0 healthy, 1 degraded, 2 suspect, 3
+	// excluded.
+	MetricPeerHealth = "peer_health_state"
 	// MetricJournalAppends gauges the crash-recovery journal's committed
 	// record count at end of run (recovery mode with a journal only).
 	MetricJournalAppends = "journal_appends_total"
@@ -80,6 +97,11 @@ func ProcMetric(name string, proc int) string {
 	return fmt.Sprintf("%s_p%d", name, proc)
 }
 
+// PeerMetric derives the per-peer-node variant of a metric name.
+func PeerMetric(name string, node int) string {
+	return fmt.Sprintf("%s_n%d", name, node)
+}
+
 // FrameMetrics derives the per-frame-kind wire traffic counter names.
 func FrameMetrics(kind string) (frames, bytes string) {
 	return "wire_frames_" + kind, "wire_bytes_" + kind
@@ -97,6 +119,8 @@ type Instruments struct {
 	Retransmits    *Counter
 	Reconnects     *Counter
 	DedupFrames    *Counter
+	Spurious       *Counter
+	Suspicions     *Counter
 	SynAckNS       *Histogram
 	SendBlockNS    *Histogram
 	RecvBlockNS    *Histogram
@@ -118,6 +142,8 @@ func NewInstruments(r *Registry, n int) Instruments {
 		Retransmits:    r.Counter(MetricRetransmits),
 		Reconnects:     r.Counter(MetricReconnects),
 		DedupFrames:    r.Counter(MetricDedupFrames),
+		Spurious:       r.Counter(MetricSpuriousRetransmits),
+		Suspicions:     r.Counter(MetricSuspicions),
 		SynAckNS:       r.Histogram(MetricSynAckNS, LatencyEdges),
 		SendBlockNS:    r.Histogram(MetricSendBlockNS, LatencyEdges),
 		RecvBlockNS:    r.Histogram(MetricRecvBlockNS, LatencyEdges),

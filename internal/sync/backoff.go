@@ -1,0 +1,52 @@
+package sync
+
+import (
+	"math/rand"
+	stdsync "sync"
+	"time"
+)
+
+// Backoff produces capped exponential delays with deterministic seeded
+// jitter. Jitter matters twice over: it desynchronizes retransmit and dial
+// storms (every sender backing off by exactly the same schedule re-collides
+// on every attempt), and because it is drawn from a seeded generator rather
+// than the wall clock, a chaos run's delay schedule is a pure function of
+// (seed, call sequence) — replayable, like everything else in the fault
+// pipeline.
+type Backoff struct {
+	min, max time.Duration
+
+	mu  stdsync.Mutex
+	rng *rand.Rand
+}
+
+// NewBackoff returns a backoff with delays clamped to [min, max] and a
+// jitter stream derived from seed.
+func NewBackoff(min, max time.Duration, seed int64) *Backoff {
+	if min <= 0 {
+		min = time.Millisecond
+	}
+	if max < min {
+		max = min
+	}
+	return &Backoff{min: min, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay returns the jittered delay for the given attempt (0-based): min
+// doubled per attempt, capped at max, then jittered into [d/2, d).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	return b.Jitter(scale(b.min, attempt, b.max))
+}
+
+// Jitter maps a nominal delay into [d/2, d) using the seeded stream. The
+// lower half is kept so a jittered delay never collapses to zero (a zero
+// retransmission interval is a tight loop).
+func (b *Backoff) Jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	half := int64(d) / 2
+	return time.Duration(half + b.rng.Int63n(half))
+}
